@@ -1,0 +1,151 @@
+//! ShBF_A theory: outcome probabilities (Eq. 25) and the iBF comparison
+//! (Table 2, §4.4–4.5).
+
+/// Probability that a *wrong* region's k probed bits are all 1, given the
+/// fraction `one_ratio` of set bits in the array. At optimal parameters
+/// (`k = (m/n')·ln 2`) this is `0.5^k`, which is what Eq. 25 uses.
+#[inline]
+pub fn spurious_region_prob(one_ratio: f64, k: f64) -> f64 {
+    one_ratio.powf(k)
+}
+
+/// Probabilities of the seven ShBF_A outcomes (§4.2) for an element in
+/// `S1 ∪ S2`, at optimal parameters (Eq. 25 with `p' = 0.5`):
+///
+/// * `p_single` (= P1 = P2 = P3): exactly the true region reports — a clear
+///   answer;
+/// * `p_double` (= P4 = P5 = P6): the true region plus one spurious region;
+/// * `p_triple` (= P7): all three regions report — no information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeProbs {
+    /// P(clear answer): `(1 − q)²` where `q = 0.5^k`.
+    pub p_single: f64,
+    /// P(one spurious extra region): `q(1 − q)`.
+    pub p_double: f64,
+    /// P(both spurious regions): `q²`.
+    pub p_triple: f64,
+}
+
+impl OutcomeProbs {
+    /// Eq. 25 generalized to an arbitrary spurious probability `q`
+    /// (`q = 0.5^k` at the optimum).
+    pub fn from_spurious(q: f64) -> Self {
+        OutcomeProbs {
+            p_single: (1.0 - q) * (1.0 - q),
+            p_double: q * (1.0 - q),
+            p_triple: q * q,
+        }
+    }
+
+    /// Eq. 25 at the optimal operating point: `q = 0.5^k`.
+    pub fn at_optimal_k(k: f64) -> Self {
+        Self::from_spurious(0.5f64.powf(k))
+    }
+
+    /// Sanity identity from §4.4: over the three true regions, outcome
+    /// probabilities sum to one: `P1 + 2·P4 + P7 = 1`.
+    pub fn total(&self) -> f64 {
+        self.p_single + 2.0 * self.p_double + self.p_triple
+    }
+}
+
+/// ShBF_A probability of a clear answer (Table 2): `(1 − 0.5^k)²`.
+pub fn p_clear_shbf(k: f64) -> f64 {
+    OutcomeProbs::at_optimal_k(k).p_single
+}
+
+/// iBF probability of a clear answer (Table 2): `⅔·(1 − 0.5^k)`.
+///
+/// Derivation (§4.5): with queries uniform over the three regions, an
+/// element of `S1 − S2` is clear iff BF2 does not false-positive
+/// (prob `1 − 0.5^k`), symmetrically for `S2 − S1`; an element of `S1 ∩ S2`
+/// always lights both filters, and "both positive" is inherently ambiguous
+/// (it could be either difference region with one FP), so it is never clear.
+pub fn p_clear_ibf(k: f64) -> f64 {
+    (2.0 / 3.0) * (1.0 - 0.5f64.powf(k))
+}
+
+/// Optimal total memory for iBF (Table 2): `m1 + m2 = (n1 + n2)·k/ln 2` bits.
+pub fn ibf_optimal_bits(n1: f64, n2: f64, k: f64) -> f64 {
+    (n1 + n2) * k / std::f64::consts::LN_2
+}
+
+/// Optimal memory for ShBF_A (Table 2): `m = (n1 + n2 − n3)·k/ln 2` bits,
+/// where `n3 = |S1 ∩ S2|` (each distinct element is inserted once).
+pub fn shbf_optimal_bits(n1: f64, n2: f64, n3: f64, k: f64) -> f64 {
+    (n1 + n2 - n3) * k / std::f64::consts::LN_2
+}
+
+/// Hash computations per query (Table 2): iBF needs `2k`, ShBF_A needs `k + 2`.
+pub fn hash_computations(k: u32) -> (u32, u32) {
+    (2 * k, k + 2)
+}
+
+/// Memory accesses per query (Table 2): iBF needs `2k`, ShBF_A needs `k`.
+pub fn memory_accesses(k: u32) -> (u32, u32) {
+    (2 * k, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq25_example_k10() {
+        // §4.4 worked example at k = 10.
+        let p = OutcomeProbs::at_optimal_k(10.0);
+        assert!((p.p_single - 0.998).abs() < 5e-4, "P1 = {}", p.p_single);
+        assert!((p.p_double - 9.756e-4).abs() < 1e-6, "P4 = {}", p.p_double);
+        // Paper text says P7 ≈ 9.54e-7 (the (0.5^10)² value).
+        assert!((p.p_triple - 9.54e-7).abs() < 1e-8, "P7 = {}", p.p_triple);
+    }
+
+    #[test]
+    fn outcome_probabilities_partition_unity() {
+        for k in [2.0, 4.0, 8.0, 12.0, 16.0] {
+            let p = OutcomeProbs::at_optimal_k(k);
+            assert!((p.total() - 1.0).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn table2_clear_answer_at_k8() {
+        // §6.3.1: "when k reaches 8, the probability of a clear answer
+        // reaches 66% and 99% for iBF and ShBF_A".
+        assert!((p_clear_ibf(8.0) - 0.664).abs() < 5e-3);
+        assert!(p_clear_shbf(8.0) > 0.99);
+    }
+
+    #[test]
+    fn shbf_clear_beats_ibf_for_practical_k() {
+        // At k = 1 the quadratic (1−q)² loses to ⅔(1−q); from k = 2 on —
+        // every practical operating point — ShBF_A wins.
+        for k in 2..=20 {
+            let k = f64::from(k);
+            assert!(p_clear_shbf(k) > p_clear_ibf(k), "k = {k}");
+        }
+        assert!(p_clear_shbf(1.0) < p_clear_ibf(1.0));
+    }
+
+    #[test]
+    fn clear_ratio_approaches_1_47() {
+        // §1.3: "1.47 times higher probability of a clear answer".
+        // As k → large, ratio → 1/(2/3) = 1.5; at k = 8 it is ≈ 1.49.
+        let ratio = p_clear_shbf(8.0) / p_clear_ibf(8.0);
+        assert!(ratio > 1.4 && ratio < 1.55, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn memory_ratio_with_quarter_overlap_is_8_over_7() {
+        // Fig. 10 setup: n1 = n2 = 1e6, n3 = 0.25e6 → iBF/ShBF = 8/7.
+        let ibf = ibf_optimal_bits(1e6, 1e6, 10.0);
+        let shbf = shbf_optimal_bits(1e6, 1e6, 0.25e6, 10.0);
+        assert!((ibf / shbf - 8.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_table_matches_paper() {
+        assert_eq!(hash_computations(10), (20, 12));
+        assert_eq!(memory_accesses(10), (20, 10));
+    }
+}

@@ -1,0 +1,84 @@
+//! Standard Bloom filter theory (paper §3.5, Eqs. 8–9).
+
+/// Probability that a given bit is still 0 after inserting `n` elements with
+/// `k` hash functions into `m` bits: `p = e^{−nk/m}` (Eq. 3).
+#[inline]
+pub fn p_zero(m: f64, n: f64, k: f64) -> f64 {
+    (-n * k / m).exp()
+}
+
+/// BF false-positive rate, Bloom's approximation (Eq. 8):
+/// `f_BF ≈ (1 − e^{−nk/m})^k`.
+pub fn fpr(m: f64, n: f64, k: f64) -> f64 {
+    (1.0 - p_zero(m, n, k)).powf(k)
+}
+
+/// BF false-positive rate using the exact pre-asymptotic form
+/// `(1 − (1 − 1/m)^{nk})^k` — used to sanity-check the approximation at the
+/// small m of the paper's experiments.
+pub fn fpr_exact(m: f64, n: f64, k: f64) -> f64 {
+    (1.0 - (1.0 - 1.0 / m).powf(n * k)).powf(k)
+}
+
+/// Optimal number of hash functions: `k_opt = (m/n)·ln 2 ≈ 0.6931·m/n`.
+pub fn k_opt(m: f64, n: f64) -> f64 {
+    (m / n) * std::f64::consts::LN_2
+}
+
+/// Minimum achievable FPR at `k_opt` (Eq. 9): `(1/2)^{(m/n)·ln2} ≈ 0.6185^{m/n}`.
+pub fn min_fpr(m: f64, n: f64) -> f64 {
+    0.5f64.powf(k_opt(m, n))
+}
+
+/// Memory (bits) needed for `n` elements at target FPR `f` with optimal k:
+/// `m = −n·ln f / (ln 2)²`.
+pub fn bits_for(n: f64, target_fpr: f64) -> f64 {
+    assert!(target_fpr > 0.0 && target_fpr < 1.0);
+    -n * target_fpr.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_fpr_base_is_0_6185() {
+        // Eq. 9: f_min = 0.6185^{m/n}. Check the base by taking m/n = 1.
+        let base = min_fpr(1.0, 1.0);
+        assert!((base - 0.6185).abs() < 5e-4, "base = {base}");
+    }
+
+    #[test]
+    fn k_opt_coefficient_is_ln2() {
+        assert!((k_opt(10.0, 1.0) - 6.931).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fpr_at_k_opt_matches_min() {
+        let (m, n) = (100_000.0, 10_000.0);
+        let f_at_opt = fpr(m, n, k_opt(m, n));
+        assert!((f_at_opt - min_fpr(m, n)).abs() / min_fpr(m, n) < 1e-9);
+    }
+
+    #[test]
+    fn fpr_monotone_in_n() {
+        let (m, k) = (100_000.0, 8.0);
+        assert!(fpr(m, 1_000.0, k) < fpr(m, 2_000.0, k));
+        assert!(fpr(m, 2_000.0, k) < fpr(m, 4_000.0, k));
+    }
+
+    #[test]
+    fn exact_and_approx_agree_for_large_m() {
+        let (m, n, k) = (1_000_000.0, 50_000.0, 7.0);
+        let a = fpr(m, n, k);
+        let e = fpr_exact(m, n, k);
+        assert!((a - e).abs() / e < 1e-3, "approx {a} vs exact {e}");
+    }
+
+    #[test]
+    fn bits_for_inverts_min_fpr() {
+        let n = 10_000.0;
+        let m = bits_for(n, 0.01);
+        assert!((min_fpr(m, n) - 0.01).abs() / 0.01 < 1e-6);
+    }
+}

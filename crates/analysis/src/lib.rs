@@ -1,0 +1,33 @@
+//! # shbf-analysis — analytical models from the ShBF paper
+//!
+//! Pure-math implementations of every closed form in the paper, used three
+//! ways in this repository:
+//!
+//! 1. **theory curves** for the figure harness (Figs. 3, 4, 7, 10(a), 11(a));
+//! 2. **theory-vs-simulation validation** in integration tests (the paper
+//!    reports ≤ 3% relative error for ShBF_M, §6.2.1);
+//! 3. **parameter selection** — optimal `k`, memory sizing.
+//!
+//! Contents:
+//!
+//! * [`bf`] — standard Bloom filter FPR (Eq. 8), optimal k (0.6931·m/n),
+//!   minimum FPR (Eq. 9: 0.6185^{m/n});
+//! * [`shbf`] — ShBF_M FPR (Theorem 1 / Eq. 1), the generalized t-shift FPR
+//!   (Eqs. 10–12 / 20–21), numeric k_opt (0.7009·m/n) and minimum FPR
+//!   (Eq. 7: 0.6204^{m/n});
+//! * [`assoc`] — ShBF_A outcome probabilities (Eq. 25) and the
+//!   clear-answer comparison with iBF (Table 2);
+//! * [`mult`] — ShBF_× correctness rates (Eqs. 26–28);
+//! * [`numeric`] — golden-section minimization and helpers.
+//!
+//! All formulas use Bloom's classic approximation; the paper argues (via
+//! Bose et al. and Christensen et al.) that its error is negligible (§3.4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod bf;
+pub mod mult;
+pub mod numeric;
+pub mod shbf;

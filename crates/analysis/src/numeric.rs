@@ -1,0 +1,99 @@
+//! Small numerical toolbox: golden-section minimization and bisection.
+//!
+//! The paper notes that `∂f_ShBF_M/∂k = 0` "does not yield a closed form
+//! solution for k ... we use standard numerical methods" (§3.4.2). We use
+//! golden-section search, which needs no derivatives and is robust for the
+//! unimodal FPR curves involved.
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Returns `(x_min, f(x_min))` with `x` located to within `tol`.
+///
+/// # Panics
+/// Panics if `a >= b` or `tol <= 0`.
+pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    assert!(a < b, "invalid bracket [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8; // (√5 − 1) / 2
+
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+
+    while hi - lo > tol {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Bisection root finding for a continuous `f` with `f(a)·f(b) ≤ 0`.
+///
+/// Returns the root located to within `tol`.
+///
+/// # Panics
+/// Panics if the bracket does not straddle a sign change.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    let (mut lo, mut hi) = (a, b);
+    let (mut flo, fhi) = (f(lo), f(hi));
+    assert!(
+        flo * fhi <= 0.0,
+        "bisect: f({lo}) = {flo} and f({hi}) = {fhi} do not bracket a root"
+    );
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if flo * fmid <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let (x, fx) = golden_section_min(|x| (x - 3.25) * (x - 3.25) + 1.0, 0.0, 10.0, 1e-9);
+        assert!((x - 3.25).abs() < 1e-7, "x = {x}");
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_handles_edge_minimum() {
+        // Monotone increasing: minimum at the left edge.
+        let (x, _) = golden_section_min(|x| x, 2.0, 5.0, 1e-9);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn bisect_rejects_bad_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-6);
+    }
+}

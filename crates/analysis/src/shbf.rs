@@ -1,0 +1,171 @@
+//! ShBF_M theory: Theorem 1 (Eq. 1), the generalized t-shift FPR
+//! (Eqs. 10–12 / 20–21), and optimal-parameter computation (§3.4.2).
+
+use crate::bf::p_zero;
+use crate::numeric::golden_section_min;
+
+/// ShBF_M false-positive rate (Theorem 1, Eq. 1):
+///
+/// `f ≈ (1 − p)^{k/2} · (1 − p + p²/(w̄ − 1))^{k/2}`, `p = e^{−nk/m}`.
+///
+/// `w_bar` is the paper's `w` (maximum offset value + 1 range bound); the
+/// offset is drawn from `[1, w̄ − 1]`.
+pub fn fpr(m: f64, n: f64, k: f64, w_bar: f64) -> f64 {
+    assert!(w_bar > 1.0, "w̄ must exceed 1");
+    let p = p_zero(m, n, k);
+    let existence = (1.0 - p).powf(k / 2.0);
+    let auxiliary = (1.0 - p + p * p / (w_bar - 1.0)).powf(k / 2.0);
+    existence * auxiliary
+}
+
+/// FPR of the generalized construction with `t` shifts per group
+/// (§3.6, Eqs. 10–12): groups of `t + 1` positions derive from one hash
+/// function plus `t` partitioned offsets; `k/(t+1)` groups in total.
+///
+/// For `t = 1` this reduces exactly to [`fpr`]; as `w̄ → ∞` it approaches
+/// the standard BF formula `(1 − p)^k`.
+pub fn fpr_generalized(m: f64, n: f64, k: f64, w_bar: f64, t: u32) -> f64 {
+    assert!(t >= 1, "t must be at least 1");
+    let t_f = f64::from(t);
+    assert!(w_bar > t_f, "w̄ must exceed t");
+    let p = p_zero(m, n, k);
+    let groups = k / (t_f + 1.0);
+
+    // Eq. 12 with A = 1 − p′ and q = 1 − p′·(w̄ − 1 − t)/(w̄ − 1).
+    let a = 1.0 - p;
+    let q = 1.0 - p * (w_bar - 1.0 - t_f) / (w_bar - 1.0);
+    // (A^t − q^t)/(A − q): the geometric-sum form; guard the A ≈ q case.
+    let ratio = if (a - q).abs() < 1e-12 {
+        t_f * a.powf(t_f - 1.0)
+    } else {
+        (a.powf(t_f) - q.powf(t_f)) / (a - q)
+    };
+    let f_group = (1.0 / t_f) * a * a * ratio + p * q.powf(t_f);
+
+    a.powf(groups) * f_group.powf(groups)
+}
+
+/// Numerically optimal (continuous) `k` minimizing [`fpr`] for given
+/// `m`, `n`, `w̄` (§3.4.2). For `w̄ = 57` the paper reports
+/// `k_opt = 0.7009·m/n`.
+pub fn k_opt(m: f64, n: f64, w_bar: f64) -> f64 {
+    let hi = 4.0 * (m / n) * std::f64::consts::LN_2 + 2.0;
+    let (k, _) = golden_section_min(|k| fpr(m, n, k, w_bar), 0.05, hi, 1e-9);
+    k
+}
+
+/// Minimum FPR at the optimal k. For `w̄ = 57` the paper reports
+/// `f_min = 0.6204^{m/n}` (Eq. 7).
+pub fn min_fpr(m: f64, n: f64, w_bar: f64) -> f64 {
+    fpr(m, n, k_opt(m, n, w_bar), w_bar)
+}
+
+/// The smallest `w̄` for which ShBF_M's minimum FPR is within `rel_tol` of
+/// BF's minimum FPR (the paper's "w ≥ 20 suffices" observation in §3.4.2,
+/// Fig. 3).
+pub fn min_w_bar_for_bf_parity(m: f64, n: f64, rel_tol: f64) -> f64 {
+    let bf_min = crate::bf::min_fpr(m, n);
+    let mut w = 3.0;
+    while w < 1024.0 {
+        if (min_fpr(m, n, w) - bf_min) / bf_min <= rel_tol {
+            return w;
+        }
+        w += 1.0;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: f64 = 57.0;
+
+    #[test]
+    fn reduces_to_bf_as_w_grows() {
+        let (m, n, k) = (100_000.0, 10_000.0, 8.0);
+        let shbf_inf = fpr(m, n, k, 1e12);
+        let bf = crate::bf::fpr(m, n, k);
+        assert!((shbf_inf - bf).abs() / bf < 1e-9);
+    }
+
+    #[test]
+    fn generalized_t1_matches_theorem1() {
+        let (m, n) = (100_000.0, 10_000.0);
+        for k in [4.0, 8.0, 12.0] {
+            let a = fpr(m, n, k, W);
+            let b = fpr_generalized(m, n, k, W, 1);
+            assert!((a - b).abs() / a < 1e-12, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn generalized_reduces_to_bf_as_w_grows() {
+        let (m, n, k) = (100_000.0, 10_000.0, 12.0);
+        for t in [1u32, 2, 3] {
+            let g = fpr_generalized(m, n, k, 1e12, t);
+            let bf = crate::bf::fpr(m, n, k);
+            assert!((g - bf).abs() / bf < 1e-6, "t={t}: {g} vs {bf}");
+        }
+    }
+
+    #[test]
+    fn paper_constant_k_opt_is_0_7009() {
+        // §3.4.2: for w̄ = 57, k_opt = 0.7009·m/n.
+        let (m, n) = (100_000.0, 10_000.0);
+        let coeff = k_opt(m, n, W) * n / m;
+        assert!((coeff - 0.7009).abs() < 2e-3, "coeff = {coeff}");
+    }
+
+    #[test]
+    fn paper_constant_min_fpr_base_is_0_6204() {
+        // Eq. 7: f_min = 0.6204^{m/n}. Extract the base at m/n = 10.
+        let (m, n) = (100_000.0, 10_000.0);
+        let base = min_fpr(m, n, W).powf(n / m);
+        assert!((base - 0.6204).abs() < 5e-4, "base = {base}");
+    }
+
+    #[test]
+    fn shbf_fpr_is_close_to_bf_at_w57() {
+        // Fig. 4's message: the FPR sacrifice is negligible.
+        let (m, n) = (100_000.0, 10_000.0);
+        for k in [4.0, 6.0, 8.0, 10.0, 12.0] {
+            let s = fpr(m, n, k, W);
+            let b = crate::bf::fpr(m, n, k);
+            assert!(s >= b, "shifting cannot beat BF: {s} < {b}");
+            assert!((s - b) / b < 0.05, "k={k}: ShBF {s} vs BF {b}");
+        }
+    }
+
+    #[test]
+    fn w20_reaches_parity_with_bf() {
+        // §3.4.2: "when w ≥ 20, the FPR of ShBF_M becomes almost equal to
+        // the FPR of BF" (read off Fig. 3 visually). Quantitatively the
+        // min-FPR ratio at w̄ = 20 is (1 + 0.5/(w̄−1))^{k/2} ≈ 1.09, so
+        // "almost equal" corresponds to ~10% relative tolerance.
+        let w = min_w_bar_for_bf_parity(100_000.0, 10_000.0, 0.10);
+        assert!(w <= 21.0, "needed w̄ = {w}");
+        // And at the paper's default w̄ = 57 the gap shrinks to ~5%.
+        let w = min_w_bar_for_bf_parity(100_000.0, 10_000.0, 0.055);
+        assert!(w <= 57.0, "needed w̄ = {w}");
+    }
+
+    #[test]
+    fn fpr_increases_as_w_shrinks() {
+        let (m, n, k) = (100_000.0, 10_000.0, 8.0);
+        let f_small = fpr(m, n, k, 8.0);
+        let f_large = fpr(m, n, k, 57.0);
+        assert!(f_small > f_large);
+    }
+
+    #[test]
+    fn generalized_larger_t_costs_accuracy() {
+        // More shifts per group = fewer independent hashes = higher FPR
+        // (at fixed k, m, n) — the trade-off §3.6 describes.
+        let (m, n, k) = (100_000.0, 10_000.0, 12.0);
+        let f1 = fpr_generalized(m, n, k, W, 1);
+        let f2 = fpr_generalized(m, n, k, W, 2);
+        let f3 = fpr_generalized(m, n, k, W, 3);
+        assert!(f1 <= f2 && f2 <= f3, "f1={f1} f2={f2} f3={f3}");
+    }
+}

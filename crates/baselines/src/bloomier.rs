@@ -1,0 +1,332 @@
+//! Bloomier filter (Chazelle, Kilian, Rubinfeld & Tal, SODA 2004) — the
+//! static function data structure the paper cites among association-query
+//! alternatives (§2.2 \[6\]).
+//!
+//! Encodes a *static* map `key → value` so that a query costs 3 table reads
+//! and XORs. Construction peels the random 3-uniform hypergraph whose
+//! vertices are table slots and whose edges are keys: at table size
+//! `m ≥ 1.23·n` the graph is acyclic with high probability and peeling
+//! succeeds; otherwise construction retries with a new seed (the "small
+//! failure probability" of this family of structures, same flavour as the
+//! cuckoo filter's insertion failures the paper mentions).
+//!
+//! Position in the paper's argument: a Bloomier filter *can* represent
+//! overlapping set membership (store the region id as the value), but only
+//! for a **static, enumerated** key set — non-keys return arbitrary values
+//! unless extra fingerprint bits are spent, and no updates are possible.
+//! ShBF_A needs none of that. The tests make both limitations concrete.
+
+use shbf_core::ShbfError;
+use shbf_hash::murmur3::murmur3_x64_128;
+use shbf_hash::{range_reduce, splitmix64};
+
+/// Number of hash positions per key (3-uniform hypergraph: the sparsest
+/// family with a constant peeling threshold, c* ≈ 1.22).
+const HASHES: usize = 3;
+/// Table-size factor over the number of keys. The asymptotic peeling
+/// threshold for 3-uniform hypergraphs is c* ≈ 1.22; a little headroom plus
+/// the constant floor below keep small instances reliable too.
+const SPACE_FACTOR: f64 = 1.30;
+/// Construction retries before giving up.
+const MAX_ATTEMPTS: usize = 16;
+
+/// A static Bloomier filter mapping byte keys to `value_bits`-bit values.
+#[derive(Debug, Clone)]
+pub struct BloomierFilter {
+    table: Vec<u64>,
+    m: usize,
+    value_bits: u32,
+    value_mask: u64,
+    seed: u64,
+    n_keys: usize,
+}
+
+impl BloomierFilter {
+    /// Builds the filter from `(key, value)` pairs. Values must fit in
+    /// `value_bits ≤ 64` bits. Keys must be distinct.
+    pub fn build<T: AsRef<[u8]>>(
+        entries: &[(T, u64)],
+        value_bits: u32,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        if !(1..=64).contains(&value_bits) {
+            return Err(ShbfError::ZeroSize("value_bits must be in 1..=64"));
+        }
+        let value_mask = if value_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << value_bits) - 1
+        };
+        for (_, v) in entries {
+            if *v & !value_mask != 0 {
+                return Err(ShbfError::CountOutOfRange {
+                    count: *v,
+                    max: value_mask,
+                });
+            }
+        }
+        let n = entries.len();
+        let m = (n as f64 * SPACE_FACTOR).ceil() as usize + 8;
+
+        for attempt in 0..MAX_ATTEMPTS {
+            let attempt_seed = splitmix64(seed.wrapping_add(attempt as u64));
+            if let Some(filter) = Self::try_build(entries, m, value_bits, value_mask, attempt_seed)
+            {
+                return Ok(filter);
+            }
+        }
+        Err(ShbfError::CapacityExceeded(
+            "bloomier peeling failed repeatedly (hypergraph not acyclic)",
+        ))
+    }
+
+    fn slots(m: usize, seed: u64, key: &[u8]) -> [usize; HASHES] {
+        // Three slots from one 128-bit hash; distinct-ify by linear probing
+        // within the derived values (collisions between the three slots are
+        // allowed in theory but make peeling needlessly fail; nudging the
+        // second/third slot preserves uniformity well enough).
+        let (h1, h2) = murmur3_x64_128(key, seed);
+        let a = range_reduce(h1, m);
+        let mut b = range_reduce(h2, m);
+        let mut c = range_reduce(h1 ^ h2.rotate_left(32), m);
+        if b == a {
+            b = (b + 1) % m;
+        }
+        while c == a || c == b {
+            c = (c + 1) % m;
+        }
+        [a, b, c]
+    }
+
+    /// The key's mask `M(key)` mixed from an independent hash.
+    fn mask(seed: u64, key: &[u8], value_mask: u64) -> u64 {
+        let (h, _) = murmur3_x64_128(key, splitmix64(seed ^ 0xB100_B100));
+        h & value_mask
+    }
+
+    fn try_build<T: AsRef<[u8]>>(
+        entries: &[(T, u64)],
+        m: usize,
+        value_bits: u32,
+        value_mask: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        let n = entries.len();
+        // Hypergraph peeling: repeatedly remove a key that owns a slot of
+        // degree 1; process keys in reverse removal order so each can fix
+        // its value through its private slot.
+        let mut slot_degree = vec![0u32; m];
+        let mut slot_xor: Vec<usize> = vec![0; m]; // XOR of incident key ids
+        let key_slots: Vec<[usize; HASHES]> = entries
+            .iter()
+            .map(|(k, _)| Self::slots(m, seed, k.as_ref()))
+            .collect();
+        for (id, slots) in key_slots.iter().enumerate() {
+            for &s in slots {
+                slot_degree[s] += 1;
+                slot_xor[s] ^= id;
+            }
+        }
+
+        let mut queue: Vec<usize> = (0..m).filter(|&s| slot_degree[s] == 1).collect();
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(n); // (key id, private slot)
+        let mut peeled = vec![false; n];
+        while let Some(slot) = queue.pop() {
+            if slot_degree[slot] != 1 {
+                continue;
+            }
+            let key_id = slot_xor[slot];
+            if peeled[key_id] {
+                continue;
+            }
+            peeled[key_id] = true;
+            order.push((key_id, slot));
+            for &s in &key_slots[key_id] {
+                slot_degree[s] -= 1;
+                slot_xor[s] ^= key_id;
+                if slot_degree[s] == 1 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            return None; // 2-core nonempty: retry with a new seed
+        }
+
+        let mut table = vec![0u64; m];
+        for &(key_id, private) in order.iter().rev() {
+            let (key, value) = &entries[key_id];
+            let key = key.as_ref();
+            let mut acc = Self::mask(seed, key, value_mask) ^ (value & value_mask);
+            for &s in &key_slots[key_id] {
+                if s != private {
+                    acc ^= table[s];
+                }
+            }
+            table[private] = acc;
+        }
+        Some(BloomierFilter {
+            table,
+            m,
+            value_bits,
+            value_mask,
+            seed,
+            n_keys: n,
+        })
+    }
+
+    /// Number of table slots.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of keys encoded.
+    #[inline]
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Bits per value.
+    #[inline]
+    pub fn value_bits(&self) -> u32 {
+        self.value_bits
+    }
+
+    /// Total size in bits.
+    pub fn bit_size(&self) -> usize {
+        self.m * self.value_bits as usize
+    }
+
+    /// Looks up `key`. For an encoded key this returns its exact value;
+    /// for any other key it returns an **arbitrary** `value_bits`-bit value
+    /// — the structural limitation §2.2 alludes to (spend fingerprint bits
+    /// inside the value to detect strangers).
+    pub fn get(&self, key: &[u8]) -> u64 {
+        let slots = Self::slots(self.m, self.seed, key);
+        let mut acc = Self::mask(self.seed, key, self.value_mask);
+        for s in slots {
+            acc ^= self.table[s];
+        }
+        acc & self.value_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u64, bits: u32) -> Vec<(Vec<u8>, u64)> {
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        (0..n)
+            .map(|i| (i.to_le_bytes().to_vec(), splitmix64(i) & mask))
+            .collect()
+    }
+
+    #[test]
+    fn every_key_returns_its_exact_value() {
+        let data = entries(10_000, 16);
+        let f = BloomierFilter::build(&data, 16, 7).unwrap();
+        for (k, v) in &data {
+            assert_eq!(f.get(k), *v);
+        }
+        // Space: ~1.3 slots/key.
+        assert!(f.m() <= (10_000.0 * 1.31) as usize + 16);
+    }
+
+    #[test]
+    fn various_value_widths() {
+        for bits in [1u32, 4, 8, 20, 32, 64] {
+            let data = entries(500, bits);
+            let f = BloomierFilter::build(&data, bits, 3).unwrap();
+            for (k, v) in &data {
+                assert_eq!(f.get(k), *v, "width {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn strangers_return_garbage_that_fingerprints_catch() {
+        // Encode 2-bit group ids + 12-bit key fingerprints in the value —
+        // the standard mitigation for the arbitrary-stranger-value problem.
+        let fp = |key: &[u8]| (murmur3_x64_128(key, 0xF1).0 & 0xFFF) << 2;
+        let data: Vec<(Vec<u8>, u64)> = (0..5000u64)
+            .map(|i| {
+                let key = i.to_le_bytes().to_vec();
+                let group = i % 3 + 1;
+                let value = group | fp(&key);
+                (key, value)
+            })
+            .collect();
+        let f = BloomierFilter::build(&data, 14, 11).unwrap();
+
+        // Keys decode perfectly.
+        for (k, v) in &data {
+            assert_eq!(f.get(k), *v);
+        }
+        // Strangers: the raw value is arbitrary, but the fingerprint check
+        // rejects almost all of them (2^-12 pass rate).
+        let mut false_accepts = 0;
+        for i in 100_000..140_000u64 {
+            let key = i.to_le_bytes();
+            let got = f.get(&key);
+            if got & !0b11 == fp(&key) && (1..=3).contains(&(got & 0b11)) {
+                false_accepts += 1;
+            }
+        }
+        assert!(false_accepts < 40, "false accepts {false_accepts}/40000");
+    }
+
+    #[test]
+    fn can_encode_overlapping_set_membership_statically() {
+        // Unlike Coded BF, a Bloomier filter CAN represent overlap (value =
+        // region id) — but only for a static key set known up front, which
+        // is exactly what ShBF_A does not require.
+        let s1_only: Vec<(Vec<u8>, u64)> = (0..500u64)
+            .map(|i| (format!("a{i}").into_bytes(), 1))
+            .collect();
+        let both: Vec<(Vec<u8>, u64)> = (0..500u64)
+            .map(|i| (format!("b{i}").into_bytes(), 3))
+            .collect();
+        let s2_only: Vec<(Vec<u8>, u64)> = (0..500u64)
+            .map(|i| (format!("c{i}").into_bytes(), 2))
+            .collect();
+        let data: Vec<(Vec<u8>, u64)> = s1_only
+            .iter()
+            .chain(both.iter())
+            .chain(s2_only.iter())
+            .cloned()
+            .collect();
+        let f = BloomierFilter::build(&data, 2, 5).unwrap();
+        assert!(both.iter().all(|(k, _)| f.get(k) == 3));
+        assert!(s1_only.iter().all(|(k, _)| f.get(k) == 1));
+        assert!(s2_only.iter().all(|(k, _)| f.get(k) == 2));
+    }
+
+    #[test]
+    fn rejects_oversized_values() {
+        let err = BloomierFilter::build(&[(b"k".to_vec(), 4u64)], 2, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ShbfError::CountOutOfRange { count: 4, max: 3 }
+        ));
+    }
+
+    #[test]
+    fn empty_map_builds() {
+        let f = BloomierFilter::build::<Vec<u8>>(&[], 8, 1).unwrap();
+        assert_eq!(f.n_keys(), 0);
+    }
+
+    #[test]
+    fn construction_is_deterministic_per_seed() {
+        let data = entries(1000, 8);
+        let a = BloomierFilter::build(&data, 8, 42).unwrap();
+        let b = BloomierFilter::build(&data, 8, 42).unwrap();
+        assert_eq!(a.table, b.table);
+    }
+}

@@ -1,0 +1,301 @@
+//! Coded Bloom Filter (Lu, Prabhakar & Bonomi, Allerton 2005) — the
+//! related-work multi-set membership scheme the paper cites (§2.2 \[16\]).
+//!
+//! Each of `g` groups gets a nonzero codeword of `⌈log₂(g+1)⌉` bits; one
+//! Bloom filter is kept per code-bit position, and an element of group `s`
+//! is inserted into exactly the filters where `code(s)` has a 1. A query
+//! probes all filters and reassembles the codeword.
+//!
+//! The paper's §2.2 criticism, which [`CodedBf`] exists to demonstrate:
+//! *"A common shortcoming of all existing schemes is that if any pair of
+//! sets in the group of sets is not disjoint, these schemes do not function
+//! correctly."* An element in two groups ORs both codewords together and
+//! decodes to an unrelated third group (or garbage). The `ablation_disjoint`
+//! bench and the tests below exhibit exactly that failure, and ShBF_A's
+//! immunity to it.
+
+use shbf_bits::AccessStats;
+use shbf_core::ShbfError;
+use shbf_hash::HashAlg;
+
+use crate::bf::Bf;
+
+/// Result of a coded-BF group query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodedAnswer {
+    /// Decoded to a valid group id (0-based). May be *wrong* if the element
+    /// belongs to several groups or a false positive corrupted a code bit.
+    Group(usize),
+    /// Decoded to the all-zero codeword: not in any group.
+    NotFound,
+    /// Decoded to a codeword outside `1..=g`: provably inconsistent
+    /// (overlap or false positive).
+    Invalid(usize),
+}
+
+/// Coded Bloom filter over `g` groups.
+#[derive(Debug, Clone)]
+pub struct CodedBf {
+    /// One BF per codeword bit.
+    filters: Vec<Bf>,
+    groups: usize,
+}
+
+impl CodedBf {
+    /// Creates a coded BF for `groups` groups with `m` bits per code-bit
+    /// filter and `k` hashes.
+    pub fn new(groups: usize, m: usize, k: usize, seed: u64) -> Result<Self, ShbfError> {
+        if groups == 0 {
+            return Err(ShbfError::ZeroSize("groups"));
+        }
+        let code_bits = usize::BITS as usize - groups.leading_zeros() as usize;
+        let filters = (0..code_bits)
+            .map(|b| Bf::with_alg(m, k, HashAlg::Murmur3, seed.wrapping_add(b as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CodedBf { filters, groups })
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of code-bit filters (`⌈log₂(g+1)⌉`).
+    #[inline]
+    pub fn code_bits(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Total bits across all filters.
+    pub fn bit_size(&self) -> usize {
+        self.filters.iter().map(|f| f.m()).sum()
+    }
+
+    /// Inserts `item` as a member of `group` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `group >= groups()`.
+    pub fn insert(&mut self, item: &[u8], group: usize) {
+        assert!(group < self.groups, "group {group} out of range");
+        let code = group + 1; // nonzero codeword
+        for (b, filter) in self.filters.iter_mut().enumerate() {
+            if (code >> b) & 1 == 1 {
+                filter.insert(item);
+            }
+        }
+    }
+
+    /// Queries which group `item` belongs to.
+    pub fn query(&self, item: &[u8]) -> CodedAnswer {
+        let mut code = 0usize;
+        for (b, filter) in self.filters.iter().enumerate() {
+            if filter.contains(item) {
+                code |= 1 << b;
+            }
+        }
+        match code {
+            0 => CodedAnswer::NotFound,
+            c if c <= self.groups => CodedAnswer::Group(c - 1),
+            c => CodedAnswer::Invalid(c),
+        }
+    }
+
+    /// [`Self::query`] with accounting (probes every code-bit filter).
+    pub fn query_profiled(&self, item: &[u8], stats: &mut AccessStats) -> CodedAnswer {
+        for filter in &self.filters {
+            let mut s = AccessStats::new();
+            filter.contains_profiled(item, &mut s);
+            stats.record_reads(s.word_reads);
+            stats.record_hashes(s.hash_computations);
+        }
+        stats.finish_op();
+        self.query(item)
+    }
+}
+
+/// Combinatorial Bloom filter (Hao, Kodialam, Lakshman & Song, INFOCOM
+/// 2009; §2.2 \[12\]): like [`CodedBf`] but with constant-weight codewords,
+/// which tolerate single-filter false positives better because every legal
+/// codeword has exactly `weight` ones.
+#[derive(Debug, Clone)]
+pub struct CombinatorialBf {
+    filters: Vec<Bf>,
+    /// `codewords[g]` = bitmask over filters for group `g`.
+    codewords: Vec<u32>,
+}
+
+impl CombinatorialBf {
+    /// Creates a combinatorial BF for `groups` groups using weight-2
+    /// codewords over the minimal number of filters with `C(f, 2) ≥ groups`.
+    pub fn new(groups: usize, m: usize, k: usize, seed: u64) -> Result<Self, ShbfError> {
+        if groups == 0 {
+            return Err(ShbfError::ZeroSize("groups"));
+        }
+        // Smallest f with C(f,2) >= groups.
+        let mut f = 2usize;
+        while f * (f - 1) / 2 < groups {
+            f += 1;
+        }
+        let mut codewords = Vec::with_capacity(groups);
+        'outer: for i in 0..f {
+            for j in (i + 1)..f {
+                codewords.push((1u32 << i) | (1u32 << j));
+                if codewords.len() == groups {
+                    break 'outer;
+                }
+            }
+        }
+        let filters = (0..f)
+            .map(|b| Bf::with_alg(m, k, HashAlg::Murmur3, seed.wrapping_add(0x100 + b as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CombinatorialBf { filters, codewords })
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.codewords.len()
+    }
+
+    /// Number of member filters.
+    #[inline]
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Total bits across all filters.
+    pub fn bit_size(&self) -> usize {
+        self.filters.iter().map(|f| f.m()).sum()
+    }
+
+    /// Inserts `item` as a member of `group`.
+    ///
+    /// # Panics
+    /// Panics if `group >= groups()`.
+    pub fn insert(&mut self, item: &[u8], group: usize) {
+        let code = self.codewords[group];
+        for (b, filter) in self.filters.iter_mut().enumerate() {
+            if (code >> b) & 1 == 1 {
+                filter.insert(item);
+            }
+        }
+    }
+
+    /// Queries the group of `item`: the observed positive-filter mask must
+    /// equal a codeword exactly.
+    pub fn query(&self, item: &[u8]) -> CodedAnswer {
+        let mut observed = 0u32;
+        for (b, filter) in self.filters.iter().enumerate() {
+            if filter.contains(item) {
+                observed |= 1 << b;
+            }
+        }
+        if observed == 0 {
+            return CodedAnswer::NotFound;
+        }
+        match self.codewords.iter().position(|&c| c == observed) {
+            Some(g) => CodedAnswer::Group(g),
+            None => CodedAnswer::Invalid(observed as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8, i: u64) -> Vec<u8> {
+        let mut v = vec![tag];
+        v.extend_from_slice(&i.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn disjoint_groups_decode_correctly() {
+        let mut f = CodedBf::new(3, 20_000, 8, 5).unwrap();
+        for g in 0..3usize {
+            for i in 0..500 {
+                f.insert(&key(g as u8, i), g);
+            }
+        }
+        let mut correct = 0;
+        for g in 0..3usize {
+            for i in 0..500 {
+                if f.query(&key(g as u8, i)) == CodedAnswer::Group(g) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 1495, "correct {correct}/1500");
+        assert_eq!(f.code_bits(), 2); // 3 groups -> 2 code bits
+    }
+
+    #[test]
+    fn overlapping_groups_break_coded_bf() {
+        // The paper's §2.2 claim: overlap makes these schemes "not function
+        // correctly". An element in groups 0 (code 01) and 1 (code 10)
+        // decodes to code 11 = group 2 — a set it was never put in.
+        let mut f = CodedBf::new(3, 20_000, 8, 7).unwrap();
+        let shared = key(9, 1);
+        f.insert(&shared, 0);
+        f.insert(&shared, 1);
+        assert_eq!(
+            f.query(&shared),
+            CodedAnswer::Group(2),
+            "overlap must alias to the wrong group — that is the flaw"
+        );
+    }
+
+    #[test]
+    fn combinatorial_detects_overlap_as_invalid() {
+        // Weight-2 codes: ORing two codewords gives weight 3-4, which no
+        // codeword has, so the failure is at least *detectable* —
+        // but the membership information is still lost.
+        let mut f = CombinatorialBf::new(3, 20_000, 8, 7).unwrap();
+        let shared = key(9, 2);
+        f.insert(&shared, 0);
+        f.insert(&shared, 1);
+        assert!(matches!(f.query(&shared), CodedAnswer::Invalid(_)));
+    }
+
+    #[test]
+    fn combinatorial_disjoint_groups_work() {
+        let mut f = CombinatorialBf::new(6, 30_000, 8, 3).unwrap();
+        assert_eq!(f.filter_count(), 4); // C(4,2) = 6
+        for g in 0..6usize {
+            for i in 0..300 {
+                f.insert(&key(g as u8, i), g);
+            }
+        }
+        let mut correct = 0;
+        for g in 0..6usize {
+            for i in 0..300 {
+                if f.query(&key(g as u8, i)) == CodedAnswer::Group(g) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 1790, "correct {correct}/1800");
+    }
+
+    #[test]
+    fn absent_elements_mostly_not_found() {
+        let mut f = CodedBf::new(4, 30_000, 8, 11).unwrap();
+        for g in 0..4usize {
+            for i in 0..400 {
+                f.insert(&key(g as u8, i), g);
+            }
+        }
+        let misses = (0..5000u64)
+            .filter(|&i| f.query(&key(0xEE, i)) == CodedAnswer::NotFound)
+            .count();
+        assert!(misses > 4950, "misses {misses}/5000");
+    }
+
+    #[test]
+    fn rejects_zero_groups() {
+        assert!(CodedBf::new(0, 100, 4, 1).is_err());
+        assert!(CombinatorialBf::new(0, 100, 4, 1).is_err());
+    }
+}

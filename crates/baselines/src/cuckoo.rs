@@ -1,0 +1,329 @@
+//! Cuckoo filter (Fan, Andersen, Kaminsky & Mitzenmacher, CoNEXT 2014) —
+//! the related-work comparison point the paper cites first (§2.1 \[10\]):
+//! "more efficient in terms of space and time compared to BF ... at the
+//! cost of non-negligible probability of failing when inserting".
+//!
+//! Standard construction: 4-slot buckets of `f`-bit fingerprints,
+//! partial-key cuckoo hashing (`i2 = i1 XOR hash(fp)`), bounded eviction
+//! chains. Supports deletion.
+
+use shbf_bits::{AccessStats, Reader, Writer};
+use shbf_core::traits::MembershipFilter;
+use shbf_core::ShbfError;
+use shbf_hash::{murmur3::murmur3_x64_128, splitmix64};
+
+/// Slots per bucket (the paper's recommended b = 4).
+pub const BUCKET_SLOTS: usize = 4;
+/// Maximum eviction-chain length before declaring the filter full.
+const MAX_KICKS: usize = 500;
+
+/// Cuckoo filter with 4-slot buckets and configurable fingerprint width.
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    /// `buckets × 4` fingerprints; 0 = empty (fingerprints are never 0).
+    slots: Vec<u16>,
+    n_buckets: usize,
+    fp_bits: u32,
+    seed: u64,
+    items: u64,
+    /// Deterministic state for choosing eviction victims.
+    kick_state: u64,
+}
+
+impl CuckooFilter {
+    /// Creates a filter with capacity for roughly `capacity` items at 95%
+    /// load, with `fp_bits`-bit fingerprints (4..=16).
+    pub fn new(capacity: usize, fp_bits: u32, seed: u64) -> Result<Self, ShbfError> {
+        if capacity == 0 {
+            return Err(ShbfError::ZeroSize("capacity"));
+        }
+        if !(4..=16).contains(&fp_bits) {
+            return Err(ShbfError::ZeroSize("fp_bits must be in 4..=16"));
+        }
+        let want = (capacity as f64 / 0.95 / BUCKET_SLOTS as f64).ceil() as usize;
+        let n_buckets = want.next_power_of_two().max(2);
+        Ok(CuckooFilter {
+            slots: vec![0; n_buckets * BUCKET_SLOTS],
+            n_buckets,
+            fp_bits,
+            seed,
+            items: 0,
+            kick_state: splitmix64(seed ^ 0xC0C0_C0C0),
+        })
+    }
+
+    /// Number of buckets (power of two).
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / (self.n_buckets * BUCKET_SLOTS) as f64
+    }
+
+    /// Items stored.
+    #[inline]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Fingerprint (never zero) and primary bucket of `item`.
+    #[inline]
+    fn fp_and_bucket(&self, item: &[u8]) -> (u16, usize) {
+        let (h1, h2) = murmur3_x64_128(item, self.seed);
+        let mask = (1u32 << self.fp_bits) - 1;
+        let mut fp = (h2 & u64::from(mask)) as u16;
+        if fp == 0 {
+            fp = 1;
+        }
+        let bucket = (h1 % self.n_buckets as u64) as usize;
+        (fp, bucket)
+    }
+
+    /// Partial-key alternate bucket: `i2 = i1 XOR hash(fp)`.
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        let h = splitmix64(u64::from(fp) ^ self.seed);
+        (bucket ^ (h as usize)) & (self.n_buckets - 1)
+    }
+
+    #[inline]
+    fn bucket_slots(&self, bucket: usize) -> &[u16] {
+        &self.slots[bucket * BUCKET_SLOTS..(bucket + 1) * BUCKET_SLOTS]
+    }
+
+    fn try_place(&mut self, bucket: usize, fp: u16) -> bool {
+        let base = bucket * BUCKET_SLOTS;
+        for s in 0..BUCKET_SLOTS {
+            if self.slots[base + s] == 0 {
+                self.slots[base + s] = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts an element. Errors with [`ShbfError::CapacityExceeded`] when
+    /// an eviction chain exceeds the kick budget — the "non-negligible
+    /// probability of failing" the paper mentions.
+    pub fn try_insert(&mut self, item: &[u8]) -> Result<(), ShbfError> {
+        let (fp, b1) = self.fp_and_bucket(item);
+        let b2 = self.alt_bucket(b1, fp);
+        if self.try_place(b1, fp) || self.try_place(b2, fp) {
+            self.items += 1;
+            return Ok(());
+        }
+        // Evict: random walk between the two candidate buckets.
+        self.kick_state = splitmix64(self.kick_state);
+        let mut bucket = if self.kick_state & 1 == 0 { b1 } else { b2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            self.kick_state = splitmix64(self.kick_state);
+            let victim_slot = (self.kick_state % BUCKET_SLOTS as u64) as usize;
+            let idx = bucket * BUCKET_SLOTS + victim_slot;
+            std::mem::swap(&mut fp, &mut self.slots[idx]);
+            bucket = self.alt_bucket(bucket, fp);
+            if self.try_place(bucket, fp) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(ShbfError::CapacityExceeded(
+            "cuckoo eviction chain too long",
+        ))
+    }
+
+    /// Membership query: probe the two candidate buckets.
+    #[inline]
+    pub fn contains(&self, item: &[u8]) -> bool {
+        let (fp, b1) = self.fp_and_bucket(item);
+        if self.bucket_slots(b1).contains(&fp) {
+            return true;
+        }
+        let b2 = self.alt_bucket(b1, fp);
+        self.bucket_slots(b2).contains(&fp)
+    }
+
+    /// Deletes an element (removes one matching fingerprint). Errors with
+    /// [`ShbfError::NotFound`] if neither candidate bucket holds it.
+    pub fn delete(&mut self, item: &[u8]) -> Result<(), ShbfError> {
+        let (fp, b1) = self.fp_and_bucket(item);
+        for bucket in [b1, self.alt_bucket(b1, fp)] {
+            let base = bucket * BUCKET_SLOTS;
+            for s in 0..BUCKET_SLOTS {
+                if self.slots[base + s] == fp {
+                    self.slots[base + s] = 0;
+                    self.items = self.items.saturating_sub(1);
+                    return Ok(());
+                }
+            }
+        }
+        Err(ShbfError::NotFound)
+    }
+
+    /// Serializes the filter.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(shbf_core::kind::CUCKOO);
+        w.u64(self.n_buckets as u64)
+            .u32(self.fp_bits)
+            .u64(self.seed)
+            .u64(self.items);
+        let packed: Vec<u64> = self
+            .slots
+            .chunks(4)
+            .map(|c| {
+                u64::from(c[0])
+                    | (u64::from(c[1]) << 16)
+                    | (u64::from(c[2]) << 32)
+                    | (u64::from(c[3]) << 48)
+            })
+            .collect();
+        w.words(&packed);
+        w.finish().to_vec()
+    }
+
+    /// Deserializes a filter produced by [`Self::to_bytes`].
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, ShbfError> {
+        let mut r = Reader::new(blob, shbf_core::kind::CUCKOO)?;
+        let n_buckets = r.u64()? as usize;
+        let fp_bits = r.u32()?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        let packed = r.words()?;
+        r.expect_end()?;
+        if !n_buckets.is_power_of_two() || packed.len() != n_buckets {
+            return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
+                "bucket shape",
+            )));
+        }
+        let mut slots = Vec::with_capacity(n_buckets * BUCKET_SLOTS);
+        for w in packed {
+            slots.push(w as u16);
+            slots.push((w >> 16) as u16);
+            slots.push((w >> 32) as u16);
+            slots.push((w >> 48) as u16);
+        }
+        Ok(CuckooFilter {
+            slots,
+            n_buckets,
+            fp_bits,
+            seed,
+            items,
+            kick_state: splitmix64(seed ^ 0xC0C0_C0C0),
+        })
+    }
+}
+
+impl MembershipFilter for CuckooFilter {
+    fn insert(&mut self, item: &[u8]) {
+        // Trait interface has no failure channel; a production caller should
+        // use try_insert. Dropped inserts at overload mirror the scheme's
+        // documented failure mode.
+        let _ = self.try_insert(item);
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        CuckooFilter::contains(self, item)
+    }
+
+    fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool {
+        // One hash invocation; up to 2 bucket reads (a 4×16-bit bucket is
+        // one 64-bit word).
+        stats.record_hashes(1);
+        let (fp, b1) = self.fp_and_bucket(item);
+        stats.record_reads(1);
+        let mut found = self.bucket_slots(b1).contains(&fp);
+        if !found {
+            stats.record_reads(1);
+            let b2 = self.alt_bucket(b1, fp);
+            found = self.bucket_slots(b2).contains(&fp);
+        }
+        stats.finish_op();
+        found
+    }
+
+    fn bit_size(&self) -> usize {
+        self.n_buckets * BUCKET_SLOTS * self.fp_bits as usize
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "Cuckoo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_le_bytes()
+    }
+
+    #[test]
+    fn insert_query_delete_cycle() {
+        let mut f = CuckooFilter::new(5000, 12, 3).unwrap();
+        for i in 0..3000u64 {
+            f.try_insert(&key(i)).unwrap();
+        }
+        for i in 0..3000u64 {
+            assert!(f.contains(&key(i)), "element {i}");
+        }
+        for i in 0..1500u64 {
+            f.delete(&key(i)).unwrap();
+        }
+        for i in 1500..3000u64 {
+            assert!(f.contains(&key(i)), "survivor {i}");
+        }
+        let false_now = (0..1500u64).filter(|&i| f.contains(&key(i))).count();
+        // Deleted items mostly gone (some fingerprint aliasing possible).
+        assert!(false_now < 50, "{false_now} ghosts");
+    }
+
+    #[test]
+    fn fpr_scales_with_fingerprint_bits() {
+        let mut fp8 = CuckooFilter::new(4000, 8, 7).unwrap();
+        let mut fp16 = CuckooFilter::new(4000, 16, 7).unwrap();
+        for i in 0..3000u64 {
+            fp8.try_insert(&key(i)).unwrap();
+            fp16.try_insert(&key(i)).unwrap();
+        }
+        let probes = 100_000u64;
+        let fps8 = (0..probes)
+            .filter(|&i| fp8.contains(&key(i + 1_000_000)))
+            .count();
+        let fps16 = (0..probes)
+            .filter(|&i| fp16.contains(&key(i + 1_000_000)))
+            .count();
+        assert!(fps8 > fps16 * 4, "fp8 {fps8} vs fp16 {fps16}");
+    }
+
+    #[test]
+    fn fills_to_high_load_then_fails() {
+        let mut f = CuckooFilter::new(1000, 12, 5).unwrap();
+        let capacity = f.n_buckets() * BUCKET_SLOTS;
+        let mut inserted = 0u64;
+        for i in 0..(capacity as u64 * 2) {
+            if f.try_insert(&key(i)).is_err() {
+                break;
+            }
+            inserted += 1;
+        }
+        let load = inserted as f64 / capacity as f64;
+        assert!(load > 0.90, "failed too early: load {load:.3}");
+        assert!(load <= 1.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = CuckooFilter::new(2000, 12, 9).unwrap();
+        for i in 0..1000u64 {
+            f.try_insert(&key(i)).unwrap();
+        }
+        let g = CuckooFilter::from_bytes(&f.to_bytes()).unwrap();
+        for i in 0..2000u64 {
+            assert_eq!(f.contains(&key(i)), g.contains(&key(i)), "probe {i}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! iBF — one individual Bloom filter per set, the straightforward
+//! association-query solution used by Summary-Cache/ICP (paper §2.2, §4.5,
+//! Table 2, Fig. 10).
+//!
+//! A query probes both filters. Exactly-one-positive outcomes are *clear*
+//! (no false negatives exist, so a negative filter definitely excludes its
+//! set); both-positive is inherently ambiguous: it may be a true
+//! intersection element or a difference element with one false positive —
+//! iBF "is prone to false positives whenever it declares an element to be
+//! in S1 ∩ S2" (§1.2.2).
+
+use shbf_bits::AccessStats;
+use shbf_core::ShbfError;
+use shbf_hash::HashAlg;
+
+use crate::bf::Bf;
+
+/// Outcome of an iBF association query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IbfAnswer {
+    /// Only BF1 positive: definitely `e ∈ S1 − S2` (clear).
+    OnlyS1,
+    /// Only BF2 positive: definitely `e ∈ S2 − S1` (clear).
+    OnlyS2,
+    /// Both positive: declared `S1 ∩ S2`, but possibly a false positive of
+    /// either filter (not clear).
+    BothClaimed,
+    /// Neither positive: `e ∉ S1 ∪ S2` (violates the query premise).
+    Neither,
+}
+
+impl IbfAnswer {
+    /// True for the unambiguous outcomes (the paper's clear-answer metric:
+    /// `⅔·(1 − 0.5^k)` at optimal parameters).
+    pub fn is_clear(&self) -> bool {
+        matches!(self, IbfAnswer::OnlyS1 | IbfAnswer::OnlyS2)
+    }
+}
+
+/// Two individual Bloom filters answering association queries.
+#[derive(Debug, Clone)]
+pub struct Ibf {
+    bf1: Bf,
+    bf2: Bf,
+}
+
+impl Ibf {
+    /// Builds from the two sets with explicit filter sizes.
+    pub fn build<T: AsRef<[u8]>, U: AsRef<[u8]>>(
+        s1: &[T],
+        s2: &[U],
+        m1: usize,
+        m2: usize,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        Self::build_with(s1, s2, m1, m2, k, HashAlg::Murmur3, seed)
+    }
+
+    /// Builds with optimal sizing from Table 2:
+    /// `m1 + m2 = (n1 + n2)·k/ln 2`, split proportionally to set sizes.
+    pub fn build_optimal<T: AsRef<[u8]>, U: AsRef<[u8]>>(
+        s1: &[T],
+        s2: &[U],
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        let m1 = ((s1.len() as f64) * k as f64 / std::f64::consts::LN_2).ceil() as usize;
+        let m2 = ((s2.len() as f64) * k as f64 / std::f64::consts::LN_2).ceil() as usize;
+        Self::build(s1, s2, m1.max(1), m2.max(1), k, seed)
+    }
+
+    /// Builds with an explicit hash algorithm. The two filters use distinct
+    /// derived seeds so their false positives are independent.
+    pub fn build_with<T: AsRef<[u8]>, U: AsRef<[u8]>>(
+        s1: &[T],
+        s2: &[U],
+        m1: usize,
+        m2: usize,
+        k: usize,
+        alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        let mut bf1 = Bf::with_alg(m1, k, alg, seed ^ 0x1111_1111_1111_1111)?;
+        let mut bf2 = Bf::with_alg(m2, k, alg, seed ^ 0x2222_2222_2222_2222)?;
+        for e in s1 {
+            bf1.insert(e.as_ref());
+        }
+        for e in s2 {
+            bf2.insert(e.as_ref());
+        }
+        Ok(Ibf { bf1, bf2 })
+    }
+
+    /// The S1 filter.
+    pub fn bf1(&self) -> &Bf {
+        &self.bf1
+    }
+
+    /// The S2 filter.
+    pub fn bf2(&self) -> &Bf {
+        &self.bf2
+    }
+
+    /// Total bits across both filters.
+    pub fn bit_size(&self) -> usize {
+        self.bf1.m() + self.bf2.m()
+    }
+
+    /// Association query: probe both filters.
+    pub fn query(&self, item: &[u8]) -> IbfAnswer {
+        match (self.bf1.contains(item), self.bf2.contains(item)) {
+            (true, false) => IbfAnswer::OnlyS1,
+            (false, true) => IbfAnswer::OnlyS2,
+            (true, true) => IbfAnswer::BothClaimed,
+            (false, false) => IbfAnswer::Neither,
+        }
+    }
+
+    /// Association query with **eager hashing** in both member filters
+    /// (all `2k` hash values computed, probes short-circuit) — the
+    /// implementation convention Table 2's `2k` hash cost describes.
+    pub fn query_eager(&self, item: &[u8]) -> IbfAnswer {
+        match (self.bf1.contains_eager(item), self.bf2.contains_eager(item)) {
+            (true, false) => IbfAnswer::OnlyS1,
+            (false, true) => IbfAnswer::OnlyS2,
+            (true, true) => IbfAnswer::BothClaimed,
+            (false, false) => IbfAnswer::Neither,
+        }
+    }
+
+    /// [`Self::query`] with accounting: both filters are probed (each with
+    /// its own short-circuit) — up to `2k` accesses and `2k` hash
+    /// computations (Table 2).
+    pub fn query_profiled(&self, item: &[u8], stats: &mut AccessStats) -> IbfAnswer {
+        let mut s1 = AccessStats::new();
+        let in1 = self.bf1.contains_profiled(item, &mut s1);
+        let mut s2 = AccessStats::new();
+        let in2 = self.bf2.contains_profiled(item, &mut s2);
+        stats.record_reads(s1.word_reads + s2.word_reads);
+        stats.record_hashes(s1.hash_computations + s2.hash_computations);
+        stats.finish_op();
+        match (in1, in2) {
+            (true, false) => IbfAnswer::OnlyS1,
+            (false, true) => IbfAnswer::OnlyS2,
+            (true, true) => IbfAnswer::BothClaimed,
+            (false, false) => IbfAnswer::Neither,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(range: std::ops::Range<u64>, tag: u8) -> Vec<Vec<u8>> {
+        range
+            .map(|i| {
+                let mut v = vec![tag];
+                v.extend_from_slice(&i.to_le_bytes());
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clear_answers_match_theory() {
+        // Disjoint halves plus an intersection; query mix uniform over the
+        // three regions; clear rate should be ≈ ⅔(1 − 0.5^k).
+        let k = 10;
+        let a = keys(0..2000, 1);
+        let b = keys(0..2000, 2);
+        let c = keys(0..2000, 3);
+        let s1: Vec<Vec<u8>> = a.iter().chain(b.iter()).cloned().collect();
+        let s2: Vec<Vec<u8>> = b.iter().chain(c.iter()).cloned().collect();
+        let f = Ibf::build_optimal(&s1, &s2, k, 5).unwrap();
+
+        let mut clear = 0usize;
+        for e in a.iter().chain(b.iter()).chain(c.iter()) {
+            if f.query(e).is_clear() {
+                clear += 1;
+            }
+        }
+        let rate = clear as f64 / 6000.0;
+        let theory = 2.0 / 3.0 * (1.0 - 0.5f64.powi(k as i32));
+        assert!(
+            (rate - theory).abs() < 0.03,
+            "clear rate {rate:.4} vs theory {theory:.4}"
+        );
+    }
+
+    #[test]
+    fn intersection_elements_always_claim_both() {
+        let b = keys(0..500, 9);
+        let f = Ibf::build_optimal(&b, &b, 8, 3).unwrap();
+        for e in &b {
+            assert_eq!(f.query(e), IbfAnswer::BothClaimed);
+        }
+    }
+
+    #[test]
+    fn profiled_cost_is_up_to_2k() {
+        let s1 = keys(0..100, 1);
+        let s2 = keys(0..100, 2);
+        let f = Ibf::build_optimal(&s1, &s2, 8, 7).unwrap();
+        // An S1∩S2-claimed element probes both filters fully: 2k each axis.
+        let shared = &s1[0];
+        let mut stats = AccessStats::new();
+        let _ = f.query_profiled(shared, &mut stats);
+        assert!(stats.word_reads <= 16);
+        assert!(
+            stats.word_reads >= 8,
+            "positive probe of bf1 alone is k = 8"
+        );
+    }
+
+    #[test]
+    fn filters_use_independent_seeds() {
+        let s = keys(0..100, 4);
+        let f = Ibf::build_optimal(&s, &s, 6, 11).unwrap();
+        // Same set both sides, same m — but bit patterns must differ.
+        assert_ne!(f.bf1().to_bytes(), f.bf2().to_bytes());
+    }
+}

@@ -1,0 +1,48 @@
+//! # shbf-baselines — every structure the ShBF paper compares against
+//!
+//! Implemented from the original papers, from scratch, with the same
+//! element model (`&[u8]` keys), the same profiled-query accounting and the
+//! same serialization substrate as the ShBF structures, so that the bench
+//! harness compares like with like:
+//!
+//! | Structure | Paper role | Source |
+//! |---|---|---|
+//! | [`Bf`] | the standard Bloom filter (Figs. 4, 8, 9) | Bloom, CACM 1970 |
+//! | [`Cbf`] | counting BF background (§1.1) | Fan et al., ToN 2000 |
+//! | [`KmBf`] | "less hashing" related work (§2.1) | Kirsch & Mitzenmacher, ESA 2006 |
+//! | [`OneMemBf`] | state-of-the-art membership baseline (Figs. 7, 9) | Qiao et al., INFOCOM 2011 |
+//! | [`Ibf`] | association baseline (Table 2, Fig. 10) | Fan et al. (Summary Cache) |
+//! | [`SpectralBf`] | multiplicity state of the art (Fig. 11) | Cohen & Matias, SIGMOD 2003 |
+//! | [`CmSketch`] | multiplicity baseline (Fig. 11, §5.5) | Cormode & Muthukrishnan 2005 |
+//! | [`CuckooFilter`] | related work (§2.1) | Fan et al., CoNEXT 2014 |
+//! | [`Dcf`] | related work (§2.3) | Aguilar-Saborit et al., SIGMOD Rec. 2006 |
+//! | [`CodedBf`] | related work (§2.2): multi-set membership that *requires disjoint sets* | Lu et al., Allerton 2005 |
+//! | [`CombinatorialBf`] | related work (§2.2), constant-weight codes | Hao et al., INFOCOM 2009 |
+//! | [`BloomierFilter`] | related work (§2.2): static key→value maps via hypergraph peeling | Chazelle et al., SODA 2004 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf;
+pub mod bloomier;
+pub mod cbf;
+pub mod cms;
+pub mod coded;
+pub mod cuckoo;
+pub mod dcf;
+pub mod ibf;
+pub mod kmbf;
+pub mod onemem;
+pub mod spectral;
+
+pub use bf::Bf;
+pub use bloomier::BloomierFilter;
+pub use cbf::Cbf;
+pub use cms::CmSketch;
+pub use coded::{CodedAnswer, CodedBf, CombinatorialBf};
+pub use cuckoo::CuckooFilter;
+pub use dcf::Dcf;
+pub use ibf::{Ibf, IbfAnswer};
+pub use kmbf::KmBf;
+pub use onemem::OneMemBf;
+pub use spectral::{SpectralBf, SpectralVariant};

@@ -1,0 +1,46 @@
+//! Criterion microbenches: association queries, ShBF_A vs iBF.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_baselines::Ibf;
+use shbf_core::ShbfA;
+use shbf_workloads::sets::AssociationPair;
+
+fn bench_association(c: &mut Criterion) {
+    let pair = AssociationPair::generate(40_000, 40_000, 10_000, 5);
+    let s1 = pair.s1_bytes();
+    let s2 = pair.s2_bytes();
+    let k = 10;
+
+    let shbf = ShbfA::builder().hashes(k).seed(5).build(&s1, &s2).unwrap();
+    let ibf = Ibf::build_optimal(&s1, &s2, k, 5).unwrap();
+
+    let queries: Vec<[u8; 13]> = pair
+        .s1_only
+        .iter()
+        .chain(pair.both.iter())
+        .chain(pair.s2_only.iter())
+        .map(|f| f.to_bytes())
+        .collect();
+
+    let mut group = c.benchmark_group("association_query");
+    let mut ix = 0usize;
+    group.bench_function("ShBF_A", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(shbf.query(&queries[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("iBF", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(ibf.query(&queries[ix]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_association);
+criterion_main!(benches);

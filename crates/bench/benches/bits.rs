@@ -1,0 +1,62 @@
+//! Criterion microbenches: the bit substrate — windowed reads (the
+//! one-access probe) vs two independent bit reads, and counter updates.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_bits::{BitArray, CounterArray};
+
+fn bench_bits(c: &mut Criterion) {
+    let mut bits = BitArray::new(1 << 20);
+    let mut state = 0x1234_5678u64;
+    for _ in 0..200_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        bits.set((state >> 33) as usize % ((1 << 20) - 64));
+    }
+
+    let mut group = c.benchmark_group("bitarray");
+    let mut ix = 0u64;
+    group.bench_function("probe_pair(offset=41)", |b| {
+        b.iter(|| {
+            ix = ix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (ix >> 33) as usize % ((1 << 20) - 64);
+            black_box(bits.probe_pair(pos, 41))
+        })
+    });
+    group.bench_function("two_single_bit_gets", |b| {
+        b.iter(|| {
+            ix = ix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (ix >> 33) as usize % ((1 << 20) - 64);
+            black_box((bits.get(pos), bits.get(pos + 41)))
+        })
+    });
+    group.bench_function("read_window(57)", |b| {
+        b.iter(|| {
+            ix = ix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (ix >> 33) as usize % ((1 << 20) - 64);
+            black_box(bits.read_window(pos, 57))
+        })
+    });
+    group.finish();
+
+    let mut counters = CounterArray::new(1 << 18, 4);
+    let mut group = c.benchmark_group("counters");
+    group.bench_function("inc_4bit", |b| {
+        b.iter(|| {
+            ix = ix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (ix >> 40) as usize % (1 << 18);
+            black_box(counters.inc(pos))
+        })
+    });
+    group.bench_function("get_4bit", |b| {
+        b.iter(|| {
+            ix = ix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (ix >> 40) as usize % (1 << 18);
+            black_box(counters.get(pos))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bits);
+criterion_main!(benches);

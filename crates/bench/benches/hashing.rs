@@ -1,0 +1,32 @@
+//! Criterion microbenches: the hash substrate on 13-byte flow IDs.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_hash::{hash_seeded, HashAlg};
+
+fn bench_hashing(c: &mut Criterion) {
+    let keys: Vec<[u8; 13]> = (0..1024u64)
+        .map(|i| {
+            let mut b = [0u8; 13];
+            b[..8].copy_from_slice(&i.to_le_bytes());
+            b[8..12].copy_from_slice(&(i as u32).wrapping_mul(2654435761).to_le_bytes());
+            b
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("hash_13b");
+    for alg in HashAlg::ALL {
+        let mut ix = 0usize;
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                ix = (ix + 1) & 1023;
+                black_box(hash_seeded(alg, 0xABCD, &keys[ix]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion microbenches: membership insert/query per structure.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_baselines::{Bf, CuckooFilter, KmBf, OneMemBf};
+use shbf_core::traits::MembershipFilter;
+use shbf_core::ShbfM;
+use shbf_workloads::sets::distinct_flows;
+
+const M: usize = 220_080;
+const K: usize = 8;
+const N: usize = 12_000;
+
+fn keys(seed: u64) -> Vec<[u8; 13]> {
+    distinct_flows(N, seed)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect()
+}
+
+fn filled<F: MembershipFilter>(mut f: F, keys: &[[u8; 13]]) -> F {
+    for k in keys {
+        f.insert(k);
+    }
+    f
+}
+
+fn bench_query(c: &mut Criterion) {
+    let members = keys(1);
+    let probes = keys(2);
+    let mut group = c.benchmark_group("membership_query");
+
+    let shbf = filled(ShbfM::new(M, K, 7).unwrap(), &members);
+    let bf = filled(Bf::new(M, K, 7).unwrap(), &members);
+    let onemem = filled(OneMemBf::new(M, K, 7).unwrap(), &members);
+    let km = filled(KmBf::new(M, K, 7).unwrap(), &members);
+    let cuckoo = filled(CuckooFilter::new(N * 2, 12, 7).unwrap(), &members);
+
+    let mut ix = 0usize;
+    group.bench_function("ShBF_M/positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            black_box(shbf.contains(&members[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("ShBF_M/negative", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % probes.len();
+            black_box(shbf.contains(&probes[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("BF/positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            black_box(bf.contains(&members[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("BF/negative", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % probes.len();
+            black_box(bf.contains(&probes[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("1MemBF/positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            black_box(onemem.contains(&members[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("KM-BF/positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            black_box(km.contains(&members[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("Cuckoo/positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            black_box(cuckoo.contains(&members[ix]))
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let members = keys(3);
+    let mut group = c.benchmark_group("membership_insert");
+
+    let mut shbf = ShbfM::new(M, K, 9).unwrap();
+    let mut ix = 0usize;
+    group.bench_function("ShBF_M", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            shbf.insert(&members[ix]);
+        })
+    });
+    let mut bf = Bf::new(M, K, 9).unwrap();
+    let mut ix = 0usize;
+    group.bench_function("BF", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % members.len();
+            bf.insert(&members[ix]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_insert);
+criterion_main!(benches);

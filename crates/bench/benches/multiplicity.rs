@@ -1,0 +1,64 @@
+//! Criterion microbenches: multiplicity queries — ShBF_×, Spectral BF,
+//! CM sketch, SCM sketch.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_baselines::{CmSketch, SpectralBf};
+use shbf_core::{ScmSketch, ShbfX};
+use shbf_workloads::multiset::{CountDistribution, MultisetWorkload};
+
+fn bench_multiplicity(c: &mut Criterion) {
+    let n = 20_000usize;
+    let k = 12usize;
+    let workload = MultisetWorkload::generate(n, 57, CountDistribution::Uniform, 3);
+    let counts = workload.byte_counts();
+    let bits = (1.5 * n as f64 * k as f64 / std::f64::consts::LN_2) as usize;
+
+    let shbf = ShbfX::build(&counts, bits, k, 57, 3).unwrap();
+    let mut spectral = SpectralBf::new(bits / 6, k, 3).unwrap();
+    let mut cm = CmSketch::new(k, bits / 6 / k, 3).unwrap();
+    let mut scm = ScmSketch::new(k, bits / 8 / k, 3).unwrap();
+    for (key, count) in &counts {
+        for _ in 0..*count {
+            spectral.insert(key);
+            cm.insert(key);
+            scm.insert(key);
+        }
+    }
+
+    let queries: Vec<[u8; 13]> = counts.iter().map(|(key, _)| *key).collect();
+    let mut group = c.benchmark_group("multiplicity_query");
+    let mut ix = 0usize;
+    group.bench_function("ShBF_X", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(shbf.query(&queries[ix]).reported)
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("SpectralBF", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(spectral.estimate(&queries[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("CM", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(cm.estimate(&queries[ix]))
+        })
+    });
+    let mut ix = 0usize;
+    group.bench_function("SCM", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(scm.estimate(&queries[ix]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiplicity);
+criterion_main!(benches);

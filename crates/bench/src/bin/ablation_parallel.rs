@@ -1,0 +1,5 @@
+//! Reproduces the panel implemented in `shbf_bench::figs::ablation_parallel`.
+fn main() {
+    let cfg = shbf_bench::RunConfig::from_env_args();
+    shbf_bench::figs::ablation_parallel::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper panel implemented in `shbf_bench::figs::ablation_scm`.
+fn main() {
+    let cfg = shbf_bench::RunConfig::from_env_args();
+    shbf_bench::figs::ablation_scm::run(&cfg);
+}

@@ -1,0 +1,34 @@
+//! Runs the full evaluation: every figure, the table, and all ablations.
+//!
+//! ```text
+//! cargo run --release -p shbf-bench --bin repro_all -- [--scale F] [--seed N] [--csv DIR] [--quick]
+//! ```
+
+fn main() {
+    let cfg = shbf_bench::RunConfig::from_env_args();
+    let start = std::time::Instant::now();
+
+    shbf_bench::figs::fig03::run(&cfg);
+    shbf_bench::figs::fig04::run(&cfg);
+    shbf_bench::figs::fig07::run(&cfg);
+    shbf_bench::figs::fig08::run(&cfg);
+    shbf_bench::figs::fig09::run(&cfg);
+    shbf_bench::figs::table02::run(&cfg);
+    shbf_bench::figs::fig10::run(&cfg);
+    shbf_bench::figs::fig11::run(&cfg);
+
+    shbf_bench::figs::ablation_wbar::run(&cfg);
+    shbf_bench::figs::ablation_tshift::run(&cfg);
+    shbf_bench::figs::ablation_scm::run(&cfg);
+    shbf_bench::figs::ablation_hash::run(&cfg);
+    shbf_bench::figs::ablation_update::run(&cfg);
+    shbf_bench::figs::ablation_related::run(&cfg);
+    shbf_bench::figs::ablation_kopt::run(&cfg);
+    shbf_bench::figs::ablation_parallel::run(&cfg);
+    shbf_bench::figs::ablation_disjoint::run(&cfg);
+
+    println!(
+        "\n== full evaluation done in {:.1}s ==",
+        start.elapsed().as_secs_f64()
+    );
+}

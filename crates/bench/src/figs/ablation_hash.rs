@@ -1,0 +1,61 @@
+//! Ablation: hash-algorithm choice (§6.1 — the paper hand-picked functions
+//! that passed a randomness test; here every shipped algorithm passes, so
+//! the choice is about speed) plus the Kirsch–Mitzenmacher family as the
+//! cheap-hashing extreme.
+
+use shbf_baselines::KmBf;
+use shbf_core::{MembershipFilter, ShbfM};
+use shbf_hash::HashAlg;
+use shbf_workloads::sets::distinct_flows;
+
+use crate::figs::common::{half_positive_mix, probe_keys};
+use crate::harness::{f4, sci, RunConfig, Table};
+use crate::speed::{measure_mqps, window};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: hash algorithm choice for ShBF_M");
+    let (m, k, n) = (22_008usize, 8usize, 1200usize);
+    let probes = cfg.scaled(2_000_000, 50_000);
+    let flows = distinct_flows(n, cfg.seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, cfg.seed ^ 0xAB4);
+    let mix = half_positive_mix(&members, cfg.seed ^ 0xAB5);
+    let w = window(cfg.quick);
+
+    let mut t = Table::new(
+        "ablation_hash",
+        &format!("ShBF_M with each hash family (m={m}, k={k}, n={n})"),
+        &["family", "FPR", "Mqps"],
+    );
+    for alg in HashAlg::ALL {
+        let mut f = ShbfM::with_config(m, k, 57, alg, cfg.seed).unwrap();
+        for key in &members {
+            f.insert(key);
+        }
+        let fp = negatives
+            .iter()
+            .filter(|p| f.contains(p.as_slice()))
+            .count();
+        t.row(vec![
+            alg.name().into(),
+            sci(fp as f64 / negatives.len() as f64),
+            f4(measure_mqps(&mix, |q| f.contains(q), w)),
+        ]);
+    }
+    // The KM extreme: one hash invocation for the whole probe set.
+    let mut km = KmBf::new(m, k, cfg.seed).unwrap();
+    for key in &members {
+        MembershipFilter::insert(&mut km, key);
+    }
+    let fp = negatives
+        .iter()
+        .filter(|p| km.contains(p.as_slice()))
+        .count();
+    t.row(vec![
+        "km-double-hashing (BF)".into(),
+        sci(fp as f64 / negatives.len() as f64),
+        f4(measure_mqps(&mix, |q| km.contains(q), w)),
+    ]);
+    t.emit(cfg);
+}

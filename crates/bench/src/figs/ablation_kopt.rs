@@ -1,0 +1,74 @@
+//! Ablation: the optimal-k landscape (§3.4.2) — reproduce the constants
+//! `k_opt = 0.7009·m/n` and `f_min = 0.6204^{m/n}` numerically, and verify
+//! empirically that the even-rounded k_opt beats its neighbours.
+
+use shbf_analysis::{bf, shbf};
+use shbf_core::ShbfM;
+use shbf_workloads::sets::distinct_flows;
+
+use crate::figs::common::probe_keys;
+use crate::harness::{f4, sci, RunConfig, Table};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: optimal k");
+
+    let mut t = Table::new(
+        "ablation_kopt_constants",
+        "numeric optimum vs the paper's constants (w̄=57)",
+        &[
+            "m/n",
+            "k_opt/(m/n)",
+            "paper 0.7009",
+            "f_min^(n/m)",
+            "paper 0.6204",
+            "BF ln2",
+            "BF 0.6185",
+        ],
+    );
+    for ratio in [5.0, 8.0, 10.0, 12.0, 16.0, 20.0] {
+        let (m, n) = (ratio * 10_000.0, 10_000.0);
+        let kopt = shbf::k_opt(m, n, 57.0);
+        let fmin = shbf::min_fpr(m, n, 57.0);
+        t.row(vec![
+            f4(ratio),
+            f4(kopt * n / m),
+            "0.7009".into(),
+            f4(fmin.powf(n / m)),
+            "0.6204".into(),
+            f4(bf::k_opt(m, n) * n / m),
+            f4(bf::min_fpr(m, n).powf(n / m)),
+        ]);
+    }
+    t.emit(cfg);
+
+    // Empirical check: at m/n = 10, k = 8 (even-rounded 7.009) should beat
+    // k = 4 and k = 12 on measured FPR.
+    let (m, n) = (40_000usize, 4000usize);
+    let probes = cfg.scaled(2_000_000, 50_000);
+    let flows = distinct_flows(n, cfg.seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, cfg.seed ^ 0xAB8);
+
+    let mut t = Table::new(
+        "ablation_kopt_empirical",
+        &format!("measured FPR around k_opt (m={m}, n={n}, k_opt≈7.0→8)"),
+        &["k", "theory", "measured"],
+    );
+    for k in [2usize, 4, 6, 8, 10, 12, 14] {
+        let mut f = ShbfM::new(m, k, cfg.seed).unwrap();
+        for key in &members {
+            f.insert(key);
+        }
+        let fp = negatives
+            .iter()
+            .filter(|p| f.contains(p.as_slice()))
+            .count();
+        t.row(vec![
+            k.to_string(),
+            sci(shbf::fpr(m as f64, n as f64, k as f64, 57.0)),
+            sci(fp as f64 / negatives.len() as f64),
+        ]);
+    }
+    t.emit(cfg);
+}

@@ -1,0 +1,83 @@
+//! Ablation: the wider related-work field (§2.1/§2.3) side by side —
+//! BF, KM-BF, 1MemBF, Cuckoo filter, ShBF_M for membership; DCF joins the
+//! multiplicity baselines.
+
+use shbf_baselines::{Bf, CuckooFilter, Dcf, KmBf, OneMemBf};
+use shbf_core::traits::{CountEstimator, MembershipFilter};
+use shbf_core::ShbfM;
+use shbf_workloads::multiset::{CountDistribution, MultisetWorkload};
+use shbf_workloads::sets::distinct_flows;
+
+use crate::figs::common::{half_positive_mix, probe_keys};
+use crate::harness::{f4, sci, RunConfig, Table};
+use crate::speed::{measure_mqps, window};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: related-work membership structures side by side");
+    let (m, k, n) = (22_008usize, 8usize, 1200usize);
+    let probes = cfg.scaled(2_000_000, 50_000);
+    let flows = distinct_flows(n, cfg.seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, cfg.seed ^ 0xAB6);
+    let mix = half_positive_mix(&members, cfg.seed ^ 0xAB7);
+    let w = window(cfg.quick);
+
+    let mut filters: Vec<Box<dyn MembershipFilter>> = vec![
+        Box::new(Bf::new(m, k, cfg.seed).unwrap()),
+        Box::new(KmBf::new(m, k, cfg.seed).unwrap()),
+        Box::new(OneMemBf::new(m, k, cfg.seed).unwrap()),
+        // Cuckoo sized for the same bit budget: m bits / 12-bit fp / 4 slots.
+        Box::new(CuckooFilter::new(n * 2, 12, cfg.seed).unwrap()),
+        Box::new(ShbfM::new(m, k, cfg.seed).unwrap()),
+    ];
+    let mut t = Table::new(
+        "ablation_related_membership",
+        &format!("membership structures (m={m} bits target, k={k}, n={n})"),
+        &["structure", "bits", "bits/elem", "FPR", "Mqps"],
+    );
+    for f in filters.iter_mut() {
+        for key in &members {
+            f.insert(key);
+        }
+        let fp = negatives
+            .iter()
+            .filter(|p| f.contains(p.as_slice()))
+            .count();
+        t.row(vec![
+            f.kind_name().into(),
+            f.bit_size().to_string(),
+            f4(f.bit_size() as f64 / n as f64),
+            sci(fp as f64 / negatives.len() as f64),
+            f4(measure_mqps(&mix, |q| f.contains(q), w)),
+        ]);
+    }
+    t.emit(cfg);
+
+    // Multiplicity corner: DCF vs the Fig. 11 trio on accuracy per bit.
+    let n = cfg.scaled(50_000, 5_000);
+    let workload = MultisetWorkload::generate(n, 57, CountDistribution::Zipf(0.9), cfg.seed);
+    let counts = workload.byte_counts();
+    let mut dcf = Dcf::new(n * 2, 6, cfg.seed).unwrap();
+    for (key, count) in &counts {
+        for _ in 0..*count {
+            dcf.insert(key);
+        }
+    }
+    let exact = counts
+        .iter()
+        .filter(|(key, truth)| CountEstimator::estimate(&dcf, key) == *truth)
+        .count();
+    let mut t = Table::new(
+        "ablation_related_dcf",
+        &format!("DCF on the zipf multiset (n={n}, c=57)"),
+        &["structure", "bits", "correct rate", "overflow regrowths"],
+    );
+    t.row(vec![
+        "DCF".into(),
+        CountEstimator::bit_size(&dcf).to_string(),
+        f4(exact as f64 / counts.len() as f64),
+        dcf.regrowths().to_string(),
+    ]);
+    t.emit(cfg);
+}

@@ -1,0 +1,56 @@
+//! Ablation: the generalized construction's t trade-off (§3.6) —
+//! fewer hash computations per element vs higher FPR, at fixed k, m, n.
+
+use shbf_analysis::shbf;
+use shbf_core::GenShbfM;
+use shbf_workloads::sets::distinct_flows;
+
+use crate::figs::common::{half_positive_mix, probe_keys};
+use crate::harness::{f4, sci, RunConfig, Table};
+use crate::speed::{measure_mqps, window};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: generalized ShBF_M, t = 1..3");
+    let (m, k, n) = (24_000usize, 12usize, 1500usize);
+    let probes = cfg.scaled(2_000_000, 50_000);
+    let flows = distinct_flows(n, cfg.seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, cfg.seed ^ 0xAB2);
+    let mix = half_positive_mix(&members, cfg.seed ^ 0xAB3);
+
+    let mut t = Table::new(
+        "ablation_tshift",
+        &format!("t sweep (m={m}, k={k}, n={n})"),
+        &[
+            "t",
+            "hashes/insert",
+            "groups (accesses)",
+            "FPR theory",
+            "FPR measured",
+            "Mqps",
+        ],
+    );
+    for t_shift in 1..=3usize {
+        let mut f = GenShbfM::new(m, k, t_shift, cfg.seed).unwrap();
+        for key in &members {
+            f.insert(key);
+        }
+        let fp = negatives
+            .iter()
+            .filter(|p| f.contains(p.as_slice()))
+            .count();
+        let measured = fp as f64 / negatives.len() as f64;
+        let theory = shbf::fpr_generalized(m as f64, n as f64, k as f64, 57.0, t_shift as u32);
+        let mqps = measure_mqps(&mix, |q| f.contains(q), window(cfg.quick));
+        t.row(vec![
+            t_shift.to_string(),
+            f.hash_cost().to_string(),
+            f.groups().to_string(),
+            sci(theory),
+            sci(measured),
+            f4(mqps),
+        ]);
+    }
+    t.emit(cfg);
+}

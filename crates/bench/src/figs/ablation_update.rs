@@ -1,0 +1,107 @@
+//! Ablation: update paths — CShBF_M insert/delete throughput and the
+//! single-access-update w̄ trade-off (§3.3), plus CShBF_× update policies
+//! (§5.3.1 filter-derived vs §5.3.2 exact-table) under churn.
+
+use shbf_core::{CShbfM, CShbfX, UpdatePolicy};
+use shbf_hash::HashAlg;
+use shbf_workloads::sets::distinct_flows;
+
+use crate::harness::{f4, RunConfig, Table};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: counting-filter update paths");
+
+    // CShBF_M: throughput of insert+delete cycles at the two w̄ choices.
+    let n = cfg.scaled(100_000, 20_000);
+    let m = n * 10;
+    let keys: Vec<[u8; 13]> = distinct_flows(n, cfg.seed)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect();
+
+    let mut t = Table::new(
+        "ablation_update_cshbfm",
+        &format!("CShBF_M update throughput (m={m}, k=8, n={n})"),
+        &[
+            "w_bar",
+            "single-access updates",
+            "Mops insert",
+            "Mops delete",
+        ],
+    );
+    for w_bar in [14usize, 57] {
+        let mut f = CShbfM::with_config(m, 8, w_bar, 4, HashAlg::Murmur3, cfg.seed).unwrap();
+        let start = std::time::Instant::now();
+        for key in &keys {
+            f.insert(key);
+        }
+        let ins = n as f64 / start.elapsed().as_secs_f64() / 1e6;
+        let start = std::time::Instant::now();
+        for key in &keys {
+            f.delete(key).unwrap();
+        }
+        let del = n as f64 / start.elapsed().as_secs_f64() / 1e6;
+        t.row(vec![
+            w_bar.to_string(),
+            f.single_access_updates().to_string(),
+            f4(ins),
+            f4(del),
+        ]);
+    }
+    t.emit(cfg);
+
+    // CShBF_×: policies under churn — count how many false negatives each
+    // produces (exact-table must produce zero).
+    let n = cfg.scaled(20_000, 5_000);
+    let m = n * 12;
+    let keys: Vec<[u8; 13]> = distinct_flows(n, cfg.seed ^ 1)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect();
+
+    let mut t = Table::new(
+        "ablation_update_cshbfx",
+        &format!("CShBF_X update policies under churn (m={m}, k=8, c=57, n={n})"),
+        &["policy", "Mops update", "false negatives", "under-reports"],
+    );
+    for policy in [UpdatePolicy::ExactTable, UpdatePolicy::FilterDerived] {
+        let mut f = CShbfX::with_config(m, 8, 57, policy, 8, HashAlg::Murmur3, cfg.seed).unwrap();
+        let mut truth = vec![0u64; n];
+        let start = std::time::Instant::now();
+        let mut ops = 0u64;
+        for round in 0..5u64 {
+            for (i, key) in keys.iter().enumerate() {
+                if (i as u64 + round) % 3 == 0 && truth[i] > 0 {
+                    if f.delete(key).is_ok() {
+                        truth[i] -= 1;
+                    }
+                } else if truth[i] < 57 && f.insert(key).is_ok() {
+                    truth[i] += 1;
+                }
+                ops += 1;
+            }
+        }
+        let mops = ops as f64 / start.elapsed().as_secs_f64() / 1e6;
+        let mut fn_count = 0usize;
+        let mut under = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            if truth[i] > 0 {
+                let reported = f.query(key).reported;
+                if reported == 0 {
+                    fn_count += 1;
+                }
+                if reported < truth[i] {
+                    under += 1;
+                }
+            }
+        }
+        t.row(vec![
+            format!("{policy:?}"),
+            f4(mops),
+            fn_count.to_string(),
+            under.to_string(),
+        ]);
+    }
+    t.emit(cfg);
+}

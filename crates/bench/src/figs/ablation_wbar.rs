@@ -1,0 +1,51 @@
+//! Ablation: measured (not just theoretical) FPR of ShBF_M as w̄ shrinks —
+//! empirical confirmation of the §3.4.2 claim that w̄ ≥ 20 suffices, and of
+//! the trade-off CShBF_M makes by defaulting to w̄ = 14 for single-access
+//! counter updates.
+
+use shbf_analysis::{bf, shbf};
+use shbf_core::ShbfM;
+use shbf_hash::HashAlg;
+use shbf_workloads::sets::distinct_flows;
+
+use crate::figs::common::probe_keys;
+use crate::harness::{sci, RunConfig, Table};
+
+/// Runs the ablation.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Ablation: FPR vs w-bar (measured)");
+    let (m, k, n) = (22_976usize, 8usize, 2000usize);
+    let probes = cfg.scaled(2_000_000, 50_000);
+    let flows = distinct_flows(n, cfg.seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, cfg.seed ^ 0xAB1);
+
+    let mut t = Table::new(
+        "ablation_wbar",
+        &format!(
+            "FPR vs w̄ (m={m}, k={k}, n={n}); BF floor {:.3e}",
+            bf::fpr(m as f64, n as f64, k as f64)
+        ),
+        &["w_bar", "theory", "measured", "excess over BF"],
+    );
+    for w_bar in [8usize, 14, 20, 28, 40, 57] {
+        let mut f = ShbfM::with_config(m, k, w_bar, HashAlg::Murmur3, cfg.seed).unwrap();
+        for key in &members {
+            f.insert(key);
+        }
+        let fp = negatives
+            .iter()
+            .filter(|p| f.contains(p.as_slice()))
+            .count();
+        let measured = fp as f64 / negatives.len() as f64;
+        let theory = shbf::fpr(m as f64, n as f64, k as f64, w_bar as f64);
+        let bf_floor = bf::fpr(m as f64, n as f64, k as f64);
+        t.row(vec![
+            w_bar.to_string(),
+            sci(theory),
+            sci(measured),
+            format!("{:+.1}%", (measured / bf_floor - 1.0) * 100.0),
+        ]);
+    }
+    t.emit(cfg);
+}

@@ -1,0 +1,39 @@
+//! Shared workload plumbing for the figure harnesses.
+
+use shbf_workloads::queries::negatives_for;
+use shbf_workloads::sets::distinct_flows;
+use shbf_workloads::FlowId;
+
+/// `n` distinct member keys (13-byte flow IDs).
+pub fn member_keys(n: usize, seed: u64) -> Vec<[u8; 13]> {
+    distinct_flows(n, seed)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect()
+}
+
+/// `count` keys guaranteed absent from `members`' flow universe.
+pub fn probe_keys(member_flows: &[FlowId], count: usize, seed: u64) -> Vec<[u8; 13]> {
+    negatives_for(member_flows, count, seed)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect()
+}
+
+/// The Fig. 8/9 query mix: `2n` queries, half members, deterministically
+/// interleaved.
+pub fn half_positive_mix(members: &[[u8; 13]], seed: u64) -> Vec<[u8; 13]> {
+    let flows: Vec<FlowId> = members.iter().map(FlowId::from_bytes).collect();
+    let negatives = probe_keys(&flows, members.len(), seed ^ 0xA1A1);
+    let mut mix: Vec<[u8; 13]> = members.iter().copied().chain(negatives).collect();
+    // Deterministic interleave (LCG index shuffle).
+    let mut state = seed | 1;
+    for i in (1..mix.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        mix.swap(i, j);
+    }
+    mix
+}

@@ -1,0 +1,51 @@
+//! Figure 4: ShBF_M FPR vs BF FPR as functions of k (theory),
+//! m = 100 000, n ∈ {4000, 6000, 8000, 10000, 12000}.
+//!
+//! The message: the dashed (ShBF_M) and solid (BF) curves coincide — the
+//! FPR sacrificed for halving hashes/accesses is negligible.
+
+use shbf_analysis::{bf, shbf};
+
+use crate::harness::{sci, RunConfig, Table};
+
+const W: f64 = 57.0;
+
+/// Runs the figure.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Figure 4: ShBF_M vs BF FPR vs k (theory)");
+    let m = 100_000.0;
+    let ns = [4000.0, 6000.0, 8000.0, 10_000.0, 12_000.0];
+
+    let mut headers: Vec<String> = vec!["k".to_string()];
+    for n in ns {
+        headers.push(format!("ShBF n={n}"));
+        headers.push(format!("BF n={n}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig04", "FPR vs k (m=100000)", &header_refs);
+
+    for k in (2..=20).step_by(2) {
+        let kf = k as f64;
+        let mut row = vec![k.to_string()];
+        for n in ns {
+            row.push(sci(shbf::fpr(m, n, kf, W)));
+            row.push(sci(bf::fpr(m, n, kf)));
+        }
+        t.row(row);
+    }
+    t.emit(cfg);
+
+    // Worst relative excess across the sweep.
+    let mut worst: f64 = 0.0;
+    for k in 2..=20 {
+        for n in ns {
+            let s = shbf::fpr(m, n, k as f64, W);
+            let b = bf::fpr(m, n, k as f64);
+            worst = worst.max((s - b) / b);
+        }
+    }
+    println!(
+        "\nmax relative FPR excess of ShBF_M over BF across the sweep: {:.2}%",
+        worst * 100.0
+    );
+}

@@ -1,0 +1,121 @@
+//! Figure 7: false-positive rates of ShBF_M (theory + simulation) vs
+//! 1MemBF, on three parameter sweeps:
+//!
+//! * 7(a): m = 22 008, k = 8, n = 1000 → 1500 (plus 1MemBF at 1.5× memory);
+//! * 7(b): m = 22 976, n = 2000, k = 4 → 16;
+//! * 7(c): n = 4000, k = 6, m = 32 000 → 44 000.
+//!
+//! Expected shape (paper §6.2.1): simulation within ~3% of Theorem 1;
+//! 1MemBF 5–10× worse at equal memory and still worse at 1.5× memory.
+
+use shbf_analysis::shbf;
+use shbf_baselines::OneMemBf;
+use shbf_core::ShbfM;
+use shbf_workloads::sets::distinct_flows;
+use shbf_workloads::stats::relative_error;
+
+use crate::figs::common::probe_keys;
+use crate::harness::{f4, sci, RunConfig, Table};
+
+const W: f64 = 57.0;
+
+fn measure_point(m: usize, k: usize, n: usize, probes: usize, seed: u64) -> (f64, f64, f64, f64) {
+    let flows = distinct_flows(n, seed);
+    let members: Vec<[u8; 13]> = flows.iter().map(|f| f.to_bytes()).collect();
+    let negatives = probe_keys(&flows, probes, seed ^ 0xF07);
+
+    let mut shbf_m = ShbfM::new(m, k, seed).expect("valid params");
+    let mut onemem = OneMemBf::new(m, k, seed).expect("valid params");
+    let mut onemem_15 = OneMemBf::new(m * 3 / 2, k, seed).expect("valid params");
+    for key in &members {
+        shbf_m.insert(key);
+        onemem.insert(key);
+        onemem_15.insert(key);
+    }
+
+    let count = |f: &dyn Fn(&[u8]) -> bool| {
+        negatives.iter().filter(|p| f(p.as_slice())).count() as f64 / negatives.len() as f64
+    };
+    let fpr_shbf = count(&|p| shbf_m.contains(p));
+    let fpr_one = count(&|p| onemem.contains(p));
+    let fpr_one15 = count(&|p| onemem_15.contains(p));
+    let theory = shbf::fpr(m as f64, n as f64, k as f64, W);
+    (theory, fpr_shbf, fpr_one, fpr_one15)
+}
+
+/// Runs all three panels.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Figure 7: FPR of ShBF_M (theory & sim) vs 1MemBF");
+    // The paper queried 7M negatives; scale down (min 50k keeps noise low).
+    let probes = cfg.scaled(7_000_000, 50_000);
+    println!("   negative probes per point: {probes}");
+
+    // Panel (a): vary n.
+    let mut t = Table::new(
+        "fig07a",
+        "FPR vs n (m=22008, k=8); 1MemBF at 1x and 1.5x memory",
+        &[
+            "n",
+            "ShBF theory",
+            "ShBF sim",
+            "rel.err",
+            "1MemBF",
+            "1MemBF 1.5x",
+        ],
+    );
+    let step = if cfg.quick { 250 } else { 100 };
+    for n in (1000..=1500).step_by(step) {
+        let (theory, sim, one, one15) = measure_point(22_008, 8, n, probes, cfg.seed);
+        t.row(vec![
+            n.to_string(),
+            sci(theory),
+            sci(sim),
+            f4(relative_error(sim, theory)),
+            sci(one),
+            sci(one15),
+        ]);
+    }
+    t.emit(cfg);
+
+    // Panel (b): vary k.
+    let mut t = Table::new(
+        "fig07b",
+        "FPR vs k (m=22976, n=2000)",
+        &["k", "ShBF theory", "ShBF sim", "rel.err", "1MemBF"],
+    );
+    let ks: &[usize] = if cfg.quick {
+        &[4, 8, 12, 16]
+    } else {
+        &[4, 6, 8, 10, 12, 14, 16]
+    };
+    for &k in ks {
+        let (theory, sim, one, _) = measure_point(22_976, k, 2000, probes, cfg.seed);
+        t.row(vec![
+            k.to_string(),
+            sci(theory),
+            sci(sim),
+            f4(relative_error(sim, theory)),
+            sci(one),
+        ]);
+    }
+    t.emit(cfg);
+
+    // Panel (c): vary m.
+    let mut t = Table::new(
+        "fig07c",
+        "FPR vs m (n=4000, k=6)",
+        &["m", "ShBF theory", "ShBF sim", "rel.err", "1MemBF"],
+    );
+    let m_step = if cfg.quick { 6000 } else { 2000 };
+    for m in (32_000..=44_000).step_by(m_step) {
+        let (theory, sim, one, _) = measure_point(m, 6, 4000, probes, cfg.seed);
+        t.row(vec![
+            m.to_string(),
+            sci(theory),
+            sci(sim),
+            f4(relative_error(sim, theory)),
+            sci(one),
+        ]);
+    }
+    t.emit(cfg);
+}

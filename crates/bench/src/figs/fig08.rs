@@ -1,0 +1,112 @@
+//! Figure 8: average memory accesses per membership query, ShBF_M vs BF.
+//!
+//! * 8(a): m = 22 008, k = 8, n = 1000 → 1400;
+//! * 8(b): m = 33 024, n = 1000, k = 4 → 16;
+//! * 8(c): k = 6, n = 4000, m = 32 000 → 44 000.
+//!
+//! Query mix per the paper: "we query 2·n elements, in which n elements
+//! belong to the set". Expected shape: ShBF_M ≈ half of BF; the paper also
+//! reports the standard deviation halving.
+
+use shbf_baselines::Bf;
+use shbf_bits::AccessStats;
+use shbf_core::ShbfM;
+use shbf_workloads::stats::Running;
+
+use crate::figs::common::{half_positive_mix, member_keys};
+use crate::harness::{f4, RunConfig, Table};
+
+fn measure_point(m: usize, k: usize, n: usize, seed: u64) -> [f64; 4] {
+    let members = member_keys(n, seed);
+    let mix = half_positive_mix(&members, seed ^ 0xF08);
+
+    let mut shbf = ShbfM::new(m, k, seed).expect("valid params");
+    let mut bf = Bf::new(m, k, seed).expect("valid params");
+    for key in &members {
+        shbf.insert(key);
+        bf.insert(key);
+    }
+
+    let mut shbf_running = Running::new();
+    let mut bf_running = Running::new();
+    for q in &mix {
+        let mut s = AccessStats::new();
+        shbf.contains_profiled(q, &mut s);
+        shbf_running.push(s.word_reads as f64);
+        let mut s = AccessStats::new();
+        bf.contains_profiled(q, &mut s);
+        bf_running.push(s.word_reads as f64);
+    }
+    [
+        shbf_running.mean(),
+        shbf_running.std_dev(),
+        bf_running.mean(),
+        bf_running.std_dev(),
+    ]
+}
+
+/// Runs all three panels.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Figure 8: memory accesses per query, ShBF_M vs BF");
+
+    let mut t = Table::new(
+        "fig08a",
+        "accesses vs n (m=22008, k=8)",
+        &["n", "ShBF mean", "ShBF sd", "BF mean", "BF sd", "ratio"],
+    );
+    let step = if cfg.quick { 200 } else { 100 };
+    for n in (1000..=1400).step_by(step) {
+        let [sm, ss, bm, bs] = measure_point(22_008, 8, n, cfg.seed);
+        t.row(vec![
+            n.to_string(),
+            f4(sm),
+            f4(ss),
+            f4(bm),
+            f4(bs),
+            f4(bm / sm),
+        ]);
+    }
+    t.emit(cfg);
+
+    let mut t = Table::new(
+        "fig08b",
+        "accesses vs k (m=33024, n=1000)",
+        &["k", "ShBF mean", "ShBF sd", "BF mean", "BF sd", "ratio"],
+    );
+    let ks: &[usize] = if cfg.quick {
+        &[4, 8, 12, 16]
+    } else {
+        &[4, 6, 8, 10, 12, 14, 16]
+    };
+    for &k in ks {
+        let [sm, ss, bm, bs] = measure_point(33_024, k, 1000, cfg.seed);
+        t.row(vec![
+            k.to_string(),
+            f4(sm),
+            f4(ss),
+            f4(bm),
+            f4(bs),
+            f4(bm / sm),
+        ]);
+    }
+    t.emit(cfg);
+
+    let mut t = Table::new(
+        "fig08c",
+        "accesses vs m (k=6, n=4000)",
+        &["m", "ShBF mean", "ShBF sd", "BF mean", "BF sd", "ratio"],
+    );
+    let m_step = if cfg.quick { 6000 } else { 2000 };
+    for m in (32_000..=44_000).step_by(m_step) {
+        let [sm, ss, bm, bs] = measure_point(m, 6, 4000, cfg.seed);
+        t.row(vec![
+            m.to_string(),
+            f4(sm),
+            f4(ss),
+            f4(bm),
+            f4(bs),
+            f4(bm / sm),
+        ]);
+    }
+    t.emit(cfg);
+}

@@ -1,0 +1,147 @@
+//! Figure 10: association queries — ShBF_A vs iBF as k varies (4 → 18).
+//!
+//! Setup per §6.3: two sets of 1 M elements with a 0.25 M intersection
+//! (scaled by `--scale`); query elements hit the three regions with equal
+//! probability; both schemes at their optimal memory for each k, which
+//! makes iBF use 8/7× ShBF_A's bits.
+//!
+//! * 10(a): probability of a clear answer (theory + simulation for both);
+//! * 10(b): memory accesses per query (iBF ≈ 1.5× ShBF_A on average);
+//! * 10(c): query speed (ShBF_A ≈ 1.4× iBF).
+
+use shbf_analysis::assoc;
+use shbf_baselines::Ibf;
+use shbf_bits::AccessStats;
+use shbf_core::ShbfA;
+use shbf_workloads::queries::association_mix;
+use shbf_workloads::sets::AssociationPair;
+
+use crate::harness::{f4, RunConfig, Table};
+use crate::speed::{measure_mqps, window};
+
+struct Point {
+    clear_shbf: f64,
+    clear_ibf: f64,
+    acc_shbf: f64,
+    acc_ibf: f64,
+    mqps_shbf: f64,
+    mqps_ibf: f64,
+    mqps_shbf_lazy: f64,
+    mqps_ibf_lazy: f64,
+}
+
+fn measure_point(
+    pair: &AssociationPair,
+    k: usize,
+    per_region: usize,
+    seed: u64,
+    quick: bool,
+) -> Point {
+    let s1 = pair.s1_bytes();
+    let s2 = pair.s2_bytes();
+    let shbf = ShbfA::builder()
+        .hashes(k)
+        .seed(seed)
+        .build(&s1, &s2)
+        .expect("valid params");
+    let ibf = Ibf::build_optimal(&s1, &s2, k, seed).expect("valid params");
+
+    let queries: Vec<[u8; 13]> = association_mix(pair, per_region, seed ^ 0xF10)
+        .iter()
+        .map(|q| q.flow.to_bytes())
+        .collect();
+
+    let mut clear_shbf = 0usize;
+    let mut clear_ibf = 0usize;
+    let mut stats_shbf = AccessStats::new();
+    let mut stats_ibf = AccessStats::new();
+    for key in &queries {
+        if shbf.query_profiled(key, &mut stats_shbf).is_clear() {
+            clear_shbf += 1;
+        }
+        if ibf.query_profiled(key, &mut stats_ibf).is_clear() {
+            clear_ibf += 1;
+        }
+    }
+
+    let w = window(quick);
+    Point {
+        clear_shbf: clear_shbf as f64 / queries.len() as f64,
+        clear_ibf: clear_ibf as f64 / queries.len() as f64,
+        acc_shbf: stats_shbf.reads_per_op(),
+        acc_ibf: stats_ibf.reads_per_op(),
+        mqps_shbf: measure_mqps(&queries, |q| shbf.query_eager(q).is_clear(), w),
+        mqps_ibf: measure_mqps(&queries, |q| ibf.query_eager(q).is_clear(), w),
+        mqps_shbf_lazy: measure_mqps(&queries, |q| shbf.query(q).is_clear(), w),
+        mqps_ibf_lazy: measure_mqps(&queries, |q| ibf.query(q).is_clear(), w),
+    }
+}
+
+/// Runs all three panels.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Figure 10: association — ShBF_A vs iBF");
+    let n = cfg.scaled(1_000_000, 20_000);
+    let n3 = n / 4;
+    println!("   n1 = n2 = {n}, intersection {n3}");
+    let pair = AssociationPair::generate(n, n, n3, cfg.seed);
+    let per_region = cfg.scaled(100_000, 5_000);
+
+    let ks: &[usize] = if cfg.quick {
+        &[4, 8, 12, 16]
+    } else {
+        &[4, 6, 8, 10, 12, 14, 16, 18]
+    };
+
+    let mut ta = Table::new(
+        "fig10a",
+        "P(clear answer) vs k",
+        &["k", "iBF sim", "iBF theory", "ShBF_A sim", "ShBF_A theory"],
+    );
+    let mut tb = Table::new(
+        "fig10b",
+        "memory accesses per query vs k",
+        &["k", "iBF", "ShBF_A", "ratio"],
+    );
+    let mut tc = Table::new(
+        "fig10c",
+        "query speed (Mqps) vs k (eager hashing; lazy columns for reference)",
+        &[
+            "k",
+            "iBF",
+            "ShBF_A",
+            "speedup",
+            "iBF lazy",
+            "ShBF_A lazy",
+            "lazy speedup",
+        ],
+    );
+
+    for &k in ks {
+        let p = measure_point(&pair, k, per_region, cfg.seed, cfg.quick);
+        ta.row(vec![
+            k.to_string(),
+            f4(p.clear_ibf),
+            f4(assoc::p_clear_ibf(k as f64)),
+            f4(p.clear_shbf),
+            f4(assoc::p_clear_shbf(k as f64)),
+        ]);
+        tb.row(vec![
+            k.to_string(),
+            f4(p.acc_ibf),
+            f4(p.acc_shbf),
+            f4(p.acc_ibf / p.acc_shbf),
+        ]);
+        tc.row(vec![
+            k.to_string(),
+            f4(p.mqps_ibf),
+            f4(p.mqps_shbf),
+            f4(p.mqps_shbf / p.mqps_ibf),
+            f4(p.mqps_ibf_lazy),
+            f4(p.mqps_shbf_lazy),
+            f4(p.mqps_shbf_lazy / p.mqps_ibf_lazy),
+        ]);
+    }
+    ta.emit(cfg);
+    tb.emit(cfg);
+    tc.emit(cfg);
+}

@@ -1,0 +1,191 @@
+//! Figure 11: multiplicity queries — ShBF_× vs Spectral BF vs CM sketch.
+//!
+//! Setup per §6.4: c = 57, n = 100 000 distinct elements (scaled), 6-bit
+//! counters for Spectral/CM, and **all three structures get the same memory
+//! budget** of `1.5 × nk/ln 2` bits. Query mix: half present (uniform
+//! multiplicities 1..=c), half absent.
+//!
+//! * 11(a): correctness rate, k = 8 → 16 (ShBF_× theory from Eqs. 27/28);
+//! * 11(b): memory accesses per query, k = 3 → 18 (crossover at k ≈ 7);
+//! * 11(c): query speed, k = 3 → 18 (ShBF_× ahead for k ≳ 11).
+
+use shbf_analysis::mult;
+use shbf_baselines::{CmSketch, SpectralBf};
+use shbf_bits::AccessStats;
+use shbf_core::ShbfX;
+use shbf_workloads::multiset::{CountDistribution, MultisetWorkload};
+use shbf_workloads::queries::negatives_for;
+
+use crate::harness::{f4, RunConfig, Table};
+use crate::speed::{measure_mqps, window};
+
+const C: usize = 57;
+
+struct Setup {
+    present: Vec<([u8; 13], u64)>,
+    absent: Vec<[u8; 13]>,
+}
+
+fn setup(n: usize, seed: u64) -> Setup {
+    let workload = MultisetWorkload::generate(n, C as u64, CountDistribution::Uniform, seed);
+    let present = workload.byte_counts();
+    let flows: Vec<_> = workload.counts.iter().map(|(f, _)| *f).collect();
+    let absent = negatives_for(&flows, n, seed ^ 0xF11)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect();
+    Setup { present, absent }
+}
+
+struct Structures {
+    shbf: ShbfX,
+    spectral: SpectralBf,
+    cm: CmSketch,
+}
+
+/// Builds all three structures at the Fig. 11 memory budget for this k.
+fn build(setup: &Setup, k: usize, seed: u64) -> Structures {
+    let n = setup.present.len();
+    let bits = mult::fig11_bits(n as f64, k as f64) as usize;
+
+    let shbf = ShbfX::build(&setup.present, bits, k, C, seed).expect("valid params");
+
+    let spectral_counters = bits / 6;
+    let mut spectral = SpectralBf::new(spectral_counters, k, seed).expect("valid params");
+    let cm_cols = (bits / 6 / k).max(1);
+    let mut cm = CmSketch::new(k, cm_cols, seed).expect("valid params");
+    for (key, count) in &setup.present {
+        for _ in 0..*count {
+            spectral.insert(key);
+            cm.insert(key);
+        }
+    }
+    Structures { shbf, spectral, cm }
+}
+
+/// Correctness rate over the half-present/half-absent mix.
+fn correctness(s: &Structures, setup: &Setup) -> [f64; 3] {
+    let mut correct = [0usize; 3];
+    let mut total = 0usize;
+    for (key, truth) in &setup.present {
+        let answers = [
+            s.shbf.query(key).reported,
+            s.spectral.estimate(key),
+            s.cm.estimate(key),
+        ];
+        for (i, a) in answers.iter().enumerate() {
+            if a == truth {
+                correct[i] += 1;
+            }
+        }
+        total += 1;
+    }
+    for key in &setup.absent {
+        let answers = [
+            s.shbf.query(key).reported,
+            s.spectral.estimate(key),
+            s.cm.estimate(key),
+        ];
+        for (i, a) in answers.iter().enumerate() {
+            if *a == 0 {
+                correct[i] += 1;
+            }
+        }
+        total += 1;
+    }
+    [
+        correct[0] as f64 / total as f64,
+        correct[1] as f64 / total as f64,
+        correct[2] as f64 / total as f64,
+    ]
+}
+
+/// Runs all three panels.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Figure 11: multiplicity — ShBF_X vs Spectral BF vs CM sketch");
+    let n = cfg.scaled(100_000, 10_000);
+    println!("   n = {n} distinct elements, c = {C}, memory = 1.5*n*k/ln2 bits for all");
+    let setup_data = setup(n, cfg.seed);
+
+    // Panel (a): correctness rate, k = 8..16.
+    let mut ta = Table::new(
+        "fig11a",
+        "correctness rate vs k (mix: half present, half absent)",
+        &[
+            "k",
+            "ShBF_X theory",
+            "ShBF_X sim",
+            "SpectralBF",
+            "CM sketch",
+        ],
+    );
+    let ks_a: &[usize] = if cfg.quick {
+        &[8, 12, 16]
+    } else {
+        &[8, 9, 10, 11, 12, 13, 14, 15, 16]
+    };
+    for &k in ks_a {
+        let s = build(&setup_data, k, cfg.seed);
+        let [cr_shbf, cr_sp, cr_cm] = correctness(&s, &setup_data);
+        let bits = mult::fig11_bits(n as f64, k as f64);
+        let theory = mult::cr_mixed(bits, n as f64, k as f64, C as u32, 0.5);
+        ta.row(vec![
+            k.to_string(),
+            f4(theory),
+            f4(cr_shbf),
+            f4(cr_sp),
+            f4(cr_cm),
+        ]);
+    }
+    ta.emit(cfg);
+
+    // Panels (b) and (c): k = 3..18.
+    let ks_bc: &[usize] = if cfg.quick {
+        &[3, 7, 11, 15, 18]
+    } else {
+        &[3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18]
+    };
+    let mut tb = Table::new(
+        "fig11b",
+        "memory accesses per query vs k",
+        &["k", "ShBF_X", "SpectralBF", "CM sketch"],
+    );
+    let mut tc = Table::new(
+        "fig11c",
+        "query speed (Mqps) vs k",
+        &["k", "ShBF_X", "SpectralBF", "CM sketch"],
+    );
+    // Interleaved query stream for speed: present and absent alternating.
+    let mut stream: Vec<[u8; 13]> = Vec::with_capacity(2 * n);
+    for (i, (key, _)) in setup_data.present.iter().enumerate() {
+        stream.push(*key);
+        stream.push(setup_data.absent[i]);
+    }
+    for &k in ks_bc {
+        let s = build(&setup_data, k, cfg.seed);
+        let mut st_shbf = AccessStats::new();
+        let mut st_sp = AccessStats::new();
+        let mut st_cm = AccessStats::new();
+        for key in stream.iter().take(20_000) {
+            s.shbf.query_profiled(key, &mut st_shbf);
+            s.spectral.estimate_profiled(key, &mut st_sp);
+            s.cm.estimate_profiled(key, &mut st_cm);
+        }
+        tb.row(vec![
+            k.to_string(),
+            f4(st_shbf.reads_per_op()),
+            f4(st_sp.reads_per_op()),
+            f4(st_cm.reads_per_op()),
+        ]);
+
+        let w = window(cfg.quick);
+        tc.row(vec![
+            k.to_string(),
+            f4(measure_mqps(&stream, |q| s.shbf.query(q).reported > 0, w)),
+            f4(measure_mqps(&stream, |q| s.spectral.estimate(q) > 0, w)),
+            f4(measure_mqps(&stream, |q| s.cm.estimate(q) > 0, w)),
+        ]);
+    }
+    tb.emit(cfg);
+    tc.emit(cfg);
+}

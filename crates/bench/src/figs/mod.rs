@@ -1,0 +1,21 @@
+//! One module per paper figure/table, plus ablations.
+
+pub(crate) mod common;
+
+pub mod ablation_disjoint;
+pub mod ablation_hash;
+pub mod ablation_kopt;
+pub mod ablation_parallel;
+pub mod ablation_related;
+pub mod ablation_scm;
+pub mod ablation_tshift;
+pub mod ablation_update;
+pub mod ablation_wbar;
+pub mod fig03;
+pub mod fig04;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod table02;

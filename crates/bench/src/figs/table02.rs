@@ -1,0 +1,109 @@
+//! Table 2: analytical comparison of ShBF_A and iBF, cross-checked against
+//! measurements at k = 10 on the Fig. 10 workload.
+
+use shbf_analysis::assoc;
+use shbf_baselines::Ibf;
+use shbf_bits::AccessStats;
+use shbf_core::ShbfA;
+use shbf_workloads::queries::association_mix;
+use shbf_workloads::sets::AssociationPair;
+
+use crate::harness::{f4, RunConfig, Table};
+
+/// Runs the table.
+pub fn run(cfg: &RunConfig) {
+    cfg.banner("Table 2: ShBF_A vs iBF");
+    let k = 10u32;
+
+    // Analytic rows.
+    let mut t = Table::new(
+        "table02_analytic",
+        "Table 2 (analytic, at optimal parameters)",
+        &[
+            "scheme",
+            "optimal memory",
+            "#hash",
+            "#accesses",
+            "P(clear)",
+            "false positives",
+        ],
+    );
+    let (h_ibf, h_shbf) = assoc::hash_computations(k);
+    let (a_ibf, a_shbf) = assoc::memory_accesses(k);
+    t.row(vec![
+        "iBF".into(),
+        "(n1+n2)k/ln2".into(),
+        h_ibf.to_string(),
+        a_ibf.to_string(),
+        f4(assoc::p_clear_ibf(f64::from(k))),
+        "YES (claims S1∩S2 wrongly)".into(),
+    ]);
+    t.row(vec![
+        "ShBF_A".into(),
+        "(n1+n2-n3)k/ln2".into(),
+        h_shbf.to_string(),
+        a_shbf.to_string(),
+        f4(assoc::p_clear_shbf(f64::from(k))),
+        "NO".into(),
+    ]);
+    t.emit(cfg);
+
+    // Measured cross-check on the Fig. 10 workload shape (n3 = n1/4).
+    let n = cfg.scaled(1_000_000, 20_000);
+    let n3 = n / 4;
+    let pair = AssociationPair::generate(n, n, n3, cfg.seed);
+    let s1 = pair.s1_bytes();
+    let s2 = pair.s2_bytes();
+
+    let shbf = ShbfA::builder()
+        .hashes(k as usize)
+        .seed(cfg.seed)
+        .build(&s1, &s2)
+        .expect("valid params");
+    let ibf = Ibf::build_optimal(&s1, &s2, k as usize, cfg.seed).expect("valid params");
+
+    let queries = association_mix(&pair, cfg.scaled(100_000, 10_000), cfg.seed ^ 0x7A);
+    let mut shbf_clear = 0usize;
+    let mut ibf_clear = 0usize;
+    let mut shbf_stats = AccessStats::new();
+    let mut ibf_stats = AccessStats::new();
+    for q in &queries {
+        let key = q.flow.to_bytes();
+        if shbf.query_profiled(&key, &mut shbf_stats).is_clear() {
+            shbf_clear += 1;
+        }
+        if ibf.query_profiled(&key, &mut ibf_stats).is_clear() {
+            ibf_clear += 1;
+        }
+    }
+
+    let mut t = Table::new(
+        "table02_measured",
+        &format!("Table 2 (measured, n1=n2={n}, n3={n3}, k={k})"),
+        &[
+            "scheme",
+            "bits",
+            "accesses/query",
+            "hashes/query",
+            "P(clear) measured",
+            "P(clear) theory",
+        ],
+    );
+    t.row(vec![
+        "iBF".into(),
+        ibf.bit_size().to_string(),
+        f4(ibf_stats.reads_per_op()),
+        f4(ibf_stats.hashes_per_op()),
+        f4(ibf_clear as f64 / queries.len() as f64),
+        f4(assoc::p_clear_ibf(f64::from(k))),
+    ]);
+    t.row(vec![
+        "ShBF_A".into(),
+        shbf.bit_size().to_string(),
+        f4(shbf_stats.reads_per_op()),
+        f4(shbf_stats.hashes_per_op()),
+        f4(shbf_clear as f64 / queries.len() as f64),
+        f4(assoc::p_clear_shbf(f64::from(k))),
+    ]);
+    t.emit(cfg);
+}

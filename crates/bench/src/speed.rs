@@ -1,0 +1,75 @@
+//! Query-throughput measurement (the paper's Mqps metric, Figs. 9, 10(c),
+//! 11(c)).
+//!
+//! The paper repeats each experiment 1000 times and averages (§6.1); here
+//! the workload loops until a minimum wall-clock window is filled, which
+//! achieves the same variance reduction in bounded time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measures throughput of `op` over the query stream in million
+/// operations/second. Runs at least `min_window` of wall time (after one
+/// untimed warm-up pass over the stream).
+pub fn measure_mqps<Q, F>(queries: &[Q], mut op: F, min_window: Duration) -> f64
+where
+    F: FnMut(&Q) -> bool,
+{
+    assert!(!queries.is_empty());
+    // Warm-up: touch all query cachelines and the filter.
+    for q in queries {
+        black_box(op(q));
+    }
+    let start = Instant::now();
+    let mut done: u64 = 0;
+    loop {
+        for q in queries {
+            black_box(op(q));
+        }
+        done += queries.len() as u64;
+        if start.elapsed() >= min_window {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    done as f64 / secs / 1e6
+}
+
+/// The measurement window to use given quick mode.
+pub fn window(quick: bool) -> Duration {
+    if quick {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let queries: Vec<u64> = (0..1000).collect();
+        let mqps = measure_mqps(&queries, |q| q % 2 == 0, Duration::from_millis(10));
+        assert!(mqps > 0.1, "mqps = {mqps}");
+    }
+
+    #[test]
+    fn faster_ops_measure_faster() {
+        let queries: Vec<u64> = (0..1000).collect();
+        let cheap = measure_mqps(&queries, |q| q & 1 == 0, Duration::from_millis(20));
+        let costly = measure_mqps(
+            &queries,
+            |q| {
+                let mut acc = *q;
+                for _ in 0..300 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc & 1 == 0
+            },
+            Duration::from_millis(20),
+        );
+        assert!(cheap > costly * 2.0, "cheap {cheap} vs costly {costly}");
+    }
+}

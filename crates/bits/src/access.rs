@@ -1,0 +1,218 @@
+//! The paper's memory-access cost model (§3.1, §6.2.2, §6.3.2, §6.4.2).
+//!
+//! Assumptions, following the paper exactly:
+//!
+//! * a machine word holds `w = 64` bits ([`WORD_BITS`]);
+//! * loads may start at any **byte** boundary (x86), so a window of
+//!   `width ≤ w − 7` bits starting at an arbitrary *bit* position is always
+//!   contained in a single w-bit load — the worst case is the window starting
+//!   at bit 7 of a byte, hence the `− 7`;
+//! * therefore the ShBF_M probe (bit pair ≤ w̄ − 1 apart), the ShBF_A triple,
+//!   and any ≤ w̄-bit window cost **one** access, while a c-bit multiplicity
+//!   scan costs `⌈c / w⌉` accesses.
+//!
+//! Filters expose `*_profiled` query variants that record into an
+//! [`AccessStats`]; the plain hot-path queries carry no accounting.
+
+/// Bits per machine word in the cost model (the paper's `w`).
+pub const WORD_BITS: usize = 64;
+
+/// Maximum offset width readable in one access (the paper's `w ≤ w − 7`
+/// bound, Eq. in §3.1): 57 for 64-bit words.
+pub const MAX_SINGLE_ACCESS_WINDOW: usize = WORD_BITS - 7;
+
+/// Parameters of the memory model; separate from the constants so tests and
+/// ablations can model 32-bit machines (`w = 32`, `w̄ ≤ 25`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Bits per machine word (`w`).
+    pub word_bits: usize,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            word_bits: WORD_BITS,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// A 32-bit machine (the paper's other configuration: `w̄ ≤ 25`).
+    pub const BITS32: MemoryModel = MemoryModel { word_bits: 32 };
+
+    /// Maximum single-access window width (`w − 7`).
+    #[inline]
+    pub fn max_window(&self) -> usize {
+        self.word_bits - 7
+    }
+
+    /// Number of word accesses to read a window of `width` bits starting at
+    /// an arbitrary bit position.
+    ///
+    /// One access if the window fits `w − 7` bits; otherwise the window spans
+    /// `⌈width / w⌉` loads plus possibly one more for the straddled head —
+    /// the paper simplifies this to `⌈c / w⌉` for the c-bit multiplicity scan
+    /// (§5.2), which we follow.
+    #[inline]
+    pub fn accesses_for_window(&self, width: usize) -> u64 {
+        if width == 0 {
+            0
+        } else if width <= self.max_window() {
+            1
+        } else {
+            width.div_ceil(self.word_bits) as u64
+        }
+    }
+}
+
+/// Counters accumulated by profiled operations.
+///
+/// `word_reads`/`word_writes` follow the model above; `hash_computations`
+/// counts base hash-function invocations (the paper's other cost axis, §1.2.1:
+/// ShBF_M needs `k/2 + 1` vs BF's `k`). Queries that short-circuit record
+/// only what they actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of word-sized memory reads.
+    pub word_reads: u64,
+    /// Number of word-sized memory writes.
+    pub word_writes: u64,
+    /// Number of hash-function invocations.
+    pub hash_computations: u64,
+    /// Number of operations profiled (for averaging).
+    pub operations: u64,
+}
+
+impl AccessStats {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` word reads.
+    #[inline]
+    pub fn record_reads(&mut self, n: u64) {
+        self.word_reads += n;
+    }
+
+    /// Records `n` word writes.
+    #[inline]
+    pub fn record_writes(&mut self, n: u64) {
+        self.word_writes += n;
+    }
+
+    /// Records `n` hash computations.
+    #[inline]
+    pub fn record_hashes(&mut self, n: u64) {
+        self.hash_computations += n;
+    }
+
+    /// Marks one completed operation (query/insert/delete).
+    #[inline]
+    pub fn finish_op(&mut self) {
+        self.operations += 1;
+    }
+
+    /// Mean word reads per operation.
+    pub fn reads_per_op(&self) -> f64 {
+        ratio(self.word_reads, self.operations)
+    }
+
+    /// Mean word writes per operation.
+    pub fn writes_per_op(&self) -> f64 {
+        ratio(self.word_writes, self.operations)
+    }
+
+    /// Mean memory accesses (reads + writes) per operation.
+    pub fn accesses_per_op(&self) -> f64 {
+        ratio(self.word_reads + self.word_writes, self.operations)
+    }
+
+    /// Mean hash computations per operation.
+    pub fn hashes_per_op(&self) -> f64 {
+        ratio(self.hash_computations, self.operations)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.word_reads += other.word_reads;
+        self.word_writes += other.word_writes;
+        self.hash_computations += other.hash_computations;
+        self.operations += other.operations;
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_window_bound_is_w_minus_7() {
+        let m = MemoryModel::default();
+        assert_eq!(m.max_window(), 57);
+        assert_eq!(m.accesses_for_window(1), 1);
+        assert_eq!(m.accesses_for_window(57), 1);
+        // 58 bits no longer fit one byte-aligned 64-bit load in the worst case.
+        assert_eq!(m.accesses_for_window(58), 1); // 58.div_ceil(64) == 1 — paper's ⌈c/w⌉
+        assert_eq!(m.accesses_for_window(64), 1);
+        assert_eq!(m.accesses_for_window(65), 2);
+        assert_eq!(m.accesses_for_window(128), 2);
+        assert_eq!(m.accesses_for_window(129), 3);
+        assert_eq!(m.accesses_for_window(0), 0);
+    }
+
+    #[test]
+    fn bits32_model() {
+        let m = MemoryModel::BITS32;
+        assert_eq!(m.max_window(), 25);
+        assert_eq!(m.accesses_for_window(25), 1);
+        assert_eq!(m.accesses_for_window(33), 2);
+    }
+
+    #[test]
+    fn stats_averaging() {
+        let mut s = AccessStats::new();
+        s.record_reads(4);
+        s.record_hashes(8);
+        s.finish_op();
+        s.record_reads(2);
+        s.record_hashes(5);
+        s.finish_op();
+        assert_eq!(s.reads_per_op(), 3.0);
+        assert_eq!(s.hashes_per_op(), 6.5);
+        assert_eq!(s.accesses_per_op(), 3.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = AccessStats::new();
+        a.record_reads(1);
+        a.finish_op();
+        let mut b = AccessStats::new();
+        b.record_writes(3);
+        b.record_hashes(2);
+        b.finish_op();
+        a.merge(&b);
+        assert_eq!(a.word_reads, 1);
+        assert_eq!(a.word_writes, 3);
+        assert_eq!(a.hash_computations, 2);
+        assert_eq!(a.operations, 2);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = AccessStats::new();
+        assert_eq!(s.reads_per_op(), 0.0);
+        assert_eq!(s.hashes_per_op(), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Lock-free atomic bit array for concurrent filters.
+//!
+//! The paper's motivating deployments process packets "at wire speed"
+//! (§1.1); modern line-rate pipelines shard work across cores. Because a
+//! Bloom-style insert is a monotone OR and a query is a read, both map
+//! directly onto `AtomicU64::fetch_or` / `load` with no locks: inserts
+//! race benignly (OR is idempotent and commutative) and queries observe a
+//! superset/subset of concurrent inserts, preserving the one guarantee
+//! that matters — an element whose insert *happened before* the query is
+//! always found.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitarray::BitArray;
+
+/// A fixed-length bit array with atomic set/read (no deletion — removal
+/// needs counters; see the counting filters).
+pub struct AtomicBitArray {
+    words: Box<[AtomicU64]>,
+    len_bits: usize,
+}
+
+impl std::fmt::Debug for AtomicBitArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBitArray")
+            .field("len_bits", &self.len_bits)
+            .finish()
+    }
+}
+
+impl AtomicBitArray {
+    /// Creates a zeroed array of `len_bits` bits.
+    pub fn new(len_bits: usize) -> Self {
+        let words = (0..len_bits.div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        AtomicBitArray { words, len_bits }
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len_bits
+    }
+
+    /// True if the array has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// Atomically sets bit `i` (relaxed ordering: filter bits carry no
+    /// cross-thread data dependencies; callers needing publication order
+    /// pair inserts with their own synchronization).
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len_bits);
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len_bits);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Reads a window of `width ≤ 64` bits starting at `start` — the same
+    /// one-access probe as [`BitArray::read_window`], from at most two
+    /// atomic loads. The two loads are not a single atomic unit; as with
+    /// any concurrent filter read, the result reflects some interleaving of
+    /// concurrent inserts, which only ever *add* bits.
+    #[inline]
+    pub fn read_window(&self, start: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64 && start < self.len_bits);
+        if width == 0 {
+            return 0;
+        }
+        let word_idx = start / 64;
+        let off = start % 64;
+        let lo = self.words[word_idx].load(Ordering::Relaxed) >> off;
+        let hi = self
+            .words
+            .get(word_idx + 1)
+            .map(|w| w.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        let value = lo | ((hi << 1) << (63 - off));
+        if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Probe of the ShBF_M bit pair `(start, start + offset)`.
+    #[inline]
+    pub fn probe_pair(&self, start: usize, offset: usize) -> (bool, bool) {
+        debug_assert!(offset < 64);
+        let win = self.read_window(start, offset + 1);
+        (win & 1 == 1, (win >> offset) & 1 == 1)
+    }
+
+    /// Number of set bits (snapshot; concurrent inserts may race).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Copies the current contents into a plain [`BitArray`] snapshot.
+    pub fn snapshot(&self) -> BitArray {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        let mut words = words;
+        if self.len_bits % 64 != 0 {
+            // Mask the tail so the snapshot satisfies BitArray's invariant.
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (self.len_bits % 64)) - 1;
+            }
+        }
+        BitArray::from_words(words, self.len_bits)
+    }
+
+    /// Builds an atomic array from a plain snapshot (e.g. a deserialized
+    /// filter being promoted to concurrent serving).
+    pub fn from_snapshot(bits: &BitArray) -> Self {
+        let words = bits.as_words().iter().map(|&w| AtomicU64::new(w)).collect();
+        AtomicBitArray {
+            words,
+            len_bits: bits.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let b = AtomicBitArray::new(200);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(199));
+        assert!(!b.get(100));
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn window_matches_plain_bitarray() {
+        let atomic = AtomicBitArray::new(512);
+        let mut plain = BitArray::new(512);
+        let mut state = 77u64;
+        for _ in 0..100 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (state >> 33) as usize % 512;
+            atomic.set(i);
+            plain.set(i);
+        }
+        for start in [0usize, 1, 63, 64, 100, 447] {
+            for width in [1usize, 7, 56, 64] {
+                assert_eq!(
+                    atomic.read_window(start, width),
+                    plain.read_window(start, width),
+                    "start {start} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let atomic = AtomicBitArray::new(130);
+        atomic.set(1);
+        atomic.set(129);
+        let snap = atomic.snapshot();
+        assert!(snap.get(1) && snap.get(129));
+        assert_eq!(snap.count_ones(), 2);
+        let back = AtomicBitArray::from_snapshot(&snap);
+        assert!(back.get(1) && back.get(129));
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_visible() {
+        use std::sync::Arc;
+        let bits = Arc::new(AtomicBitArray::new(100_000));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let bits = Arc::clone(&bits);
+                std::thread::spawn(move || {
+                    for i in 0..10_000usize {
+                        bits.set((t as usize * 10_000 + i) % 100_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..40_000 {
+            assert!(bits.get(i % 100_000));
+        }
+    }
+}

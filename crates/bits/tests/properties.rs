@@ -1,0 +1,147 @@
+//! Property suites for the bit substrate (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use shbf_bits::{BitArray, CounterArray, Reader, Writer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Windowed reads must agree with per-bit gets for any geometry,
+    /// including word-straddling and array-tail windows.
+    #[test]
+    fn window_equals_bit_gather(
+        len in 1usize..700,
+        ops in vec(any::<u32>(), 0..128),
+        start_frac in 0.0f64..1.0,
+        width in 1usize..=64,
+    ) {
+        let mut b = BitArray::new(len);
+        for op in &ops {
+            b.set(*op as usize % len);
+        }
+        let start = ((len - 1) as f64 * start_frac) as usize;
+        let window = b.read_window(start, width);
+        for j in 0..width {
+            let expected = start + j < len && b.get(start + j);
+            prop_assert_eq!((window >> j) & 1 == 1, expected, "rel bit {}", j);
+        }
+    }
+
+    /// probe_pair is exactly (get(p), get(p + o)).
+    #[test]
+    fn probe_pair_equals_two_gets(
+        len in 128usize..2048,
+        ops in vec(any::<u32>(), 0..256),
+        pos in any::<u32>(),
+        offset in 1usize..=56,
+    ) {
+        let mut b = BitArray::new(len);
+        for op in &ops {
+            b.set(*op as usize % len);
+        }
+        let p = pos as usize % (len - 57);
+        prop_assert_eq!(b.probe_pair(p, offset), (b.get(p), b.get(p + offset)));
+    }
+
+    /// set → get → clear → get roundtrip at arbitrary positions.
+    #[test]
+    fn set_clear_roundtrip(len in 1usize..1000, positions in vec(any::<u32>(), 1..64)) {
+        let mut b = BitArray::new(len);
+        for p in &positions {
+            let i = *p as usize % len;
+            b.set(i);
+            prop_assert!(b.get(i));
+        }
+        for p in &positions {
+            let i = *p as usize % len;
+            b.clear(i);
+            prop_assert!(!b.get(i));
+        }
+        prop_assert_eq!(b.count_ones(), 0);
+    }
+
+    /// Counter arrays hold arbitrary values at arbitrary widths without
+    /// neighbour interference.
+    #[test]
+    fn counters_do_not_interfere(
+        width in 1u32..=32,
+        writes in vec((any::<u16>(), any::<u64>()), 1..64),
+    ) {
+        let len = 300usize;
+        let mut c = CounterArray::new(len, width);
+        let mut model = vec![0u64; len];
+        for (pos, val) in &writes {
+            let i = *pos as usize % len;
+            let v = *val & c.max_value();
+            c.set(i, v);
+            model[i] = v;
+        }
+        for (i, expected) in model.iter().enumerate() {
+            prop_assert_eq!(c.get(i), *expected, "counter {}", i);
+        }
+    }
+
+    /// inc/dec sequences track an exact model while below saturation.
+    #[test]
+    fn counters_track_model(ops in vec((0usize..16, any::<bool>()), 1..400)) {
+        let mut c = CounterArray::new(16, 8); // max 255, unsaturable here
+        let mut model = [0u64; 16];
+        for (i, inc) in ops {
+            if inc {
+                c.inc(i);
+                model[i] = (model[i] + 1).min(255);
+            } else {
+                let expect = model[i].checked_sub(1);
+                let got = c.dec(i);
+                match expect {
+                    None => prop_assert_eq!(got, None),
+                    Some(v) => {
+                        prop_assert_eq!(got, Some(v));
+                        model[i] = v;
+                    }
+                }
+            }
+        }
+        for (i, expected) in model.iter().enumerate() {
+            prop_assert_eq!(c.get(i), *expected);
+        }
+    }
+
+    /// Arbitrary codec payloads roundtrip; any single-byte corruption is
+    /// rejected.
+    #[test]
+    fn codec_roundtrip_and_corruption(
+        nums in vec(any::<u64>(), 0..32),
+        blob_bytes in vec(any::<u8>(), 0..64),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let mut w = Writer::new(99);
+        for n in &nums {
+            w.u64(*n);
+        }
+        w.bytes(&blob_bytes);
+        let blob = w.finish();
+
+        let mut r = Reader::new(&blob, 99).unwrap();
+        for n in &nums {
+            prop_assert_eq!(r.u64().unwrap(), *n);
+        }
+        prop_assert_eq!(r.bytes().unwrap(), blob_bytes.clone());
+        r.expect_end().unwrap();
+
+        let mut bad = blob.to_vec();
+        let at = flip.0 as usize % bad.len();
+        let bit = 1u8 << (flip.1 % 8);
+        bad[at] ^= bit;
+        prop_assert!(Reader::new(&bad, 99).is_err(), "corruption at {} undetected", at);
+    }
+
+    /// Decoding random garbage never panics — it errors.
+    #[test]
+    fn decoding_garbage_never_panics(garbage in vec(any::<u8>(), 0..256)) {
+        let _ = Reader::new(&garbage, 1);
+        let _ = Reader::new(&garbage, 99);
+    }
+}

@@ -1,0 +1,182 @@
+//! Sharded counting filter: concurrent membership **with deletion**.
+//!
+//! A counting update touches `k` counters read-modify-write, which cannot
+//! be made lock-free without per-counter CAS loops that destroy the
+//! single-access-per-pair property the paper optimizes for (§3.3). Instead
+//! the element space is partitioned by an independent shard hash into `S`
+//! sub-filters, each behind its own `parking_lot::RwLock`: operations on
+//! different shards proceed in parallel; queries on the same shard share a
+//! read lock.
+//!
+//! Each shard is a complete [`CShbfM`] with `m/S` logical bits, so the
+//! per-shard load factor — and therefore the FPR formula of Theorem 1 —
+//! is unchanged in expectation.
+
+use parking_lot::RwLock;
+use shbf_core::{CShbfM, ShbfError};
+use shbf_hash::{murmur3::murmur3_x64_128, range_reduce};
+
+/// A sharded counting ShBF_M.
+pub struct ShardedCShbfM {
+    shards: Vec<RwLock<CShbfM>>,
+    shard_seed: u64,
+}
+
+impl std::fmt::Debug for ShardedCShbfM {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCShbfM")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedCShbfM {
+    /// Creates a filter of `m` total logical bits split over `shards`
+    /// sub-filters, each with `k` nominal hash positions.
+    pub fn new(m: usize, k: usize, shards: usize, seed: u64) -> Result<Self, ShbfError> {
+        if shards == 0 {
+            return Err(ShbfError::ZeroSize("shards"));
+        }
+        let per_shard = (m / shards).max(64);
+        let shards = (0..shards)
+            .map(|s| CShbfM::new(per_shard, k, seed.wrapping_add(s as u64)).map(RwLock::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedCShbfM {
+            shards,
+            shard_seed: seed ^ 0x5348_4152_4421, // "SHARD!"
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, item: &[u8]) -> usize {
+        let (h, _) = murmur3_x64_128(item, self.shard_seed);
+        range_reduce(h, self.shards.len())
+    }
+
+    /// Inserts an element (write lock on one shard).
+    pub fn insert(&self, item: &[u8]) {
+        self.shards[self.shard_of(item)].write().insert(item);
+    }
+
+    /// Deletes an element (write lock on one shard). Same semantics as
+    /// [`CShbfM::delete`]: provably-absent deletes are rejected unchanged.
+    pub fn delete(&self, item: &[u8]) -> Result<(), ShbfError> {
+        self.shards[self.shard_of(item)].write().delete(item)
+    }
+
+    /// Membership query (read lock on one shard).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.shards[self.shard_of(item)].read().contains(item)
+    }
+
+    /// Net items across all shards.
+    pub fn items(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().items()).sum()
+    }
+
+    /// Largest relative deviation of any shard's item count from the mean —
+    /// a load-balance health metric (should stay within a few percent for
+    /// uniform shard hashing).
+    pub fn shard_imbalance(&self) -> f64 {
+        let counts: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.read().items() as f64)
+            .collect();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        counts
+            .iter()
+            .map(|c| (c - mean).abs() / mean)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_le_bytes()
+    }
+
+    #[test]
+    fn basic_insert_query_delete() {
+        let f = ShardedCShbfM::new(80_000, 8, 8, 7).unwrap();
+        for i in 0..3000 {
+            f.insert(&key(i));
+        }
+        for i in 0..3000 {
+            assert!(f.contains(&key(i)));
+        }
+        for i in 0..1500 {
+            f.delete(&key(i)).unwrap();
+        }
+        for i in 1500..3000 {
+            assert!(f.contains(&key(i)), "survivor {i} lost");
+        }
+        assert_eq!(f.items(), 1500);
+    }
+
+    #[test]
+    fn shards_stay_balanced() {
+        let f = ShardedCShbfM::new(160_000, 8, 16, 3).unwrap();
+        for i in 0..32_000 {
+            f.insert(&key(i));
+        }
+        let imbalance = f.shard_imbalance();
+        assert!(imbalance < 0.15, "imbalance {imbalance:.3}");
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let f = Arc::new(ShardedCShbfM::new(400_000, 8, 16, 11).unwrap());
+        // Phase 1: concurrent inserts of disjoint ranges.
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let f = Arc::clone(&f);
+                scope.spawn(move |_| {
+                    for i in (t * 8000)..((t + 1) * 8000) {
+                        f.insert(&key(i));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(f.items(), 32_000);
+
+        // Phase 2: two threads delete their ranges while two others verify
+        // untouched ranges continuously.
+        crossbeam::scope(|scope| {
+            for t in 0..2u64 {
+                let f = Arc::clone(&f);
+                scope.spawn(move |_| {
+                    for i in (t * 8000)..((t + 1) * 8000) {
+                        f.delete(&key(i)).unwrap();
+                    }
+                });
+            }
+            for t in 2..4u64 {
+                let f = Arc::clone(&f);
+                scope.spawn(move |_| {
+                    for i in (t * 8000)..((t + 1) * 8000) {
+                        assert!(f.contains(&key(i)), "untouched key {i} lost mid-churn");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(f.items(), 16_000);
+        for i in 16_000..32_000 {
+            assert!(f.contains(&key(i)));
+        }
+    }
+}

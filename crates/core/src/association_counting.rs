@@ -1,0 +1,338 @@
+//! CShBF_A — the counting version of ShBF_A for dynamic sets (§4.3).
+//!
+//! Updates change an element's *region*, not just its presence: inserting
+//! `e` into S2 when it is already in S1 moves it from the offset-0 class
+//! (S1 − S2) to the offset-o1 class (S1 ∩ S2). The paper's update procedure
+//! — "after querying T1 and T2 and determining whether o(e) = 0, o1, or o2,
+//! increment/decrement the k counters" — implies exactly this re-encoding;
+//! this type maintains T1/T2, the counter array (DRAM side) and the bit
+//! mirror (SRAM side) through all six region transitions.
+
+use shbf_bits::access::MemoryModel;
+use shbf_bits::{BitArray, CounterArray};
+use shbf_hash::fnv::FnvHashSet;
+use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+
+use crate::association::AssociationAnswer;
+use crate::error::ShbfError;
+
+/// Which of the two sets an update targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetId {
+    /// The first set.
+    S1,
+    /// The second set.
+    S2,
+}
+
+/// Offset class of an element — a direct encoding of its region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Region {
+    None,
+    S1Only,
+    Both,
+    S2Only,
+}
+
+/// Counting Shifting Bloom Filter for association queries with updates.
+#[derive(Debug, Clone)]
+pub struct CShbfA {
+    counters: CounterArray,
+    bits: BitArray,
+    /// Membership tables (the paper's T1/T2), authoritative for regions.
+    t1: FnvHashSet<Vec<u8>>,
+    t2: FnvHashSet<Vec<u8>>,
+    m: usize,
+    k: usize,
+    w_bar: usize,
+    half: usize,
+    family: SeededFamily,
+}
+
+impl CShbfA {
+    /// Creates an empty counting association filter with 4-bit counters.
+    pub fn new(m: usize, k: usize, seed: u64) -> Result<Self, ShbfError> {
+        Self::with_config(
+            m,
+            k,
+            MemoryModel::default().max_window(),
+            4,
+            HashAlg::Murmur3,
+            seed,
+        )
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_config(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        counter_bits: u32,
+        alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        if m == 0 {
+            return Err(ShbfError::ZeroSize("m"));
+        }
+        if k == 0 {
+            return Err(ShbfError::KZero);
+        }
+        let max = MemoryModel::default().max_window();
+        if !(3..=max).contains(&w_bar) {
+            return Err(ShbfError::WBarOutOfRange { w_bar, max });
+        }
+        let half = (w_bar - 1) / 2;
+        let physical = m + 2 * half;
+        Ok(CShbfA {
+            counters: CounterArray::new(physical, counter_bits),
+            bits: BitArray::new(physical),
+            t1: FnvHashSet::default(),
+            t2: FnvHashSet::default(),
+            m,
+            k,
+            w_bar,
+            half,
+            family: SeededFamily::new(alg, seed, k + 2),
+        })
+    }
+
+    /// Number of elements currently in S1.
+    pub fn len_s1(&self) -> usize {
+        self.t1.len()
+    }
+
+    /// Number of elements currently in S2.
+    pub fn len_s2(&self) -> usize {
+        self.t2.len()
+    }
+
+    /// Offset window bound `w̄`.
+    #[inline]
+    pub fn w_bar(&self) -> usize {
+        self.w_bar
+    }
+
+    #[inline]
+    fn o1(&self, item: &[u8]) -> usize {
+        shbf_hash::range_reduce(self.family.hash(self.k, item), self.half) + 1
+    }
+
+    #[inline]
+    fn o2(&self, item: &[u8]) -> usize {
+        self.o1(item) + shbf_hash::range_reduce(self.family.hash(self.k + 1, item), self.half) + 1
+    }
+
+    #[inline]
+    fn position(&self, i: usize, item: &[u8]) -> usize {
+        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+    }
+
+    fn region_of(&self, item: &[u8]) -> Region {
+        match (self.t1.contains(item), self.t2.contains(item)) {
+            (false, false) => Region::None,
+            (true, false) => Region::S1Only,
+            (true, true) => Region::Both,
+            (false, true) => Region::S2Only,
+        }
+    }
+
+    fn region_offset(&self, region: Region, item: &[u8]) -> Option<usize> {
+        match region {
+            Region::None => None,
+            Region::S1Only => Some(0),
+            Region::Both => Some(self.o1(item)),
+            Region::S2Only => Some(self.o2(item)),
+        }
+    }
+
+    fn encode(&mut self, item: &[u8], offset: usize) {
+        for i in 0..self.k {
+            let idx = self.position(i, item) + offset;
+            self.counters.inc(idx);
+            self.bits.set(idx);
+        }
+    }
+
+    fn unencode(&mut self, item: &[u8], offset: usize) {
+        for i in 0..self.k {
+            let idx = self.position(i, item) + offset;
+            if let Some(0) = self.counters.dec(idx) {
+                self.bits.clear(idx);
+            }
+        }
+    }
+
+    fn transition(&mut self, item: &[u8], from: Region, to: Region) {
+        if from == to {
+            return;
+        }
+        if let Some(o) = self.region_offset(from, item) {
+            self.unencode(item, o);
+        }
+        if let Some(o) = self.region_offset(to, item) {
+            self.encode(item, o);
+        }
+    }
+
+    /// Inserts `item` into the given set (idempotent — these are sets, not
+    /// multisets). Re-encodes the element if its region changes.
+    pub fn insert(&mut self, item: &[u8], set: SetId) {
+        let from = self.region_of(item);
+        let added = match set {
+            SetId::S1 => self.t1.insert(item.to_vec()),
+            SetId::S2 => self.t2.insert(item.to_vec()),
+        };
+        if !added {
+            return;
+        }
+        let to = self.region_of(item);
+        self.transition(item, from, to);
+    }
+
+    /// Removes `item` from the given set. Errors with
+    /// [`ShbfError::NotFound`] if it was not a member.
+    pub fn remove(&mut self, item: &[u8], set: SetId) -> Result<(), ShbfError> {
+        let from = self.region_of(item);
+        let removed = match set {
+            SetId::S1 => self.t1.remove(item),
+            SetId::S2 => self.t2.remove(item),
+        };
+        if !removed {
+            return Err(ShbfError::NotFound);
+        }
+        let to = self.region_of(item);
+        self.transition(item, from, to);
+        Ok(())
+    }
+
+    /// Association query against the SRAM-side bit mirror — identical
+    /// semantics to [`crate::ShbfA::query`].
+    pub fn query(&self, item: &[u8]) -> AssociationAnswer {
+        let o1 = self.o1(item);
+        let o2 = self.o2(item);
+        let (mut c0, mut c1, mut c2) = (true, true, true);
+        for i in 0..self.k {
+            let pos = self.position(i, item);
+            let win = self.bits.read_window(pos, o2 + 1);
+            c0 &= win & 1 == 1;
+            c1 &= (win >> o1) & 1 == 1;
+            c2 &= (win >> o2) & 1 == 1;
+            if !(c0 || c1 || c2) {
+                break;
+            }
+        }
+        match (c0, c1, c2) {
+            (true, false, false) => AssociationAnswer::OnlyS1,
+            (false, true, false) => AssociationAnswer::Intersection,
+            (false, false, true) => AssociationAnswer::OnlyS2,
+            (true, true, false) => AssociationAnswer::S1Unsure,
+            (false, true, true) => AssociationAnswer::S2Unsure,
+            (true, false, true) => AssociationAnswer::EitherDifference,
+            (true, true, true) => AssociationAnswer::Union,
+            (false, false, false) => AssociationAnswer::NotInUnion,
+        }
+    }
+
+    /// Consistency check: bit mirror must equal "counter nonzero".
+    pub fn check_sync(&self) -> usize {
+        (0..self.bits.len())
+            .filter(|&i| self.bits.get(i) != (self.counters.get(i) != 0))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8, i: u64) -> Vec<u8> {
+        let mut v = vec![tag];
+        v.extend_from_slice(&i.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn region_transitions_are_tracked() {
+        let mut f = CShbfA::new(10_000, 10, 5).unwrap();
+        let e = key(1, 42);
+
+        f.insert(&e, SetId::S1);
+        assert_eq!(f.query(&e), AssociationAnswer::OnlyS1);
+
+        f.insert(&e, SetId::S2); // S1-only -> intersection
+        assert_eq!(f.query(&e), AssociationAnswer::Intersection);
+
+        f.remove(&e, SetId::S1).unwrap(); // intersection -> S2-only
+        assert_eq!(f.query(&e), AssociationAnswer::OnlyS2);
+
+        f.remove(&e, SetId::S2).unwrap(); // gone
+        assert_eq!(f.query(&e), AssociationAnswer::NotInUnion);
+        assert_eq!(f.check_sync(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut f = CShbfA::new(5000, 8, 9).unwrap();
+        let e = key(2, 7);
+        f.insert(&e, SetId::S1);
+        let ones_before = f.check_sync(); // 0, but also capture counters
+        f.insert(&e, SetId::S1);
+        assert_eq!(f.len_s1(), 1);
+        assert_eq!(f.check_sync(), ones_before);
+        // Removing once suffices.
+        f.remove(&e, SetId::S1).unwrap();
+        assert_eq!(f.query(&e), AssociationAnswer::NotInUnion);
+    }
+
+    #[test]
+    fn remove_absent_errors() {
+        let mut f = CShbfA::new(5000, 8, 9).unwrap();
+        assert_eq!(f.remove(b"nope", SetId::S1), Err(ShbfError::NotFound));
+    }
+
+    #[test]
+    fn bulk_updates_match_static_construction() {
+        // Build incrementally, compare answers with the static ShbfA on the
+        // same sets (same seed/k/m/w̄ → identical bit layout).
+        let s1: Vec<Vec<u8>> = (0..400).map(|i| key(1, i)).collect();
+        let s2: Vec<Vec<u8>> = (200..600).map(|i| key(1, i)).collect();
+        let m = 8000;
+        let (k, seed) = (10, 77);
+
+        let mut dynamic = CShbfA::new(m, k, seed).unwrap();
+        for e in &s1 {
+            dynamic.insert(e, SetId::S1);
+        }
+        for e in &s2 {
+            dynamic.insert(e, SetId::S2);
+        }
+
+        let static_f = crate::ShbfA::builder()
+            .bits(m)
+            .hashes(k)
+            .seed(seed)
+            .build(&s1, &s2)
+            .unwrap();
+
+        for i in 0..800 {
+            let e = key(1, i);
+            assert_eq!(dynamic.query(&e), static_f.query(&e), "element {i}");
+        }
+        assert_eq!(dynamic.check_sync(), 0);
+    }
+
+    #[test]
+    fn churn_preserves_consistency() {
+        let mut f = CShbfA::new(4000, 6, 3).unwrap();
+        for round in 0..5u64 {
+            for i in 0..200 {
+                f.insert(&key(3, i), if i % 2 == 0 { SetId::S1 } else { SetId::S2 });
+            }
+            for i in (0..200).step_by(3) {
+                let set = if i % 2 == 0 { SetId::S1 } else { SetId::S2 };
+                let _ = f.remove(&key(3, i), set);
+            }
+            assert_eq!(f.check_sync(), 0, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Filter health diagnostics — operational introspection for deployed
+//! filters (fill ratio, load vs design point, expected accuracy).
+//!
+//! A deployed filter drifts away from its design point as elements
+//! accumulate; the paper's formulas make that drift quantifiable. This
+//! module evaluates Theorem 1 (and the BF formula for baselines) against a
+//! filter's *current* state so operators can alert on FPR budgets instead
+//! of guessing from bit counts.
+
+use crate::membership::ShbfM;
+
+/// A point-in-time health report for a membership filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Logical array size in bits.
+    pub m: usize,
+    /// Nominal hash positions `k`.
+    pub k: usize,
+    /// Elements inserted (exact if tracked, estimated otherwise).
+    pub items: f64,
+    /// Whether `items` came from the exact insert counter or the
+    /// fill-ratio estimator.
+    pub items_estimated: bool,
+    /// Current fraction of set bits.
+    pub fill_ratio: f64,
+    /// Expected FPR at the current load (Theorem 1 for ShBF_M).
+    pub expected_fpr: f64,
+    /// The load (n/m in elements-per-bit) at which the filter would reach
+    /// `fpr_budget`; `load_headroom = 1.0` means at capacity.
+    pub load_headroom: f64,
+    /// The FPR budget the headroom is computed against.
+    pub fpr_budget: f64,
+}
+
+impl HealthReport {
+    /// True while the expected FPR is within budget.
+    pub fn healthy(&self) -> bool {
+        self.expected_fpr <= self.fpr_budget
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "m = {} bits, k = {}", self.m, self.k)?;
+        writeln!(
+            f,
+            "items = {:.0}{}",
+            self.items,
+            if self.items_estimated {
+                " (estimated from fill)"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(f, "fill ratio = {:.4}", self.fill_ratio)?;
+        writeln!(
+            f,
+            "expected FPR = {:.3e} (budget {:.3e})",
+            self.expected_fpr, self.fpr_budget
+        )?;
+        write!(
+            f,
+            "load headroom = {:.1}% of budget capacity{}",
+            self.load_headroom * 100.0,
+            if self.healthy() {
+                ""
+            } else {
+                "  ** OVER BUDGET **"
+            }
+        )
+    }
+}
+
+/// Theorem 1 evaluated locally (kept in `shbf-core` so diagnostics need no
+/// extra dependency; `shbf-analysis` has the full model family and tests
+/// that the two agree).
+fn shbf_m_fpr(m: f64, n: f64, k: f64, w_bar: f64) -> f64 {
+    let p = (-n * k / m).exp();
+    (1.0 - p).powf(k / 2.0) * (1.0 - p + p * p / (w_bar - 1.0)).powf(k / 2.0)
+}
+
+/// Builds a health report for a [`ShbfM`] against an FPR budget.
+pub fn inspect_shbf_m(filter: &ShbfM, fpr_budget: f64) -> HealthReport {
+    assert!(
+        fpr_budget > 0.0 && fpr_budget < 1.0,
+        "budget must be a probability"
+    );
+    let m = filter.m() as f64;
+    let k = filter.k() as f64;
+    let w = filter.w_bar() as f64;
+    let (items, items_estimated) = if filter.items() > 0 {
+        (filter.items() as f64, false)
+    } else {
+        (filter.estimated_items(), true)
+    };
+    let expected_fpr = shbf_m_fpr(m, items, k, w);
+
+    // Capacity: the n at which expected FPR hits the budget (monotone in n;
+    // bisection on [0, n_high]).
+    let mut lo = 0.0f64;
+    let mut hi = m; // FPR at n = m is astronomically over any sane budget
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if shbf_m_fpr(m, mid, k, w) < fpr_budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let capacity = 0.5 * (lo + hi);
+    HealthReport {
+        m: filter.m(),
+        k: filter.k(),
+        items,
+        items_estimated,
+        fill_ratio: filter.fill_ratio(),
+        expected_fpr,
+        load_headroom: if capacity > 0.0 {
+            items / capacity
+        } else {
+            f64::INFINITY
+        },
+        fpr_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize) -> ShbfM {
+        let mut f = ShbfM::new(50_000, 8, 5).unwrap();
+        for i in 0..n as u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        f
+    }
+
+    #[test]
+    fn fresh_filter_is_healthy() {
+        let report = inspect_shbf_m(&filled(1000), 1e-3);
+        assert!(report.healthy());
+        assert!(!report.items_estimated);
+        assert!(report.load_headroom < 1.0);
+        assert!(report.expected_fpr < 1e-4);
+    }
+
+    #[test]
+    fn overloaded_filter_is_flagged() {
+        let report = inspect_shbf_m(&filled(20_000), 1e-3);
+        assert!(!report.healthy());
+        assert!(report.load_headroom > 1.0);
+        let text = report.to_string();
+        assert!(text.contains("OVER BUDGET"), "{text}");
+    }
+
+    #[test]
+    fn headroom_is_monotone_in_load() {
+        let h1 = inspect_shbf_m(&filled(1000), 1e-3).load_headroom;
+        let h2 = inspect_shbf_m(&filled(3000), 1e-3).load_headroom;
+        let h3 = inspect_shbf_m(&filled(6000), 1e-3).load_headroom;
+        assert!(h1 < h2 && h2 < h3, "{h1} {h2} {h3}");
+    }
+
+    #[test]
+    fn capacity_boundary_is_consistent() {
+        // A filter loaded exactly to its capacity has headroom ≈ 1 and
+        // expected FPR ≈ budget.
+        let budget = 1e-3;
+        let probe = inspect_shbf_m(&filled(100), budget);
+        let capacity = (100.0 / probe.load_headroom) as usize;
+        let at_capacity = inspect_shbf_m(&filled(capacity), budget);
+        assert!((at_capacity.load_headroom - 1.0).abs() < 0.02);
+        assert!((at_capacity.expected_fpr - budget).abs() / budget < 0.1);
+    }
+
+    #[test]
+    fn deserialized_filter_uses_estimator() {
+        // Round-trip keeps the exact counter; zeroing it exercises the
+        // estimator path.
+        let f = filled(2000);
+        let report = inspect_shbf_m(&f, 1e-2);
+        assert!((report.items - 2000.0).abs() < 1.0);
+    }
+}

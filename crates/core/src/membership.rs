@@ -1,0 +1,526 @@
+//! ShBF_M — Shifting Bloom Filter for membership queries (paper §3).
+//!
+//! With `k` the nominal number of hash positions (as in a standard BF), the
+//! construction computes only `k/2 + 1` hash functions: `k/2` position
+//! hashes `h_1..h_{k/2}` plus one offset hash. For each element it sets the
+//! pair of bits `h_i(e) % m` and `h_i(e) % m + o(e)` where
+//! `o(e) = h_{k/2+1}(e) % (w̄ − 1) + 1 ∈ [1, w̄ − 1]` (§3.1).
+//!
+//! Since `o(e) ≤ w̄ − 1 ≤ w − 8`, each pair is read with **one** memory
+//! access; a query costs at most `k/2` accesses and `k/2 + 1` hash
+//! computations, half of a standard BF's `k`/`k`, at essentially the same
+//! false-positive rate (Theorem 1, validated in Fig. 7).
+
+use shbf_bits::access::MemoryModel;
+use shbf_bits::{AccessStats, BitArray, Reader, Writer};
+use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+
+use crate::error::ShbfError;
+use crate::traits::MembershipFilter;
+
+/// Shifting Bloom Filter for membership queries.
+#[derive(Debug, Clone)]
+pub struct ShbfM {
+    bits: BitArray,
+    /// Logical array size `m` (positions are `h % m`; the physical array has
+    /// `m + w̄ − 1` bits of tail padding so `h % m + o` never wraps).
+    m: usize,
+    /// Nominal number of hash positions (even); `k/2` pairs are stored.
+    k: usize,
+    /// Offset bound: offsets are drawn from `[1, w̄ − 1]`.
+    w_bar: usize,
+    family: SeededFamily,
+    alg: HashAlg,
+    master_seed: u64,
+    items: u64,
+}
+
+impl ShbfM {
+    /// Creates a filter with `m` logical bits and `k` nominal hash positions
+    /// (`k` even), using MurmurHash3 and the paper's 64-bit default
+    /// `w̄ = 57`.
+    pub fn new(m: usize, k: usize, seed: u64) -> Result<Self, ShbfError> {
+        Self::with_config(
+            m,
+            k,
+            MemoryModel::default().max_window(),
+            HashAlg::Murmur3,
+            seed,
+        )
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// `w_bar` must lie in `[2, w − 7]` (57 on 64-bit machines, 25 on
+    /// 32-bit; §3.4.2 shows `w̄ ≥ 20` already matches BF's FPR).
+    pub fn with_config(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        if m == 0 {
+            return Err(ShbfError::ZeroSize("m"));
+        }
+        if k == 0 {
+            return Err(ShbfError::KZero);
+        }
+        if k % 2 != 0 {
+            return Err(ShbfError::KMustBeEven(k));
+        }
+        let max = MemoryModel::default().max_window();
+        if !(2..=max).contains(&w_bar) {
+            return Err(ShbfError::WBarOutOfRange { w_bar, max });
+        }
+        let pairs = k / 2;
+        Ok(ShbfM {
+            bits: BitArray::new(m + w_bar - 1),
+            m,
+            k,
+            w_bar,
+            family: SeededFamily::new(alg, seed, pairs + 1),
+            alg,
+            master_seed: seed,
+            items: 0,
+        })
+    }
+
+    /// Assembles a filter from pre-built parts (used by [`crate::CShbfM`]'s
+    /// SRAM-snapshot export; parameters are assumed validated).
+    pub(crate) fn from_parts(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        master_seed: u64,
+        family: SeededFamily,
+        bits: BitArray,
+        items: u64,
+    ) -> Self {
+        let alg = family.alg();
+        ShbfM {
+            bits,
+            m,
+            k,
+            w_bar,
+            family,
+            alg,
+            master_seed,
+            items,
+        }
+    }
+
+    /// The paper's optimal (even) `k` for `n` expected elements in `m` bits
+    /// at `w̄ = 57`: `k_opt = 0.7009·m/n` (§3.4.2), rounded to the nearest
+    /// even integer ≥ 2.
+    pub fn optimal_even_k(m: usize, n: usize) -> usize {
+        let k = 0.7009 * m as f64 / n as f64;
+        let even = 2 * ((k / 2.0).round() as usize);
+        even.max(2)
+    }
+
+    /// Number of pairs stored per element (`k/2`).
+    #[inline]
+    pub fn pairs(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Logical array size `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Nominal `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Offset bound `w̄`.
+    #[inline]
+    pub fn w_bar(&self) -> usize {
+        self.w_bar
+    }
+
+    /// Elements inserted so far.
+    #[inline]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Fraction of set bits in the physical array.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// Estimates the number of distinct inserted elements from the fill
+    /// ratio (the classic swamping estimator `−(m/k)·ln(1 − fill)` adapted
+    /// to the physical array). Useful when a filter is deserialized without
+    /// its provenance; [`Self::items`] is exact for filters built in-process.
+    pub fn estimated_items(&self) -> f64 {
+        let fill = self.fill_ratio();
+        if fill >= 1.0 {
+            return f64::INFINITY;
+        }
+        -(self.bits.len() as f64 / self.k as f64) * (1.0 - fill).ln()
+    }
+
+    /// Inserts every element of a batch.
+    pub fn insert_batch<T: AsRef<[u8]>>(&mut self, items: &[T]) {
+        for item in items {
+            self.insert(item.as_ref());
+        }
+    }
+
+    /// Queries a batch, returning one verdict per element in order.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        items
+            .iter()
+            .map(|item| self.contains(item.as_ref()))
+            .collect()
+    }
+
+    /// The offset `o(e) ∈ [1, w̄ − 1]` (§3.1: `o(e) ≠ 0`, otherwise the two
+    /// bits of a pair would coincide).
+    #[inline]
+    fn offset(&self, item: &[u8]) -> usize {
+        shbf_hash::range_reduce(self.family.hash(self.pairs(), item), self.w_bar - 1) + 1
+    }
+
+    #[inline]
+    fn position(&self, i: usize, item: &[u8]) -> usize {
+        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+    }
+
+    /// Inserts an element: sets `k/2` bit pairs.
+    pub fn insert(&mut self, item: &[u8]) {
+        let o = self.offset(item);
+        for i in 0..self.pairs() {
+            let pos = self.position(i, item);
+            self.bits.set(pos);
+            self.bits.set(pos + o);
+        }
+        self.items += 1;
+    }
+
+    /// Membership query; short-circuits on the first zero pair (§3.2).
+    #[inline]
+    pub fn contains(&self, item: &[u8]) -> bool {
+        let o = self.offset(item);
+        for i in 0..self.pairs() {
+            let pos = self.position(i, item);
+            let (b0, b1) = self.bits.probe_pair(pos, o);
+            if !(b0 && b1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Membership query with **eager hashing**: all `k/2 + 1` hash values
+    /// are computed before any memory probe (probes still short-circuit).
+    ///
+    /// This mirrors the implementation convention of the paper's evaluation
+    /// (and most 2012-era C++ filters): hash the key into an index array,
+    /// then probe. Under eager hashing ShBF_M's halved hash count shows up
+    /// directly in throughput (Fig. 9's ≈1.8×); the default lazy
+    /// [`Self::contains`] is faster in absolute terms on negative-heavy
+    /// workloads but narrows the gap to BF because BF's lazy negatives stop
+    /// after ~2 hashes.
+    pub fn contains_eager(&self, item: &[u8]) -> bool {
+        debug_assert!(self.pairs() <= 64, "eager path supports k <= 128");
+        let o = self.offset(item);
+        let mut positions = [0usize; 64];
+        let pairs = self.pairs();
+        for (i, slot) in positions[..pairs].iter_mut().enumerate() {
+            *slot = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+        }
+        for &pos in &positions[..pairs] {
+            let (b0, b1) = self.bits.probe_pair(pos, o);
+            if !(b0 && b1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`Self::contains`] with access/hash accounting: one word read and one
+    /// position hash per probed pair, plus the offset hash.
+    pub fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool {
+        stats.record_hashes(1); // offset hash is always needed first
+        let o = self.offset(item);
+        let mut result = true;
+        for i in 0..self.pairs() {
+            stats.record_hashes(1);
+            stats.record_reads(1);
+            let pos = self.position(i, item);
+            let (b0, b1) = self.bits.probe_pair(pos, o);
+            if !(b0 && b1) {
+                result = false;
+                break;
+            }
+        }
+        stats.finish_op();
+        result
+    }
+
+    /// Serializes the filter (parameters + bit array, CRC-protected).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::kind::SHBF_M);
+        w.u64(self.m as u64)
+            .u64(self.k as u64)
+            .u64(self.w_bar as u64)
+            .u8(self.alg.tag())
+            .u64(self.master_seed)
+            .u64(self.items)
+            .bit_array(&self.bits);
+        w.finish().to_vec()
+    }
+
+    /// Deserializes a filter produced by [`Self::to_bytes`].
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, ShbfError> {
+        let mut r = Reader::new(blob, crate::kind::SHBF_M)?;
+        let m = r.u64()? as usize;
+        let k = r.u64()? as usize;
+        let w_bar = r.u64()? as usize;
+        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash alg"),
+        ))?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        let bits = r.bit_array()?;
+        r.expect_end()?;
+        let mut filter = Self::with_config(m, k, w_bar, alg, seed)?;
+        if bits.len() != filter.bits.len() {
+            return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
+                "bit array size",
+            )));
+        }
+        filter.bits = bits;
+        filter.items = items;
+        Ok(filter)
+    }
+}
+
+impl MembershipFilter for ShbfM {
+    fn insert(&mut self, item: &[u8]) {
+        ShbfM::insert(self, item);
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        ShbfM::contains(self, item)
+    }
+
+    fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool {
+        ShbfM::contains_profiled(self, item, stats)
+    }
+
+    fn bit_size(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "ShBF_M"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_items(n: usize, tag: u8) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut v = vec![tag; 5];
+                v.extend_from_slice(&(i as u64).to_le_bytes());
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let items = sample_items(2000, 1);
+        let mut f = ShbfM::new(22_008, 8, 7).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        for it in &items {
+            assert!(f.contains(it));
+        }
+    }
+
+    #[test]
+    fn fpr_tracks_theorem1() {
+        // m = 22008, k = 8, n = 1500 — the Fig. 7(a) endpoint. Theory ≈ 1e-3,
+        // so 200k probes yield ~200 expected FPs and a 15% band ≈ 2σ.
+        let (m, k, n) = (22_008usize, 8usize, 1500usize);
+        let items = sample_items(n, 2);
+        let mut f = ShbfM::new(m, k, 99).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        let negatives = sample_items(200_000, 3);
+        let fp = negatives.iter().filter(|it| f.contains(it)).count();
+        let measured = fp as f64 / negatives.len() as f64;
+        let theory = {
+            let p = (-(n as f64) * k as f64 / m as f64).exp();
+            (1.0 - p).powf(k as f64 / 2.0) * (1.0 - p + p * p / (57.0 - 1.0)).powf(k as f64 / 2.0)
+        };
+        let rel = (measured - theory).abs() / theory;
+        // 200k probes at ~1e-3 ⇒ ~200 expected FPs ⇒ 1σ ≈ 7%; a 25% band is
+        // ~3.5σ. (A 2M-probe sweep confirms theory to within 2–5%; the
+        // fig07 harness and tests/theory_vs_sim.rs check the tight bound.)
+        assert!(
+            rel < 0.25,
+            "measured {measured:.5} vs theory {theory:.5} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(ShbfM::new(0, 8, 1).unwrap_err(), ShbfError::ZeroSize("m"));
+        assert_eq!(
+            ShbfM::new(100, 7, 1).unwrap_err(),
+            ShbfError::KMustBeEven(7)
+        );
+        assert_eq!(ShbfM::new(100, 0, 1).unwrap_err(), ShbfError::KZero);
+        assert!(matches!(
+            ShbfM::with_config(100, 8, 58, HashAlg::Murmur3, 1).unwrap_err(),
+            ShbfError::WBarOutOfRange { w_bar: 58, max: 57 }
+        ));
+        assert!(matches!(
+            ShbfM::with_config(100, 8, 1, HashAlg::Murmur3, 1).unwrap_err(),
+            ShbfError::WBarOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn optimal_even_k_examples() {
+        // 0.7009 * 10 = 7.009 -> 8 is nearest even? 7.009/2=3.5045 round = 4 -> 8.
+        assert_eq!(ShbfM::optimal_even_k(100_000, 10_000), 8);
+        // 0.7009 * 14.27 ≈ 10.0 -> 10.
+        assert_eq!(ShbfM::optimal_even_k(142_700, 10_000), 10);
+        assert_eq!(ShbfM::optimal_even_k(10, 10_000), 2);
+    }
+
+    #[test]
+    fn profiled_query_counts_match_paper_costs() {
+        let items = sample_items(100, 4);
+        let mut f = ShbfM::new(10_000, 8, 11).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        // Positive query: k/2 = 4 reads, k/2 + 1 = 5 hashes.
+        let mut stats = AccessStats::new();
+        assert!(f.contains_profiled(&items[0], &mut stats));
+        assert_eq!(stats.word_reads, 4);
+        assert_eq!(stats.hash_computations, 5);
+        // Negative query on an empty region: short-circuits at pair 1.
+        let mut empty = ShbfM::new(10_000, 8, 11).unwrap();
+        empty.insert(&items[0]);
+        let mut stats = AccessStats::new();
+        let _ = empty.contains_profiled(b"definitely-absent", &mut stats);
+        assert!(stats.word_reads <= 4);
+        assert!(stats.hash_computations <= 5);
+    }
+
+    #[test]
+    fn items_and_fill_ratio_track_inserts() {
+        let mut f = ShbfM::new(1000, 4, 5).unwrap();
+        assert_eq!(f.items(), 0);
+        assert_eq!(f.fill_ratio(), 0.0);
+        f.insert(b"x");
+        assert_eq!(f.items(), 1);
+        // 2 pairs = at most 4 set bits.
+        let ones = (f.fill_ratio() * f.bits.len() as f64).round() as usize;
+        assert!((2..=4).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_behaviour() {
+        let items = sample_items(500, 6);
+        let mut f = ShbfM::with_config(9000, 6, 31, HashAlg::XxHash64, 77).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        let blob = f.to_bytes();
+        let g = ShbfM::from_bytes(&blob).unwrap();
+        assert_eq!(g.items(), f.items());
+        for it in &items {
+            assert!(g.contains(it));
+        }
+        let negatives = sample_items(1000, 7);
+        for it in &negatives {
+            assert_eq!(f.contains(it), g.contains(it));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_corruption() {
+        let f = ShbfM::new(100, 4, 1).unwrap();
+        let mut blob = f.to_bytes();
+        let last = blob.len() - 6;
+        blob[last] ^= 1;
+        assert!(ShbfM::from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn offsets_never_zero() {
+        let f = ShbfM::new(1000, 8, 42).unwrap();
+        for i in 0..5000u64 {
+            let item = i.to_le_bytes();
+            let o = f.offset(&item);
+            assert!((1..=56).contains(&o), "offset {o}");
+        }
+    }
+
+    #[test]
+    fn estimated_items_tracks_reality() {
+        let n = 3000usize;
+        let mut f = ShbfM::new(n * 14, 8, 77).unwrap();
+        for it in sample_items(n, 8) {
+            f.insert(&it);
+        }
+        let est = f.estimated_items();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "estimated {est:.0} vs true {n} (rel {rel:.3})");
+        assert_eq!(ShbfM::new(100, 4, 1).unwrap().estimated_items(), 0.0);
+    }
+
+    #[test]
+    fn batch_apis_match_scalar() {
+        let items = sample_items(200, 9);
+        let mut batch = ShbfM::new(4000, 6, 5).unwrap();
+        batch.insert_batch(&items);
+        let mut scalar = ShbfM::new(4000, 6, 5).unwrap();
+        for it in &items {
+            scalar.insert(it);
+        }
+        let probes = sample_items(1000, 10);
+        let verdicts = batch.contains_batch(&probes);
+        for (probe, verdict) in probes.iter().zip(&verdicts) {
+            assert_eq!(scalar.contains(probe), *verdict);
+        }
+    }
+
+    #[test]
+    fn eager_and_lazy_agree_everywhere() {
+        let items = sample_items(800, 12);
+        let mut f = ShbfM::new(12_000, 8, 31).unwrap();
+        f.insert_batch(&items);
+        for it in items.iter().chain(sample_items(5000, 13).iter()) {
+            assert_eq!(f.contains(it), f.contains_eager(it));
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut f: Box<dyn MembershipFilter> = Box::new(ShbfM::new(1000, 4, 3).unwrap());
+        f.insert(b"abc");
+        assert!(f.contains(b"abc"));
+        assert_eq!(f.kind_name(), "ShBF_M");
+        assert_eq!(f.bit_size(), 1000 + 56);
+    }
+}

@@ -1,0 +1,478 @@
+//! ShBF_× — Shifting Bloom Filter for multiplicity queries (paper §5).
+//!
+//! For each element `e` of a multi-set with count `c(e) ∈ [1, c]`, the
+//! offset *is* the auxiliary information: `o(e) = c(e) − 1`, so the k bits
+//! `h_i(e) % m + c(e) − 1` are set — exactly `k` bits per **distinct**
+//! element, regardless of multiplicity (unlike CBF/Spectral, no counter
+//! storage at all).
+//!
+//! A query gathers, per hash `i`, the `c` consecutive bits starting at
+//! `h_i(e) % m` (`⌈c/w⌉` memory accesses), ANDs the k windows, and every
+//! surviving position `j` is a candidate multiplicity. The **largest**
+//! candidate is reported so the answer never undershoots (no false
+//! negatives, §5.2); Eq. 27/28 give the probability it is exactly right.
+
+use shbf_bits::access::MemoryModel;
+use shbf_bits::{AccessStats, BitArray, Reader, Writer};
+use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+
+use crate::error::ShbfError;
+use crate::traits::CountEstimator;
+
+/// Result of a multiplicity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplicityAnswer {
+    /// All candidate multiplicities (positions where every hash window had a
+    /// set bit), ascending. Empty ⇔ the element is (provably) absent.
+    pub candidates: Vec<u64>,
+    /// The reported multiplicity: the largest candidate, or 0 if absent.
+    pub reported: u64,
+}
+
+impl MultiplicityAnswer {
+    fn from_mask(mask: &[u64], c: usize) -> Self {
+        let mut candidates = Vec::new();
+        for j in 0..c {
+            if (mask[j / 64] >> (j % 64)) & 1 == 1 {
+                candidates.push(j as u64 + 1);
+            }
+        }
+        let reported = candidates.last().copied().unwrap_or(0);
+        MultiplicityAnswer {
+            candidates,
+            reported,
+        }
+    }
+}
+
+/// Shifting Bloom Filter for multiplicity queries over a static multi-set.
+///
+/// Build once from `(element, count)` pairs; use [`crate::CShbfX`] for
+/// updatable multi-sets.
+///
+/// ```
+/// use shbf_core::ShbfX;
+///
+/// let counts = [(b"mouse".to_vec(), 3u64), (b"elephant".to_vec(), 40)];
+/// let filter = ShbfX::build(&counts, 4096, 8, 57, 1).unwrap();
+///
+/// assert_eq!(filter.query(b"mouse").reported, 3);
+/// assert!(filter.query_at_least(b"elephant", 40));
+/// assert_eq!(filter.query(b"absent").reported, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShbfX {
+    bits: BitArray,
+    m: usize,
+    k: usize,
+    /// Maximum representable multiplicity (the paper's `c`; 57 in Fig. 11).
+    c: usize,
+    family: SeededFamily,
+    alg: HashAlg,
+    master_seed: u64,
+    n_distinct: u64,
+}
+
+impl ShbfX {
+    /// Builds the filter from `(element, count)` pairs.
+    ///
+    /// Counts must lie in `[1, c]`; duplicated elements are rejected by
+    /// construction logic upstream (last write wins here — the paper stores
+    /// counts in a hash table first, §5.1, so pairs are already unique).
+    pub fn build<T: AsRef<[u8]>>(
+        counts: &[(T, u64)],
+        m: usize,
+        k: usize,
+        c: usize,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        Self::build_with(counts, m, k, c, HashAlg::Murmur3, seed)
+    }
+
+    /// [`Self::build`] with an explicit hash algorithm.
+    pub fn build_with<T: AsRef<[u8]>>(
+        counts: &[(T, u64)],
+        m: usize,
+        k: usize,
+        c: usize,
+        alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        let mut filter = Self::empty(m, k, c, alg, seed)?;
+        for (item, count) in counts {
+            filter.encode(item.as_ref(), *count)?;
+        }
+        Ok(filter)
+    }
+
+    fn empty(m: usize, k: usize, c: usize, alg: HashAlg, seed: u64) -> Result<Self, ShbfError> {
+        if m == 0 {
+            return Err(ShbfError::ZeroSize("m"));
+        }
+        if k == 0 {
+            return Err(ShbfError::KZero);
+        }
+        if c == 0 {
+            return Err(ShbfError::ZeroSize("c"));
+        }
+        Ok(ShbfX {
+            bits: BitArray::new(m + c - 1),
+            m,
+            k,
+            c,
+            family: SeededFamily::new(alg, seed, k),
+            alg,
+            master_seed: seed,
+            n_distinct: 0,
+        })
+    }
+
+    fn encode(&mut self, item: &[u8], count: u64) -> Result<(), ShbfError> {
+        if count == 0 || count > self.c as u64 {
+            return Err(ShbfError::CountOutOfRange {
+                count,
+                max: self.c as u64,
+            });
+        }
+        let offset = (count - 1) as usize;
+        for i in 0..self.k {
+            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            self.bits.set(pos + offset);
+        }
+        self.n_distinct += 1;
+        Ok(())
+    }
+
+    /// Logical size `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of hash functions `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum multiplicity `c`.
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Distinct elements encoded.
+    #[inline]
+    pub fn n_distinct(&self) -> u64 {
+        self.n_distinct
+    }
+
+    /// Multiplicity query (§5.2): AND the k c-bit windows, report the
+    /// largest surviving candidate. Short-circuits when the running AND
+    /// becomes all-zero.
+    pub fn query(&self, item: &[u8]) -> MultiplicityAnswer {
+        let mask = self.and_mask(item, None);
+        MultiplicityAnswer::from_mask(&mask, self.c)
+    }
+
+    /// Threshold query: is the multiplicity of `item` at least `j`?
+    ///
+    /// Cheaper than a full [`Self::query`]: only the window `[j−1, c)` is
+    /// scanned, and the scan aborts on the first hash whose window is
+    /// empty. Never false-negative (inherits the ShBF_× guarantee: the
+    /// true multiplicity position is always set).
+    ///
+    /// # Panics
+    /// Panics if `j` is 0 or exceeds `c`.
+    pub fn query_at_least(&self, item: &[u8], j: u64) -> bool {
+        assert!(
+            j >= 1 && j <= self.c as u64,
+            "threshold {j} outside [1, {}]",
+            self.c
+        );
+        let from = (j - 1) as usize;
+        let span = self.c - from;
+        let words = span.div_ceil(64);
+        let mut acc = vec![u64::MAX; words];
+        let tail = span % 64;
+        if tail != 0 {
+            acc[words - 1] = (1u64 << tail) - 1;
+        }
+        for i in 0..self.k {
+            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m) + from;
+            let mut any = 0u64;
+            for (w, slot) in acc.iter_mut().enumerate() {
+                let width = (span - w * 64).min(64);
+                *slot &= self.bits.read_window(pos + w * 64, width);
+                any |= *slot;
+            }
+            if any == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`Self::query`] with accounting: `⌈c/w⌉` reads and one hash per
+    /// probed window (the paper's `k·⌈c/w⌉` worst case).
+    pub fn query_profiled(&self, item: &[u8], stats: &mut AccessStats) -> MultiplicityAnswer {
+        let mask = self.and_mask(item, Some(stats));
+        stats.finish_op();
+        MultiplicityAnswer::from_mask(&mask, self.c)
+    }
+
+    /// The AND of the k c-bit windows at `item`'s hash positions.
+    fn and_mask(&self, item: &[u8], mut stats: Option<&mut AccessStats>) -> Vec<u64> {
+        let words = self.c.div_ceil(64);
+        let model = MemoryModel::default();
+        let mut acc = vec![u64::MAX; words];
+        // Mask the tail so candidates beyond c never appear.
+        let tail = self.c % 64;
+        if tail != 0 {
+            acc[words - 1] = (1u64 << tail) - 1;
+        }
+        for i in 0..self.k {
+            if let Some(s) = stats.as_deref_mut() {
+                s.record_hashes(1);
+                s.record_reads(model.accesses_for_window(self.c));
+            }
+            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            let mut any = 0u64;
+            for (j, slot) in acc.iter_mut().enumerate() {
+                let width = (self.c - j * 64).min(64);
+                let win = self.bits.read_window(pos + j * 64, width);
+                *slot &= win;
+                any |= *slot;
+            }
+            if any == 0 {
+                return acc; // provably absent; remaining hashes unneeded
+            }
+        }
+        acc
+    }
+
+    /// Serializes the filter.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::kind::SHBF_X);
+        w.u64(self.m as u64)
+            .u64(self.k as u64)
+            .u64(self.c as u64)
+            .u8(self.alg.tag())
+            .u64(self.master_seed)
+            .u64(self.n_distinct)
+            .bit_array(&self.bits);
+        w.finish().to_vec()
+    }
+
+    /// Deserializes a filter produced by [`Self::to_bytes`].
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, ShbfError> {
+        let mut r = Reader::new(blob, crate::kind::SHBF_X)?;
+        let m = r.u64()? as usize;
+        let k = r.u64()? as usize;
+        let c = r.u64()? as usize;
+        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash alg"),
+        ))?;
+        let seed = r.u64()?;
+        let n_distinct = r.u64()?;
+        let bits = r.bit_array()?;
+        r.expect_end()?;
+        let mut f = Self::empty(m, k, c, alg, seed)?;
+        if bits.len() != f.bits.len() {
+            return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
+                "bit array size",
+            )));
+        }
+        f.bits = bits;
+        f.n_distinct = n_distinct;
+        Ok(f)
+    }
+}
+
+impl CountEstimator for ShbfX {
+    fn estimate(&self, item: &[u8]) -> u64 {
+        self.query(item).reported
+    }
+
+    fn estimate_profiled(&self, item: &[u8], stats: &mut AccessStats) -> u64 {
+        self.query_profiled(item, stats).reported
+    }
+
+    fn bit_size(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "ShBF_X"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiset(n: u64, c: u64) -> Vec<(Vec<u8>, u64)> {
+        (0..n)
+            .map(|i| {
+                let mut v = vec![0xAB];
+                v.extend_from_slice(&i.to_le_bytes());
+                (v, i % c + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn never_underreports() {
+        // §5.2: the largest candidate ≥ the true multiplicity, always.
+        let data = multiset(2000, 57);
+        let m = (1.5 * 2000.0 * 8.0 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build(&data, m, 8, 57, 3).unwrap();
+        for (item, count) in &data {
+            let ans = f.query(item);
+            assert!(
+                ans.reported >= *count,
+                "reported {} < true {count}",
+                ans.reported
+            );
+            assert!(ans.candidates.contains(count), "true count not a candidate");
+        }
+    }
+
+    #[test]
+    fn correctness_rate_matches_eq28() {
+        let n = 2000u64;
+        let k = 12usize;
+        let c = 57usize;
+        let data = multiset(n, c as u64);
+        let m = (1.5 * n as f64 * k as f64 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build(&data, m, k, c, 99).unwrap();
+
+        let correct = data
+            .iter()
+            .filter(|(item, count)| f.query(item).reported == *count)
+            .count();
+        let measured = correct as f64 / data.len() as f64;
+
+        // Eq. 28 averaged over multiplicities 1..=c (uniform in this data):
+        let f0 = (1.0 - (-(k as f64) * n as f64 / m as f64).exp()).powf(k as f64);
+        let theory: f64 = (1..=c)
+            .map(|j| (1.0 - f0).powf(j as f64 - 1.0))
+            .sum::<f64>()
+            / c as f64;
+        assert!(
+            (measured - theory).abs() < 0.05,
+            "measured {measured:.4} vs theory {theory:.4}"
+        );
+    }
+
+    #[test]
+    fn absent_elements_usually_report_zero() {
+        let data = multiset(1000, 10);
+        let m = (1.5 * 1000.0 * 10.0 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build(&data, m, 10, 57, 5).unwrap();
+        let mut zero = 0;
+        let probes = 20_000u64;
+        for i in 0..probes {
+            let mut v = vec![0xCD];
+            v.extend_from_slice(&i.to_le_bytes());
+            if f.query(&v).reported == 0 {
+                zero += 1;
+            }
+        }
+        assert!(zero as f64 / probes as f64 > 0.95);
+    }
+
+    #[test]
+    fn query_at_least_agrees_with_full_query() {
+        let data = multiset(1000, 30);
+        let m = (1.5 * 1000.0 * 8.0 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build(&data, m, 8, 30, 17).unwrap();
+        for (item, _) in data.iter().take(300) {
+            let full = f.query(item);
+            for j in [1u64, 2, 5, 15, 30] {
+                let threshold = f.query_at_least(item, j);
+                let from_candidates = full.candidates.iter().any(|&c| c >= j);
+                assert_eq!(threshold, from_candidates, "j = {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_at_least_never_false_negative() {
+        let data = multiset(1000, 30);
+        let m = (1.5 * 1000.0 * 8.0 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build(&data, m, 8, 30, 19).unwrap();
+        for (item, count) in &data {
+            for j in 1..=*count {
+                assert!(f.query_at_least(item, j), "count {count}, threshold {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn query_at_least_rejects_zero_threshold() {
+        let f = ShbfX::build(&multiset(10, 5), 1000, 4, 5, 1).unwrap();
+        f.query_at_least(b"x", 0);
+    }
+
+    #[test]
+    fn count_bounds_enforced() {
+        let err = ShbfX::build(&[(b"x".to_vec(), 0u64)], 100, 4, 10, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ShbfError::CountOutOfRange { count: 0, max: 10 }
+        ));
+        let err = ShbfX::build(&[(b"x".to_vec(), 11u64)], 100, 4, 10, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ShbfError::CountOutOfRange { count: 11, max: 10 }
+        ));
+    }
+
+    #[test]
+    fn c_larger_than_word_works() {
+        // c = 130 spans three window words.
+        let data: Vec<(Vec<u8>, u64)> = vec![
+            (b"a".to_vec(), 1),
+            (b"b".to_vec(), 64),
+            (b"c".to_vec(), 65),
+            (b"d".to_vec(), 130),
+        ];
+        let f = ShbfX::build(&data, 5000, 6, 130, 7).unwrap();
+        for (item, count) in &data {
+            assert_eq!(f.query(item).reported, *count);
+        }
+    }
+
+    #[test]
+    fn profiled_access_counts_match_paper() {
+        // c = 57 ≤ w: each hash window is 1 access; k hashes total (worst
+        // case, present element).
+        let data = multiset(100, 57);
+        let f = ShbfX::build(&data, 10_000, 8, 57, 11).unwrap();
+        let mut stats = AccessStats::new();
+        let _ = f.query_profiled(&data[0].0, &mut stats);
+        assert_eq!(stats.word_reads, 8);
+        assert_eq!(stats.hash_computations, 8);
+
+        // c = 100 > w: ⌈100/64⌉ = 2 accesses per hash.
+        let f = ShbfX::build(&multiset(100, 100), 10_000, 4, 100, 11).unwrap();
+        let mut stats = AccessStats::new();
+        let mut probe = vec![0xAB];
+        probe.extend_from_slice(&5u64.to_le_bytes());
+        let _ = f.query_profiled(&probe, &mut stats);
+        assert_eq!(stats.word_reads, 8); // 4 hashes × 2
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = multiset(500, 20);
+        let f = ShbfX::build(&data, 20_000, 6, 20, 13).unwrap();
+        let g = ShbfX::from_bytes(&f.to_bytes()).unwrap();
+        for (item, _) in &data {
+            assert_eq!(f.query(item), g.query(item));
+        }
+        assert_eq!(g.n_distinct(), 500);
+    }
+}

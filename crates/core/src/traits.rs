@@ -1,0 +1,43 @@
+//! Query-interface traits shared by ShBF structures and baselines.
+//!
+//! The bench harness is generic over these traits so that every figure
+//! compares structures through exactly the same code path.
+
+use shbf_bits::AccessStats;
+
+/// An approximate-membership structure (BF-like): no false negatives,
+/// tunable false-positive rate.
+pub trait MembershipFilter {
+    /// Inserts an element.
+    fn insert(&mut self, item: &[u8]);
+
+    /// Queries membership. May return true for absent elements (false
+    /// positive) but never false for present ones.
+    fn contains(&self, item: &[u8]) -> bool;
+
+    /// [`Self::contains`] with memory-access and hash-computation accounting.
+    fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool;
+
+    /// Physical size of the queryable array in bits (for memory-parity
+    /// comparisons).
+    fn bit_size(&self) -> usize;
+
+    /// Short name for reports.
+    fn kind_name(&self) -> &'static str;
+}
+
+/// An approximate multiplicity estimator (Spectral-BF-like): estimates never
+/// undershoot the true count.
+pub trait CountEstimator {
+    /// Estimated multiplicity of `item` (0 = not present).
+    fn estimate(&self, item: &[u8]) -> u64;
+
+    /// [`Self::estimate`] with access accounting.
+    fn estimate_profiled(&self, item: &[u8], stats: &mut AccessStats) -> u64;
+
+    /// Physical size of the queryable structure in bits.
+    fn bit_size(&self) -> usize;
+
+    /// Short name for reports.
+    fn kind_name(&self) -> &'static str;
+}

@@ -1,0 +1,249 @@
+//! Hash families: how a filter obtains its `k` "independent hash functions
+//! with uniformly distributed outputs" (paper §1.2).
+//!
+//! Two strategies are provided:
+//!
+//! * [`SeededFamily`]: one base algorithm, `k` seeds derived from a master
+//!   seed via SplitMix64. Each member costs one full hash computation — this
+//!   matches the paper's cost accounting (BF pays `k` computations per query,
+//!   ShBF_M pays `k/2 + 1`).
+//! * [`DoubleHashFamily`]: the Kirsch–Mitzenmacher construction
+//!   `g_i = h1 + i·h2 (mod m)` from two base hashes — the related-work
+//!   "less hashing" baseline (§2.1) whose cost is 2 computations but whose
+//!   FPR is slightly worse.
+
+use crate::mix::splitmix64;
+
+/// The base hash algorithms available to families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// MurmurHash3 x64-128 (low 64 bits). Default: fast and well distributed.
+    Murmur3,
+    /// MurmurHash3 x86-32, widened to 64 bits via two seeded invocations.
+    Murmur3_32,
+    /// xxHash64.
+    XxHash64,
+    /// FNV-1a 64 with a post-mix.
+    Fnv1a,
+    /// Bob Jenkins' lookup3 (`hashlittle2`), the paper's hash source.
+    Lookup3,
+    /// SipHash-2-4 keyed from the seed.
+    SipHash24,
+}
+
+impl HashAlg {
+    /// All supported algorithms.
+    pub const ALL: [HashAlg; 6] = [
+        HashAlg::Murmur3,
+        HashAlg::Murmur3_32,
+        HashAlg::XxHash64,
+        HashAlg::Fnv1a,
+        HashAlg::Lookup3,
+        HashAlg::SipHash24,
+    ];
+
+    /// Stable numeric tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            HashAlg::Murmur3 => 0,
+            HashAlg::Murmur3_32 => 1,
+            HashAlg::XxHash64 => 2,
+            HashAlg::Fnv1a => 3,
+            HashAlg::Lookup3 => 4,
+            HashAlg::SipHash24 => 5,
+        }
+    }
+
+    /// Inverse of [`HashAlg::tag`].
+    pub fn from_tag(tag: u8) -> Option<HashAlg> {
+        HashAlg::ALL.into_iter().find(|a| a.tag() == tag)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlg::Murmur3 => "murmur3-x64-128",
+            HashAlg::Murmur3_32 => "murmur3-x86-32",
+            HashAlg::XxHash64 => "xxhash64",
+            HashAlg::Fnv1a => "fnv1a-64",
+            HashAlg::Lookup3 => "jenkins-lookup3",
+            HashAlg::SipHash24 => "siphash-2-4",
+        }
+    }
+}
+
+/// A family of 64-bit hash functions indexed by `0..`.
+///
+/// Filters call `hash(i, item)` lazily, one index at a time, so that
+/// short-circuiting queries also save hash *computations* — the effect the
+/// paper measures in Fig. 9.
+pub trait HashFamily {
+    /// Hash `item` with the `index`-th member function.
+    fn hash(&self, index: usize, item: &[u8]) -> u64;
+
+    /// The cost, in "hash computations" (the paper's unit), of evaluating
+    /// `count` distinct member functions on one item.
+    ///
+    /// For a seeded family this is `count`; for double hashing it is
+    /// `min(count, 2)` because all members derive from two base hashes.
+    fn computations_for(&self, count: usize) -> usize {
+        count
+    }
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// `k` independent functions obtained by seeding one base algorithm.
+///
+/// Seeds are derived from `master_seed` with SplitMix64, so two families with
+/// the same `(alg, master_seed)` are identical — filters can be rebuilt or
+/// deserialized and keep addressing the same bit positions.
+#[derive(Debug, Clone)]
+pub struct SeededFamily {
+    alg: HashAlg,
+    seeds: Box<[u64]>,
+}
+
+impl SeededFamily {
+    /// Creates a family of `arity` functions.
+    pub fn new(alg: HashAlg, master_seed: u64, arity: usize) -> Self {
+        let mut s = master_seed;
+        let seeds = (0..arity)
+            .map(|_| {
+                s = splitmix64(s);
+                s
+            })
+            .collect();
+        SeededFamily { alg, seeds }
+    }
+
+    /// Number of member functions.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// The base algorithm.
+    #[inline]
+    pub fn alg(&self) -> HashAlg {
+        self.alg
+    }
+
+    /// The derived per-function seeds (exposed for serialization).
+    #[inline]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+}
+
+impl HashFamily for SeededFamily {
+    #[inline]
+    fn hash(&self, index: usize, item: &[u8]) -> u64 {
+        crate::hash_seeded(self.alg, self.seeds[index], item)
+    }
+
+    fn name(&self) -> &'static str {
+        self.alg.name()
+    }
+}
+
+/// Kirsch–Mitzenmacher double hashing: `g_i(x) = h1(x) + i · h2(x)`.
+///
+/// Both base hashes come from a *single* MurmurHash3 x64-128 invocation
+/// (its two 64-bit halves), so the whole family costs one invocation — the
+/// cheapest possible family, at the price of the increased FPR the paper
+/// cites (\[13\] in §2.1).
+#[derive(Debug, Clone)]
+pub struct DoubleHashFamily {
+    seed: u64,
+}
+
+impl DoubleHashFamily {
+    /// Creates the family from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        DoubleHashFamily {
+            seed: splitmix64(master_seed),
+        }
+    }
+
+    /// Returns the two base hashes of `item`.
+    #[inline]
+    pub fn base_pair(&self, item: &[u8]) -> (u64, u64) {
+        let (h1, h2) = crate::murmur3::murmur3_x64_128(item, self.seed);
+        // h2 must be odd so that i*h2 walks the whole residue ring for
+        // power-of-two table sizes; harmless otherwise.
+        (h1, h2 | 1)
+    }
+}
+
+impl HashFamily for DoubleHashFamily {
+    #[inline]
+    fn hash(&self, index: usize, item: &[u8]) -> u64 {
+        let (h1, h2) = self.base_pair(item);
+        h1.wrapping_add((index as u64).wrapping_mul(h2))
+    }
+
+    fn computations_for(&self, count: usize) -> usize {
+        count.min(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "km-double-hashing(murmur3)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_family_members_differ() {
+        let fam = SeededFamily::new(HashAlg::Murmur3, 1, 16);
+        let item = b"element";
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            assert!(seen.insert(fam.hash(i, item)), "member {i} collided");
+        }
+    }
+
+    #[test]
+    fn seeded_family_reproducible() {
+        let a = SeededFamily::new(HashAlg::XxHash64, 99, 4);
+        let b = SeededFamily::new(HashAlg::XxHash64, 99, 4);
+        for i in 0..4 {
+            assert_eq!(a.hash(i, b"x"), b.hash(i, b"x"));
+        }
+    }
+
+    #[test]
+    fn double_hashing_is_affine_in_index() {
+        let fam = DoubleHashFamily::new(5);
+        let item = b"affine";
+        let (h1, h2) = fam.base_pair(item);
+        for i in 0..10usize {
+            assert_eq!(
+                fam.hash(i, item),
+                h1.wrapping_add((i as u64).wrapping_mul(h2))
+            );
+        }
+    }
+
+    #[test]
+    fn double_hashing_costs_one_computation() {
+        let fam = DoubleHashFamily::new(5);
+        assert_eq!(fam.computations_for(8), 1);
+        assert_eq!(fam.computations_for(0), 0);
+        let seeded = SeededFamily::new(HashAlg::Murmur3, 5, 8);
+        assert_eq!(seeded.computations_for(8), 8);
+    }
+
+    #[test]
+    fn all_algorithms_work_in_a_family() {
+        for alg in HashAlg::ALL {
+            let fam = SeededFamily::new(alg, 11, 3);
+            assert_ne!(fam.hash(0, b"q"), fam.hash(1, b"q"), "{alg:?}");
+            assert_ne!(fam.hash(1, b"q"), fam.hash(2, b"q"), "{alg:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Integer finalizers / mixers used to derive seeds and finish hash states.
+
+/// SplitMix64 step: a full-avalanche permutation of `u64`.
+///
+/// Used to derive per-function seeds for [`crate::SeededFamily`] from a master
+/// seed, and to key SipHash from a single `u64`. Constants are from Steele,
+/// Lea & Flood, "Fast Splittable Pseudorandom Number Generators" (OOPSLA'14).
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`): full avalanche, bijective.
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^= k >> 33;
+    k
+}
+
+/// Maps a uniform 64-bit hash onto `0..n` without the cost of a 64-bit
+/// division (Lemire's multiply-shift reduction).
+///
+/// Statistically equivalent to `h % n` for filter addressing (bias is
+/// O(n/2⁶⁴)); used by every filter in the workspace so that range reduction
+/// never dominates the hash-computation costs the paper reasons about.
+#[inline]
+pub fn range_reduce(h: u64, n: usize) -> usize {
+    ((u128::from(h) * n as u128) >> 64) as usize
+}
+
+/// MurmurHash3's 32-bit finalizer (`fmix32`).
+#[inline]
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_not_identity_and_spreads() {
+        // Consecutive inputs should produce wildly different outputs.
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, b);
+        assert!(
+            (a ^ b).count_ones() > 16,
+            "poor diffusion: {a:#x} vs {b:#x}"
+        );
+    }
+
+    #[test]
+    fn fmix64_is_bijective_on_samples() {
+        // fmix64 is invertible; at minimum distinct inputs map to distinct outputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(fmix64(i)));
+        }
+    }
+
+    #[test]
+    fn fmix32_known_fixed_point_zero() {
+        assert_eq!(fmix32(0), 0);
+        assert_eq!(fmix64(0), 0);
+        assert_ne!(fmix32(1), 1);
+    }
+
+    #[test]
+    fn range_reduce_stays_in_range_and_is_roughly_uniform() {
+        let n = 1000usize;
+        let mut counts = vec![0u32; n];
+        let mut h = 0u64;
+        for _ in 0..200_000 {
+            h = splitmix64(h);
+            let r = range_reduce(h, n);
+            assert!(r < n);
+            counts[r] += 1;
+        }
+        // Pearson χ² against the uniform expectation (200 per bucket):
+        // E[χ²] = 999, σ = √(2·999) ≈ 45; 1200 is a ≈4.5σ ceiling. A
+        // min/max check would be too noisy (extremes of 1000 Poisson(200)
+        // draws routinely span ±3.3σ).
+        let expected = 200_000.0 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 1200.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn range_reduce_edges() {
+        assert_eq!(range_reduce(0, 100), 0);
+        assert_eq!(range_reduce(u64::MAX, 100), 99);
+        assert_eq!(range_reduce(u64::MAX / 2, 2), 0);
+        assert_eq!(range_reduce(u64::MAX / 2 + 1, 2), 1);
+    }
+}

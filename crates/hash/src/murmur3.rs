@@ -1,0 +1,176 @@
+//! MurmurHash3 (Austin Appleby, public domain): the x64-128 and x86-32
+//! variants, implemented from the reference `MurmurHash3.cpp`.
+//!
+//! `murmur3_x64_128` is the workhorse of this repository: one invocation
+//! yields 128 bits, and the filters consume its low 64 bits per seeded
+//! function (the paper counts one such invocation as one hash computation).
+
+use crate::mix::{fmix32, fmix64};
+
+const C1: u64 = 0x87C3_7B91_1142_53D5;
+const C2: u64 = 0x4CF5_AD43_2745_937F;
+
+#[inline]
+fn read_u64_le(chunk: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(chunk);
+    u64::from_le_bytes(buf)
+}
+
+#[inline]
+fn read_u32_le(chunk: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(chunk);
+    u32::from_le_bytes(buf)
+}
+
+/// MurmurHash3 x64-128. Returns the two 64-bit halves `(h1, h2)`.
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
+    let len = data.len();
+    let n_blocks = len / 16;
+
+    let mut h1 = seed;
+    let mut h2 = seed;
+
+    // Body: 16-byte blocks.
+    for block in data.chunks_exact(16) {
+        let mut k1 = read_u64_le(&block[0..8]);
+        let mut k2 = read_u64_le(&block[8..16]);
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52DC_E729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5AB5);
+    }
+
+    // Tail: up to 15 bytes.
+    let tail = &data[n_blocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    for i in (8..tail.len()).rev() {
+        k2 ^= u64::from(tail[i]) << ((i - 8) * 8);
+    }
+    if tail.len() > 8 {
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    for i in (0..tail.len().min(8)).rev() {
+        k1 ^= u64::from(tail[i]) << (i * 8);
+    }
+    if !tail.is_empty() {
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    // Finalization.
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+
+    (h1, h2)
+}
+
+/// MurmurHash3 x86-32.
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    const C1_32: u32 = 0xCC9E_2D51;
+    const C2_32: u32 = 0x1B87_3593;
+
+    let len = data.len();
+    let mut h = seed;
+
+    for block in data.chunks_exact(4) {
+        let mut k = read_u32_le(block);
+        k = k.wrapping_mul(C1_32);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2_32);
+        h ^= k;
+        h = h.rotate_left(13);
+        h = h.wrapping_mul(5).wrapping_add(0xE654_6B64);
+    }
+
+    let tail = &data[len - len % 4..];
+    let mut k: u32 = 0;
+    for i in (0..tail.len()).rev() {
+        k ^= u32::from(tail[i]) << (i * 8);
+    }
+    if !tail.is_empty() {
+        k = k.wrapping_mul(C1_32);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2_32);
+        h ^= k;
+    }
+
+    h ^= len as u32;
+    fmix32(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SMHasher-documented vectors for the x86-32 variant.
+    #[test]
+    fn murmur3_32_reference_vectors() {
+        assert_eq!(murmur3_x86_32(b"", 0), 0);
+        assert_eq!(murmur3_x86_32(b"", 1), 0x514E_28B7);
+        // SMHasher verification convention: empty input, seed 0xffffffff.
+        assert_eq!(murmur3_x86_32(b"", 0xFFFF_FFFF), 0x81F1_6F39);
+    }
+
+    #[test]
+    fn murmur3_128_empty_seed0_is_zero() {
+        // With seed 0 and empty input every operation is on zeros; the
+        // reference implementation returns (0, 0).
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn murmur3_128_block_and_tail_paths_differ() {
+        // 16-byte input exercises only the body; 17-byte adds a tail byte.
+        let a = murmur3_x64_128(&[7u8; 16], 99);
+        let b = murmur3_x64_128(&[7u8; 17], 99);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn murmur3_128_all_tail_lengths_distinct() {
+        // Every tail length 0..=15 must hit its own mixing path.
+        let data = [0xABu8; 32];
+        let mut outs = std::collections::HashSet::new();
+        for l in 0..=31 {
+            assert!(
+                outs.insert(murmur3_x64_128(&data[..l], 5)),
+                "len {l} collided"
+            );
+        }
+    }
+
+    #[test]
+    fn murmur3_128_halves_are_independent_enough() {
+        let (h1, h2) = murmur3_x64_128(b"13-byte flowid", 0xDEAD_BEEF);
+        assert_ne!(h1, h2);
+        assert!(((h1 ^ h2).count_ones() as i32 - 32).abs() < 28);
+    }
+}

@@ -1,0 +1,183 @@
+//! Empirical randomness tests for hash functions.
+//!
+//! The paper's acceptance procedure (§6.1): hash many distinct elements, and
+//! for every output-bit position compute the fraction of 1s; a good function
+//! shows ≈ 0.5 everywhere. "Out of all hash functions, 18 passed our
+//! randomness test." This module reproduces that test and adds two sharper
+//! ones (avalanche and chi-square bucket uniformity) so the suite can vouch
+//! for every algorithm shipped in this crate.
+
+/// Per-bit balance profile: `profile[b]` is the fraction of sampled outputs
+/// with bit `b` set.
+pub fn balance_profile<F: Fn(&[u8]) -> u64>(hash: F, samples: usize) -> [f64; 64] {
+    let mut ones = [0u64; 64];
+    let mut buf = [0u8; 16];
+    for i in 0..samples {
+        // Distinct structured inputs: counter + a light permutation, similar
+        // in spirit to hashing distinct flow IDs.
+        buf[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        buf[8..].copy_from_slice(&(i as u64).wrapping_mul(0x9E37_79B9).to_le_bytes());
+        let h = hash(&buf);
+        for (b, count) in ones.iter_mut().enumerate() {
+            *count += (h >> b) & 1;
+        }
+    }
+    let mut profile = [0.0f64; 64];
+    for (b, count) in ones.iter().enumerate() {
+        profile[b] = *count as f64 / samples as f64;
+    }
+    profile
+}
+
+/// The paper's pass criterion: every bit's frequency of 1s within
+/// `0.5 ± tolerance`.
+pub fn passes_balance_test<F: Fn(&[u8]) -> u64>(hash: F, samples: usize, tolerance: f64) -> bool {
+    balance_profile(hash, samples)
+        .iter()
+        .all(|&p| (p - 0.5).abs() <= tolerance)
+}
+
+/// Avalanche matrix summary: flipping any single input bit should flip each
+/// output bit with probability ≈ 0.5. Returns `(min, max)` flip probability
+/// across all (input-bit, output-bit) pairs for `samples` base inputs of
+/// `input_len` bytes.
+pub fn avalanche_extremes<F: Fn(&[u8]) -> u64>(
+    hash: F,
+    input_len: usize,
+    samples: usize,
+) -> (f64, f64) {
+    assert!(input_len > 0 && input_len <= 64, "input_len in 1..=64");
+    let in_bits = input_len * 8;
+    // flips[i][o] = number of samples where flipping input bit i flipped output bit o
+    let mut flips = vec![[0u32; 64]; in_bits];
+    let mut base = vec![0u8; input_len];
+
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for _ in 0..samples {
+        for byte in base.iter_mut() {
+            state = crate::mix::splitmix64(state);
+            *byte = state as u8;
+        }
+        let h0 = hash(&base);
+        for i in 0..in_bits {
+            base[i / 8] ^= 1 << (i % 8);
+            let h1 = hash(&base);
+            base[i / 8] ^= 1 << (i % 8);
+            let diff = h0 ^ h1;
+            for (o, cell) in flips[i].iter_mut().enumerate() {
+                *cell += ((diff >> o) & 1) as u32;
+            }
+        }
+    }
+
+    let mut min = 1.0f64;
+    let mut max = 0.0f64;
+    for row in &flips {
+        for &cell in row.iter() {
+            let p = f64::from(cell) / samples as f64;
+            min = min.min(p);
+            max = max.max(p);
+        }
+    }
+    (min, max)
+}
+
+/// Chi-square statistic of hash outputs bucketed into `buckets` bins
+/// (`h % buckets`), over `samples` distinct inputs.
+///
+/// For a uniform hash the statistic follows χ²(buckets − 1); the caller can
+/// compare against [`chi_square_critical_001`].
+pub fn chi_square_uniformity<F: Fn(&[u8]) -> u64>(hash: F, buckets: usize, samples: usize) -> f64 {
+    assert!(buckets >= 2);
+    let mut counts = vec![0u64; buckets];
+    let mut buf = [0u8; 13]; // 13 bytes: same width as a 5-tuple flow ID
+    for i in 0..samples {
+        buf[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        buf[8..12].copy_from_slice(&(i as u32).wrapping_mul(2_654_435_761).to_le_bytes());
+        buf[12] = (i % 251) as u8;
+        let h = hash(&buf);
+        counts[(h % buckets as u64) as usize] += 1;
+    }
+    let expected = samples as f64 / buckets as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Approximate 0.1% critical value of the χ² distribution with `dof` degrees
+/// of freedom (Wilson–Hilferty approximation) — generous enough that a good
+/// hash essentially never trips it while a byte-truncated or constant hash
+/// always does.
+pub fn chi_square_critical_001(dof: usize) -> f64 {
+    // χ²_p(k) ≈ k (1 − 2/(9k) + z_p sqrt(2/(9k)))³, z_0.999 ≈ 3.0902
+    let k = dof as f64;
+    let z = 3.0902;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hash_seeded, HashAlg};
+
+    #[test]
+    fn all_shipped_algorithms_pass_the_papers_balance_test() {
+        for alg in HashAlg::ALL {
+            assert!(
+                passes_balance_test(|d| hash_seeded(alg, 0xA5A5, d), 20_000, 0.02),
+                "{alg:?} failed the per-bit balance test"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_hash_fails_balance() {
+        assert!(!passes_balance_test(|_| 0, 1000, 0.02));
+        assert!(!passes_balance_test(|_| u64::MAX, 1000, 0.02));
+    }
+
+    #[test]
+    fn truncated_hash_fails_balance() {
+        // A hash that only fills the low 32 bits leaves the top half at 0.
+        let bad = |d: &[u8]| u64::from(crate::murmur3::murmur3_x86_32(d, 1));
+        assert!(!passes_balance_test(bad, 5_000, 0.02));
+    }
+
+    #[test]
+    fn murmur3_avalanche_is_near_half() {
+        let (min, max) = avalanche_extremes(|d| hash_seeded(HashAlg::Murmur3, 7, d), 13, 600);
+        assert!(min > 0.35, "min avalanche {min}");
+        assert!(max < 0.65, "max avalanche {max}");
+    }
+
+    #[test]
+    fn xxhash_avalanche_is_near_half() {
+        let (min, max) = avalanche_extremes(|d| hash_seeded(HashAlg::XxHash64, 7, d), 13, 600);
+        assert!(min > 0.35, "min avalanche {min}");
+        assert!(max < 0.65, "max avalanche {max}");
+    }
+
+    #[test]
+    fn chi_square_accepts_good_rejects_bad() {
+        let crit = chi_square_critical_001(255);
+        for alg in HashAlg::ALL {
+            let stat = chi_square_uniformity(|d| hash_seeded(alg, 3, d), 256, 50_000);
+            assert!(stat < crit, "{alg:?}: χ²={stat} ≥ {crit}");
+        }
+        // Low-entropy "hash": bucket index loops over only 16 values.
+        let stat = chi_square_uniformity(|d| u64::from(d[0] % 16), 256, 50_000);
+        assert!(stat > crit);
+    }
+
+    #[test]
+    fn critical_value_is_sane() {
+        // χ²_0.001(255) is around 320-330.
+        let c = chi_square_critical_001(255);
+        assert!(c > 300.0 && c < 350.0, "critical {c}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property suites for the hash substrate (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use shbf_hash::{hash_seeded, range_reduce, HashAlg, HashFamily, SeededFamily};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Purity: same (alg, seed, data) triple always hashes identically.
+    #[test]
+    fn hashing_is_pure(data in vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+        for alg in HashAlg::ALL {
+            prop_assert_eq!(hash_seeded(alg, seed, &data), hash_seeded(alg, seed, &data));
+        }
+    }
+
+    /// Extending the input changes the hash (no prefix absorption) for
+    /// every algorithm.
+    #[test]
+    fn extension_changes_hash(data in vec(any::<u8>(), 0..48), extra in any::<u8>()) {
+        let mut extended = data.clone();
+        extended.push(extra);
+        for alg in HashAlg::ALL {
+            prop_assert_ne!(
+                hash_seeded(alg, 7, &data),
+                hash_seeded(alg, 7, &extended),
+                "{:?} absorbed an appended byte", alg
+            );
+        }
+    }
+
+    /// range_reduce is always in range and order-preserving in h.
+    #[test]
+    fn range_reduce_bounds(h in any::<u64>(), h2 in any::<u64>(), n in 1usize..1_000_000) {
+        let r = range_reduce(h, n);
+        prop_assert!(r < n);
+        let (lo, hi) = if h <= h2 { (h, h2) } else { (h2, h) };
+        prop_assert!(range_reduce(lo, n) <= range_reduce(hi, n));
+    }
+
+    /// Family members behave like distinct functions: across random inputs
+    /// they cannot be identical.
+    #[test]
+    fn family_members_are_distinct_functions(seed in any::<u64>(), data in vec(any::<u8>(), 1..32)) {
+        let fam = SeededFamily::new(HashAlg::Murmur3, seed, 4);
+        // On any single input, requiring all 4 outputs distinct would be a
+        // (vanishing) flake; instead require that not all are equal.
+        let outs: Vec<u64> = (0..4).map(|i| fam.hash(i, &data)).collect();
+        prop_assert!(outs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    /// Reconstructing a family from the same (alg, seed, arity) reproduces
+    /// the same functions — the property filter serialization depends on.
+    #[test]
+    fn families_are_reproducible(
+        seed in any::<u64>(),
+        arity in 1usize..16,
+        data in vec(any::<u8>(), 0..32),
+    ) {
+        for alg in HashAlg::ALL {
+            let a = SeededFamily::new(alg, seed, arity);
+            let b = SeededFamily::new(alg, seed, arity);
+            for i in 0..arity {
+                prop_assert_eq!(a.hash(i, &data), b.hash(i, &data));
+            }
+        }
+    }
+
+    /// Tag serialization of algorithms is a bijection.
+    #[test]
+    fn alg_tags_roundtrip(_x in 0..1i32) {
+        for alg in HashAlg::ALL {
+            prop_assert_eq!(HashAlg::from_tag(alg.tag()), Some(alg));
+        }
+        prop_assert_eq!(HashAlg::from_tag(200), None);
+    }
+}

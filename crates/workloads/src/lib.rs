@@ -1,0 +1,34 @@
+//! # shbf-workloads — workload substrate for the ShBF evaluation
+//!
+//! The paper evaluates on a real trace captured from a 10 Gbps backbone
+//! router: 10 M packets, 8 M distinct 13-byte 5-tuple flow IDs (§6.1). That
+//! trace is proprietary, so this crate synthesizes the equivalent (see
+//! DESIGN.md §5 for why the substitution preserves behaviour):
+//!
+//! * [`flow`] — 13-byte 5-tuple flow IDs, the paper's element type;
+//! * [`zipf`] — a Zipf(θ) sampler for heavy-tailed flow sizes;
+//! * [`trace`] — seeded synthetic packet traces with configurable
+//!   distinct-flow count and flow-size distribution, plus a binary
+//!   trace-file format;
+//! * [`sets`] — set/association-pair builders with exact intersection sizes;
+//! * [`multiset`] — multiplicity workloads capped at the paper's `c`;
+//! * [`queries`] — query mixes (positive fraction, region-uniform, etc.);
+//! * [`stats`] — empirical FPR / correctness-rate / clear-answer-rate
+//!   estimators used by the figure harness and the integration tests.
+//!
+//! All generation is `StdRng`-seeded and fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod multiset;
+pub mod queries;
+pub mod sets;
+pub mod stats;
+pub mod trace;
+pub mod zipf;
+
+pub use flow::FlowId;
+pub use trace::{SyntheticTrace, TraceConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,151 @@
+//! Multiplicity workloads: multi-sets of flows with configurable count
+//! distributions, capped at the paper's maximum multiplicity `c`
+//! (Fig. 11 uses `c = 57`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::FlowId;
+use crate::zipf::Zipf;
+
+/// How multiplicities are assigned to distinct elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountDistribution {
+    /// Every element has the same count.
+    Fixed(u64),
+    /// Counts uniform in `1..=c`.
+    Uniform,
+    /// Counts Zipf-distributed over `1..=c` with the given skew
+    /// (heavy-tailed, like real flow sizes).
+    Zipf(f64),
+}
+
+/// A generated multi-set workload.
+#[derive(Debug, Clone)]
+pub struct MultisetWorkload {
+    /// Distinct elements with their multiplicities (`1..=c`).
+    pub counts: Vec<(FlowId, u64)>,
+    /// The cap `c`.
+    pub c: u64,
+}
+
+impl MultisetWorkload {
+    /// Generates `n_distinct` elements with counts from `dist`, capped at `c`.
+    pub fn generate(n_distinct: usize, c: u64, dist: CountDistribution, seed: u64) -> Self {
+        assert!(c >= 1);
+        let flows = crate::sets::distinct_flows(n_distinct, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6D75_6C74); // "mult"
+        let zipf = match dist {
+            CountDistribution::Zipf(theta) => Some(Zipf::new(c as usize, theta)),
+            _ => None,
+        };
+        let counts = flows
+            .into_iter()
+            .map(|f| {
+                let count = match dist {
+                    CountDistribution::Fixed(v) => v.clamp(1, c),
+                    CountDistribution::Uniform => rng.random_range(1..=c),
+                    CountDistribution::Zipf(_) => zipf.as_ref().unwrap().sample(&mut rng) as u64,
+                };
+                (f, count)
+            })
+            .collect();
+        MultisetWorkload { counts, c }
+    }
+
+    /// The counts as `(bytes, count)` pairs ready for `ShbfX::build`.
+    pub fn byte_counts(&self) -> Vec<([u8; 13], u64)> {
+        self.counts
+            .iter()
+            .map(|(f, c)| (f.to_bytes(), *c))
+            .collect()
+    }
+
+    /// Total packet count (sum of multiplicities).
+    pub fn total_packets(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Expands to a packet stream: each element repeated `count` times, in a
+    /// deterministic interleaved order (not sorted by flow — mimics how
+    /// packets of different flows interleave on a link).
+    pub fn packet_stream(&self, seed: u64) -> Vec<FlowId> {
+        let mut packets: Vec<FlowId> = Vec::with_capacity(self.total_packets() as usize);
+        for (f, c) in &self.counts {
+            for _ in 0..*c {
+                packets.push(*f);
+            }
+        }
+        // Fisher–Yates with a seeded RNG.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..packets.len()).rev() {
+            let j = rng.random_range(0..=i);
+            packets.swap(i, j);
+        }
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_respect_cap() {
+        for dist in [
+            CountDistribution::Fixed(100),
+            CountDistribution::Uniform,
+            CountDistribution::Zipf(0.9),
+        ] {
+            let w = MultisetWorkload::generate(2000, 57, dist, 5);
+            assert_eq!(w.counts.len(), 2000);
+            assert!(
+                w.counts.iter().all(|(_, c)| (1..=57).contains(c)),
+                "{dist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_counts_skew_to_one() {
+        let w = MultisetWorkload::generate(20_000, 57, CountDistribution::Zipf(1.2), 7);
+        let ones = w.counts.iter().filter(|(_, c)| *c == 1).count();
+        // pmf(1) = 1/H_{57,1.2} ≈ 0.31; uniform would give 1/57 ≈ 0.018.
+        assert!(
+            ones as f64 / 20_000.0 > 0.25,
+            "expected heavy mass at count 1, got {ones}"
+        );
+    }
+
+    #[test]
+    fn uniform_counts_cover_range() {
+        let w = MultisetWorkload::generate(20_000, 10, CountDistribution::Uniform, 3);
+        for target in 1..=10u64 {
+            assert!(
+                w.counts.iter().any(|(_, c)| *c == target),
+                "count {target} never generated"
+            );
+        }
+    }
+
+    #[test]
+    fn packet_stream_has_exact_multiplicities() {
+        let w = MultisetWorkload::generate(200, 8, CountDistribution::Uniform, 11);
+        let stream = w.packet_stream(13);
+        assert_eq!(stream.len() as u64, w.total_packets());
+        let mut histogram: std::collections::HashMap<FlowId, u64> = Default::default();
+        for p in &stream {
+            *histogram.entry(*p).or_insert(0) += 1;
+        }
+        for (f, c) in &w.counts {
+            assert_eq!(histogram.get(f), Some(c));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MultisetWorkload::generate(500, 20, CountDistribution::Zipf(0.8), 9);
+        let b = MultisetWorkload::generate(500, 20, CountDistribution::Zipf(0.8), 9);
+        assert_eq!(a.counts, b.counts);
+    }
+}

@@ -1,0 +1,141 @@
+//! Query-mix generation matching the paper's experimental procedures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::FlowId;
+use crate::sets::AssociationPair;
+
+/// A membership query with ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipQuery {
+    /// The queried flow.
+    pub flow: FlowId,
+    /// Whether the flow is truly a member.
+    pub is_member: bool,
+}
+
+/// The paper's Fig. 8 query mix: `2n` queries, `n` of which hit members
+/// ("we query 2·n elements, in which n elements belong to the set"),
+/// deterministically interleaved.
+pub fn membership_mix(members: &[FlowId], seed: u64) -> Vec<MembershipQuery> {
+    let negatives = negatives_for(members, members.len(), seed);
+    let mut queries: Vec<MembershipQuery> = members
+        .iter()
+        .map(|f| MembershipQuery {
+            flow: *f,
+            is_member: true,
+        })
+        .chain(negatives.into_iter().map(|f| MembershipQuery {
+            flow: f,
+            is_member: false,
+        }))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6D_6978);
+    for i in (1..queries.len()).rev() {
+        let j = rng.random_range(0..=i);
+        queries.swap(i, j);
+    }
+    queries
+}
+
+/// Generates `count` flows guaranteed not to collide with `members`
+/// (the FPR probe set; the paper used 7 M non-member queries).
+pub fn negatives_for(members: &[FlowId], count: usize, seed: u64) -> Vec<FlowId> {
+    let member_set: std::collections::HashSet<FlowId> = members.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E_6567); // "neg"
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let f = FlowId::random(&mut rng);
+        if !member_set.contains(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Ground-truth region of an association query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrueRegion {
+    /// `e ∈ S1 − S2`.
+    S1Only,
+    /// `e ∈ S1 ∩ S2`.
+    Both,
+    /// `e ∈ S2 − S1`.
+    S2Only,
+}
+
+/// An association query with ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssociationQuery {
+    /// The queried flow.
+    pub flow: FlowId,
+    /// Which region it truly belongs to.
+    pub region: TrueRegion,
+}
+
+/// The paper's Fig. 10 mix: queries hit "the three parts with the same
+/// probability" — `per_region` samples from each region, interleaved.
+pub fn association_mix(
+    pair: &AssociationPair,
+    per_region: usize,
+    seed: u64,
+) -> Vec<AssociationQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6173_736F); // "asso"
+    let mut pick = |pool: &[FlowId], region: TrueRegion, out: &mut Vec<AssociationQuery>| {
+        assert!(!pool.is_empty(), "region pool is empty");
+        for _ in 0..per_region {
+            let f = pool[rng.random_range(0..pool.len())];
+            out.push(AssociationQuery { flow: f, region });
+        }
+    };
+    let mut queries = Vec::with_capacity(3 * per_region);
+    pick(&pair.s1_only, TrueRegion::S1Only, &mut queries);
+    pick(&pair.both, TrueRegion::Both, &mut queries);
+    pick(&pair.s2_only, TrueRegion::S2Only, &mut queries);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x73_6875);
+    for i in (1..queries.len()).rev() {
+        let j = rng.random_range(0..=i);
+        queries.swap(i, j);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::distinct_flows;
+
+    #[test]
+    fn membership_mix_is_half_positive() {
+        let members = distinct_flows(1000, 3);
+        let mix = membership_mix(&members, 9);
+        assert_eq!(mix.len(), 2000);
+        assert_eq!(mix.iter().filter(|q| q.is_member).count(), 1000);
+    }
+
+    #[test]
+    fn negatives_never_collide() {
+        let members = distinct_flows(2000, 5);
+        let negs = negatives_for(&members, 5000, 11);
+        let member_set: std::collections::HashSet<_> = members.iter().collect();
+        assert!(negs.iter().all(|f| !member_set.contains(f)));
+        assert_eq!(negs.len(), 5000);
+    }
+
+    #[test]
+    fn association_mix_is_region_balanced() {
+        let pair = AssociationPair::generate(500, 500, 100, 7);
+        let mix = association_mix(&pair, 300, 13);
+        assert_eq!(mix.len(), 900);
+        for region in [TrueRegion::S1Only, TrueRegion::Both, TrueRegion::S2Only] {
+            assert_eq!(mix.iter().filter(|q| q.region == region).count(), 300);
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let members = distinct_flows(200, 1);
+        assert_eq!(membership_mix(&members, 2), membership_mix(&members, 2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Set and association-pair builders with exact cardinalities.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::flow::FlowId;
+
+/// Generates `n` distinct flow IDs, deterministically from `seed`.
+pub fn distinct_flows(n: usize, seed: u64) -> Vec<FlowId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let f = FlowId::random(&mut rng);
+        if seen.insert(f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Generates `k` mutually disjoint sets of `n` distinct flows each.
+pub fn disjoint_sets(k: usize, n: usize, seed: u64) -> Vec<Vec<FlowId>> {
+    let all = distinct_flows(k * n, seed);
+    all.chunks(n).map(|c| c.to_vec()).collect()
+}
+
+/// An association workload: two sets with a prescribed intersection.
+#[derive(Debug, Clone)]
+pub struct AssociationPair {
+    /// Elements only in S1 (`n1 − n3` flows).
+    pub s1_only: Vec<FlowId>,
+    /// Elements in both sets (`n3` flows).
+    pub both: Vec<FlowId>,
+    /// Elements only in S2 (`n2 − n3` flows).
+    pub s2_only: Vec<FlowId>,
+}
+
+impl AssociationPair {
+    /// Builds sets with `|S1| = n1`, `|S2| = n2`, `|S1 ∩ S2| = n3`.
+    ///
+    /// # Panics
+    /// Panics if `n3 > min(n1, n2)`.
+    pub fn generate(n1: usize, n2: usize, n3: usize, seed: u64) -> Self {
+        assert!(n3 <= n1.min(n2), "intersection larger than a set");
+        let total = (n1 - n3) + n3 + (n2 - n3);
+        let all = distinct_flows(total, seed);
+        let (s1_only, rest) = all.split_at(n1 - n3);
+        let (both, s2_only) = rest.split_at(n3);
+        AssociationPair {
+            s1_only: s1_only.to_vec(),
+            both: both.to_vec(),
+            s2_only: s2_only.to_vec(),
+        }
+    }
+
+    /// The full S1 (`s1_only ∪ both`) as byte keys.
+    pub fn s1_bytes(&self) -> Vec<[u8; 13]> {
+        self.s1_only
+            .iter()
+            .chain(self.both.iter())
+            .map(|f| f.to_bytes())
+            .collect()
+    }
+
+    /// The full S2 (`both ∪ s2_only`) as byte keys.
+    pub fn s2_bytes(&self) -> Vec<[u8; 13]> {
+        self.both
+            .iter()
+            .chain(self.s2_only.iter())
+            .map(|f| f.to_bytes())
+            .collect()
+    }
+
+    /// Number of distinct elements in the union.
+    pub fn n_distinct(&self) -> usize {
+        self.s1_only.len() + self.both.len() + self.s2_only.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_flows_are_distinct_and_deterministic() {
+        let a = distinct_flows(5000, 42);
+        let b = distinct_flows(5000, 42);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_overlap() {
+        let sets = disjoint_sets(3, 1000, 7);
+        let mut all = std::collections::HashSet::new();
+        for s in &sets {
+            for f in s {
+                assert!(all.insert(*f), "duplicate across sets");
+            }
+        }
+        assert_eq!(all.len(), 3000);
+    }
+
+    #[test]
+    fn association_pair_has_exact_cardinalities() {
+        let p = AssociationPair::generate(1000, 800, 250, 9);
+        assert_eq!(p.s1_only.len(), 750);
+        assert_eq!(p.both.len(), 250);
+        assert_eq!(p.s2_only.len(), 550);
+        assert_eq!(p.s1_bytes().len(), 1000);
+        assert_eq!(p.s2_bytes().len(), 800);
+        assert_eq!(p.n_distinct(), 1550);
+    }
+
+    #[test]
+    #[should_panic(expected = "intersection larger")]
+    fn oversized_intersection_rejected() {
+        AssociationPair::generate(10, 5, 6, 1);
+    }
+}

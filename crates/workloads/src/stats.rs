@@ -1,0 +1,100 @@
+//! Empirical accuracy estimators shared by the figure harness and the
+//! theory-vs-simulation integration tests.
+
+/// Measured false-positive rate: fraction of `probes` for which `contains`
+/// returned true. Probes must be known non-members.
+pub fn measure_fpr<F>(contains: F, probes: usize) -> f64
+where
+    F: Fn(usize) -> bool,
+{
+    assert!(probes > 0);
+    let fp = (0..probes).filter(|&i| contains(i)).count();
+    fp as f64 / probes as f64
+}
+
+/// Relative error between a measured and a theoretical value — the paper's
+/// validation metric (§6.2.1: `|FPRs − FPRt| / FPRt`).
+pub fn relative_error(measured: f64, theory: f64) -> f64 {
+    if theory == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - theory).abs() / theory
+    }
+}
+
+/// Online mean/variance accumulator (Welford) for timing and rate series.
+#[derive(Debug, Clone, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n − 1 normalization).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpr_counts_positives() {
+        // "Filter" that false-positives on multiples of 10: FPR = 0.1.
+        let fpr = measure_fpr(|i| i % 10 == 0, 10_000);
+        assert!((fpr - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(0.11, 0.10) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(0.1, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn running_stats_match_closed_form() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev of that classic dataset is ~2.138.
+        assert!((r.std_dev() - 2.138).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic backbone-router traces and a binary trace-file format.
+//!
+//! The paper captured 10 M packets / 8 M distinct flows from a 10 Gbps link
+//! (§6.1). [`SyntheticTrace::generate`] produces the same *shape*:
+//! a configurable number of distinct flows, heavy-tailed packet counts, and
+//! a deterministic packet interleaving. [`SyntheticTrace::write_file`] /
+//! [`SyntheticTrace::read_file`] store traces as CRC-checked binary files so
+//! experiments can share identical inputs across runs.
+
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::FlowId;
+use crate::zipf::Zipf;
+
+/// Configuration for synthetic trace generation.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of distinct flows (the paper: 8 M).
+    pub distinct_flows: usize,
+    /// Total packets to emit (the paper: 10 M). Must be ≥ `distinct_flows`.
+    pub total_packets: usize,
+    /// Zipf skew of the flow-size distribution.
+    pub zipf_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // 1/10th of the paper's scale: 800 k distinct flows, 1 M packets.
+        TraceConfig {
+            distinct_flows: 800_000,
+            total_packets: 1_000_000,
+            zipf_theta: 0.9,
+            seed: 0x7472_6163, // "trac"
+        }
+    }
+}
+
+/// A generated (or loaded) packet trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTrace {
+    /// The packet stream (flow IDs in arrival order).
+    pub packets: Vec<FlowId>,
+    /// The distinct flows, in first-appearance order.
+    pub flows: Vec<FlowId>,
+}
+
+impl SyntheticTrace {
+    /// Generates a trace: every distinct flow appears at least once; the
+    /// remaining packet budget is distributed by Zipf rank.
+    pub fn generate(cfg: &TraceConfig) -> Self {
+        assert!(cfg.distinct_flows >= 1);
+        assert!(
+            cfg.total_packets >= cfg.distinct_flows,
+            "need at least one packet per distinct flow"
+        );
+        let flows = crate::sets::distinct_flows(cfg.distinct_flows, cfg.seed);
+        let mut packets = Vec::with_capacity(cfg.total_packets);
+        packets.extend_from_slice(&flows);
+
+        let extra = cfg.total_packets - cfg.distinct_flows;
+        if extra > 0 {
+            let zipf = Zipf::new(cfg.distinct_flows, cfg.zipf_theta);
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7061_636B); // "pack"
+            for _ in 0..extra {
+                let rank = zipf.sample(&mut rng);
+                packets.push(flows[rank - 1]);
+            }
+        }
+        // Interleave deterministically.
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7368_7566); // "shuf"
+        for i in (1..packets.len()).rev() {
+            let j = rng.random_range(0..=i);
+            packets.swap(i, j);
+        }
+        SyntheticTrace { packets, flows }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Per-flow packet counts (the multiplicity ground truth).
+    pub fn flow_counts(&self) -> Vec<(FlowId, u64)> {
+        let mut histogram: std::collections::HashMap<FlowId, u64> =
+            std::collections::HashMap::with_capacity(self.flows.len());
+        for p in &self.packets {
+            *histogram.entry(*p).or_insert(0) += 1;
+        }
+        // Stable order: first-appearance order of flows.
+        self.flows.iter().map(|f| (*f, histogram[f])).collect()
+    }
+
+    /// Writes the trace to a CRC-checked binary file.
+    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = shbf_bits::Writer::new(0xF10); // trace-file kind tag
+        w.u64(self.packets.len() as u64);
+        w.u64(self.flows.len() as u64);
+        let mut payload = Vec::with_capacity(13 * (self.packets.len() + self.flows.len()));
+        for p in &self.packets {
+            payload.extend_from_slice(&p.to_bytes());
+        }
+        for f in &self.flows {
+            payload.extend_from_slice(&f.to_bytes());
+        }
+        w.bytes(&payload);
+        let blob = w.finish();
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        file.write_all(&blob)?;
+        file.flush()
+    }
+
+    /// Reads a trace written by [`Self::write_file`].
+    pub fn read_file(path: &Path) -> std::io::Result<Self> {
+        let mut blob = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut blob)?;
+        let mut r = shbf_bits::Reader::new(&blob, 0xF10)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let invalid =
+            |e: shbf_bits::CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let n_packets = r.u64().map_err(invalid)? as usize;
+        let n_flows = r.u64().map_err(invalid)? as usize;
+        let payload = r.bytes().map_err(invalid)?;
+        r.expect_end().map_err(invalid)?;
+        if payload.len() != 13 * (n_packets + n_flows) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trace payload length mismatch",
+            ));
+        }
+        let decode = |chunk: &[u8]| FlowId::from_bytes(chunk.try_into().unwrap());
+        let packets = payload[..13 * n_packets]
+            .chunks_exact(13)
+            .map(decode)
+            .collect();
+        let flows = payload[13 * n_packets..]
+            .chunks_exact(13)
+            .map(decode)
+            .collect();
+        Ok(SyntheticTrace { packets, flows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig {
+            distinct_flows: 2000,
+            total_packets: 10_000,
+            zipf_theta: 0.9,
+            seed: 33,
+        }
+    }
+
+    #[test]
+    fn trace_shape_matches_config() {
+        let t = SyntheticTrace::generate(&small_cfg());
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.flows.len(), 2000);
+        let distinct: std::collections::HashSet<_> = t.packets.iter().collect();
+        assert_eq!(distinct.len(), 2000, "every flow must appear");
+    }
+
+    #[test]
+    fn flow_counts_sum_to_packets() {
+        let t = SyntheticTrace::generate(&small_cfg());
+        let counts = t.flow_counts();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 10_000);
+        assert!(counts.iter().all(|(_, c)| *c >= 1));
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let t = SyntheticTrace::generate(&TraceConfig {
+            distinct_flows: 2000,
+            total_packets: 50_000,
+            zipf_theta: 1.1,
+            seed: 5,
+        });
+        let mut counts: Vec<u64> = t.flow_counts().into_iter().map(|(_, c)| c).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of flows should carry a disproportionate share.
+        let top: u64 = counts[..20].iter().sum();
+        assert!(
+            top as f64 / 50_000.0 > 0.15,
+            "top-1% share {:.3} too small for a heavy tail",
+            top as f64 / 50_000.0
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticTrace::generate(&small_cfg());
+        let b = SyntheticTrace::generate(&small_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = SyntheticTrace::generate(&TraceConfig {
+            distinct_flows: 500,
+            total_packets: 2000,
+            zipf_theta: 0.8,
+            seed: 77,
+        });
+        let dir = std::env::temp_dir().join("shbf-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        t.write_file(&path).unwrap();
+        let back = SyntheticTrace::read_file(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let t = SyntheticTrace::generate(&TraceConfig {
+            distinct_flows: 100,
+            total_packets: 300,
+            zipf_theta: 0.8,
+            seed: 78,
+        });
+        let dir = std::env::temp_dir().join("shbf-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.trace");
+        t.write_file(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SyntheticTrace::read_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,171 @@
+//! Zipf-distributed sampling for heavy-tailed flow sizes.
+//!
+//! Backbone flow-size distributions are classically heavy-tailed; the paper
+//! does not publish its trace's distribution, so the multiplicity workloads
+//! default to Zipf (with uniform and fixed alternatives in
+//! [`crate::multiset`]). Implementation follows Gray et al., "Quickly
+//! generating billion-record synthetic databases" (SIGMOD '94): inverse
+//! transform with the closed-form two-point acceleration.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `1..=n` (probability of rank `i` is
+/// `i^{−θ} / H_{n,θ}`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with skew `theta` (θ = 0 is uniform;
+    /// typical trace skews are 0.8–1.2). `theta` must not be 1.0 exactly
+    /// (use 0.999… if needed) and `n ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `theta < 0`, or `theta == 1`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "n must be positive");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        assert!(
+            (theta - 1.0).abs() > 1e-9,
+            "theta = 1 is a removable singularity; use 0.999"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: zeta2.max(1.0),
+        }
+    }
+
+    /// The generalized harmonic number `H_{n,θ}`.
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The skew θ.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        assert!((1..=self.n).contains(&i));
+        1.0 / (i as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.n == 1 {
+            return 1;
+        }
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 1;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) && self.zeta2 >= 1.0 {
+            return 2;
+        }
+        let rank = 1.0 + (self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (rank as usize).clamp(1, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 0.9);
+        let total: f64 = (1..=1000).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank1_frequency_matches_pmf() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = 200_000;
+        let ones = (0..samples).filter(|_| z.sample(&mut rng) == 1).count();
+        let measured = ones as f64 / samples as f64;
+        let expect = z.pmf(1);
+        assert!(
+            (measured - expect).abs() / expect < 0.05,
+            "measured {measured:.4} vs pmf {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn skew_increases_head_mass() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let flat = Zipf::new(1000, 0.2);
+        let steep = Zipf::new(1000, 1.2);
+        let head = |z: &Zipf, rng: &mut StdRng| -> usize {
+            (0..50_000).filter(|_| z.sample(rng) <= 10).count()
+        };
+        let flat_head = head(&flat, &mut rng);
+        let steep_head = head(&steep, &mut rng);
+        assert!(
+            steep_head > 3 * flat_head,
+            "steep {steep_head} vs flat {flat_head}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(57, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=57).contains(&s));
+        }
+    }
+
+    #[test]
+    fn n_equals_one_degenerates() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "singularity")]
+    fn theta_one_rejected() {
+        Zipf::new(10, 1.0);
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "min {min} max {max}");
+    }
+}

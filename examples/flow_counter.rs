@@ -1,0 +1,84 @@
+//! Per-flow packet counting — the paper's multiplicity scenario (§1.1:
+//! "network measurement applications, such as measuring flow sizes").
+//!
+//! The updatable CShBF_× ingests a packet stream one packet at a time (each
+//! arrival bumps the flow's multiplicity), then answers flow-size queries
+//! from the compact bit array. A shifting count-min sketch ingests the same
+//! stream for comparison.
+//!
+//! ```text
+//! cargo run --release --example flow_counter
+//! ```
+
+use shbf::core::{CShbfX, ScmSketch};
+use shbf::workloads::{SyntheticTrace, TraceConfig};
+
+fn main() {
+    const MAX_COUNT: usize = 57; // the paper's c
+
+    let trace = SyntheticTrace::generate(&TraceConfig {
+        distinct_flows: 20_000,
+        total_packets: 120_000,
+        zipf_theta: 1.05,
+        seed: 31,
+    });
+    let truth = trace.flow_counts();
+    println!(
+        "trace: {} packets over {} flows, max flow size {}",
+        trace.len(),
+        trace.flows.len(),
+        truth.iter().map(|(_, c)| *c).max().unwrap()
+    );
+
+    // CShBF_×: exact-table update policy (no false negatives, §5.3.2).
+    let mut counter = CShbfX::new(trace.flows.len() * 18, 8, MAX_COUNT, 0xF10).unwrap();
+    // SCM sketch with a comparable budget.
+    let mut sketch = ScmSketch::new(8, trace.flows.len() / 2, 0xF10).unwrap();
+
+    let mut capped = 0u64;
+    for packet in &trace.packets {
+        let key = packet.to_bytes();
+        if counter.insert(&key).is_err() {
+            capped += 1; // flow exceeded c; a real deployment would widen c
+        }
+        sketch.insert(&key);
+    }
+    println!("packets beyond the c = {MAX_COUNT} cap: {capped}");
+
+    let mut exact_shbf = 0usize;
+    let mut exact_scm = 0usize;
+    let mut under_shbf = 0usize;
+    for (flow, count) in &truth {
+        let key = flow.to_bytes();
+        let capped_truth = (*count).min(MAX_COUNT as u64);
+        let reported = counter.query(&key).reported;
+        if reported == capped_truth {
+            exact_shbf += 1;
+        }
+        if reported < capped_truth {
+            under_shbf += 1;
+        }
+        if sketch.estimate(&key) == capped_truth {
+            exact_scm += 1;
+        }
+    }
+    let n = truth.len() as f64;
+    println!(
+        "CShBF_X exact answers: {:.2}%",
+        100.0 * exact_shbf as f64 / n
+    );
+    println!("CShBF_X under-reports: {under_shbf} (must be 0 — no false negatives)");
+    println!(
+        "SCM     exact answers: {:.2}%",
+        100.0 * exact_scm as f64 / n
+    );
+    assert_eq!(under_shbf, 0);
+
+    // Spot-check the top flow.
+    let (top_flow, top_count) = truth.iter().max_by_key(|(_, c)| *c).unwrap();
+    println!(
+        "top flow {top_flow}: true {top_count}, CShBF_X {}, SCM {}",
+        counter.query(&top_flow.to_bytes()).reported,
+        sketch.estimate(&top_flow.to_bytes())
+    );
+}

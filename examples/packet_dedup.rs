@@ -1,0 +1,104 @@
+//! Packet de-duplication at wire speed — the paper's motivating membership
+//! scenario (§1.1: IP lookup / packet processing at line rate).
+//!
+//! A router keeps a "flows seen this epoch" filter. Because epochs rotate,
+//! flows must also be *removable*, so the counting variant CShBF_M serves
+//! updates while its SRAM-style bit snapshot serves the hot query path.
+//!
+//! ```text
+//! cargo run --release --example packet_dedup
+//! ```
+
+use shbf::core::CShbfM;
+use shbf::workloads::{SyntheticTrace, TraceConfig};
+
+fn main() {
+    // A scaled-down backbone trace: 40k distinct flows, 120k packets.
+    let trace = SyntheticTrace::generate(&TraceConfig {
+        distinct_flows: 40_000,
+        total_packets: 120_000,
+        zipf_theta: 0.99,
+        seed: 2016,
+    });
+    println!(
+        "trace: {} packets, {} distinct flows",
+        trace.len(),
+        trace.flows.len()
+    );
+
+    let mut seen = CShbfM::new(trace.flows.len() * 12, 8, 0xDED0).unwrap();
+    // Ground truth for the demo: which flows the filter actually admitted.
+    // A flow that false-positives on first contact is treated as a
+    // duplicate and never inserted — the classic feedback caveat of
+    // dedup-by-filter, made visible below.
+    let mut admitted = std::collections::HashSet::new();
+    let mut duplicate_packets = 0u64;
+    for packet in &trace.packets {
+        let key = packet.to_bytes();
+        if seen.contains(&key) {
+            duplicate_packets += 1;
+        } else {
+            seen.insert(&key);
+            admitted.insert(*packet);
+        }
+    }
+    println!(
+        "first-seen flows:    {} (true distinct: {})",
+        admitted.len(),
+        trace.flows.len()
+    );
+    println!("duplicate packets:   {duplicate_packets}");
+    let miss = trace.flows.len() - admitted.len();
+    println!(
+        "flows mistaken as already-seen (FPs during the run): {miss} ({:.4}%)",
+        100.0 * miss as f64 / trace.flows.len() as f64
+    );
+
+    // Epoch rotation: age out the first half of the flows (deletion is why
+    // the counting variant exists). Only admitted flows are deleted — a
+    // counting filter cannot always detect a delete of a colliding
+    // never-inserted key (it errors only when a counter is provably zero),
+    // so the caller must not feed it unverified deletes.
+    let half = trace.flows.len() / 2;
+    let mut aged = 0;
+    for flow in trace.flows.iter().take(half) {
+        if admitted.remove(flow) {
+            seen.delete(&flow.to_bytes()).unwrap();
+            aged += 1;
+        }
+    }
+    println!(
+        "aged out {aged} flows; sync check: {} mismatches",
+        seen.check_sync()
+    );
+
+    // A delete of a fresh random key is provably absent and is rejected.
+    let stranger = shbf::workloads::FlowId {
+        src_ip: 1,
+        dst_ip: 2,
+        src_port: 3,
+        dst_port: 4,
+        proto: 5,
+    };
+    assert!(seen.delete(&stranger.to_bytes()).is_err());
+    println!("delete of a provably-absent flow rejected");
+
+    // Every still-admitted flow must remain present: no false negatives.
+    let survivors = admitted
+        .iter()
+        .filter(|f| seen.contains(&f.to_bytes()))
+        .count();
+    println!(
+        "admitted flows still present: {survivors}/{} (must be all)",
+        admitted.len()
+    );
+    assert_eq!(survivors, admitted.len());
+
+    // Export the query-only snapshot (what would live in SRAM).
+    let snapshot = seen.snapshot();
+    println!(
+        "SRAM snapshot: {} bits, fill ratio {:.3}",
+        snapshot.m() + snapshot.w_bar() - 1,
+        snapshot.fill_ratio()
+    );
+}

@@ -1,0 +1,70 @@
+//! Building a filter offline, shipping it as a file, and loading it in a
+//! "reader" process — the CRC-checked binary format every structure in the
+//! workspace shares.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use shbf::baselines::Bf;
+use shbf::core::{ShbfM, ShbfX};
+use shbf::workloads::sets::distinct_flows;
+
+fn main() {
+    let dir = std::env::temp_dir().join("shbf-persistence-example");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let flows = distinct_flows(5_000, 11);
+
+    // Writer side: build and persist three structures.
+    let mut shbf = ShbfM::new(70_000, 8, 0x5EED).unwrap();
+    let mut bf = Bf::new(70_000, 8, 0x5EED).unwrap();
+    for f in &flows {
+        shbf.insert(&f.to_bytes());
+        bf.insert(&f.to_bytes());
+    }
+    let counted: Vec<([u8; 13], u64)> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.to_bytes(), (i % 20 + 1) as u64))
+        .collect();
+    let shbf_x = ShbfX::build(&counted, 140_000, 8, 20, 0x5EED).unwrap();
+
+    for (name, blob) in [
+        ("membership.shbf", shbf.to_bytes()),
+        ("membership.bf", bf.to_bytes()),
+        ("counts.shbfx", shbf_x.to_bytes()),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, &blob).unwrap();
+        println!("wrote {} ({} bytes)", path.display(), blob.len());
+    }
+
+    // Reader side: load and verify.
+    let shbf2 = ShbfM::from_bytes(&std::fs::read(dir.join("membership.shbf")).unwrap()).unwrap();
+    let bf2 = Bf::from_bytes(&std::fs::read(dir.join("membership.bf")).unwrap()).unwrap();
+    let shbf_x2 = ShbfX::from_bytes(&std::fs::read(dir.join("counts.shbfx")).unwrap()).unwrap();
+
+    for f in flows.iter().take(1000) {
+        assert!(shbf2.contains(&f.to_bytes()));
+        assert!(bf2.contains(&f.to_bytes()));
+    }
+    for (key, truth) in counted.iter().take(1000) {
+        assert!(shbf_x2.query(key).reported >= *truth);
+    }
+    println!(
+        "reloaded filters answer identically — {} flows verified",
+        1000
+    );
+
+    // Corruption is detected, not silently accepted.
+    let mut corrupt = shbf.to_bytes();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    match ShbfM::from_bytes(&corrupt) {
+        Err(e) => println!("corrupted blob rejected: {e}"),
+        Ok(_) => unreachable!("corruption must be detected"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,88 @@
+//! Quickstart: the three ShBF query types in one tour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shbf::core::{ShbfA, ShbfM, ShbfX};
+use shbf::workloads::sets::{distinct_flows, AssociationPair};
+
+fn main() {
+    // ---------------------------------------------------------------- //
+    // 1. Membership (ShBF_M): half the hashing & memory accesses of a   //
+    //    Bloom filter at the same false-positive rate.                  //
+    // ---------------------------------------------------------------- //
+    let flows = distinct_flows(10_000, 42);
+    let m = 14 * flows.len(); // ~14 bits/element
+    let k = ShbfM::optimal_even_k(m, flows.len());
+    let mut filter = ShbfM::new(m, k, 0xC0FFEE).unwrap();
+    for f in &flows {
+        filter.insert(&f.to_bytes());
+    }
+    println!(
+        "[membership] m = {m} bits, k = {k}, {} flows inserted",
+        flows.len()
+    );
+    assert!(filter.contains(&flows[0].to_bytes()));
+
+    let strangers = distinct_flows(50_000, 777);
+    let false_positives = strangers
+        .iter()
+        .filter(|f| !flows.contains(f) && filter.contains(&f.to_bytes()))
+        .count();
+    println!(
+        "[membership] measured FPR ≈ {:.5} over {} non-members",
+        false_positives as f64 / strangers.len() as f64,
+        strangers.len()
+    );
+
+    // Filters serialize to a CRC-checked binary blob.
+    let blob = filter.to_bytes();
+    let restored = ShbfM::from_bytes(&blob).unwrap();
+    assert!(restored.contains(&flows[0].to_bytes()));
+    println!(
+        "[membership] serialized {} bytes and restored\n",
+        blob.len()
+    );
+
+    // ---------------------------------------------------------------- //
+    // 2. Association (ShBF_A): which of two overlapping sets holds e?   //
+    // ---------------------------------------------------------------- //
+    let pair = AssociationPair::generate(5_000, 5_000, 1_250, 7);
+    let assoc = ShbfA::builder()
+        .hashes(10)
+        .seed(0xBEEF)
+        .build(&pair.s1_bytes(), &pair.s2_bytes())
+        .unwrap();
+    let probe = pair.both[0].to_bytes();
+    println!(
+        "[association] element in S1∩S2 answered: {:?}",
+        assoc.query(&probe)
+    );
+    let probe = pair.s1_only[0].to_bytes();
+    println!(
+        "[association] element in S1−S2 answered: {:?}\n",
+        assoc.query(&probe)
+    );
+
+    // ---------------------------------------------------------------- //
+    // 3. Multiplicity (ShBF_×): how many times does e appear?           //
+    //    The count is encoded in the bit offset — no counters stored.   //
+    // ---------------------------------------------------------------- //
+    let counted: Vec<([u8; 13], u64)> = flows
+        .iter()
+        .take(2_000)
+        .enumerate()
+        .map(|(i, f)| (f.to_bytes(), (i as u64 % 57) + 1))
+        .collect();
+    let bits = 2 * 14 * counted.len();
+    let mult = ShbfX::build(&counted, bits, 8, 57, 0xF00D).unwrap();
+    for (key, truth) in counted.iter().take(3) {
+        let answer = mult.query(key);
+        println!(
+            "[multiplicity] true count {truth}, reported {}, candidates {:?}",
+            answer.reported, answer.candidates
+        );
+        assert!(answer.reported >= *truth, "never under-reports");
+    }
+}

@@ -1,0 +1,338 @@
+//! `shbf-cli` — build, query, and inspect Shifting Bloom Filters from the
+//! command line.
+//!
+//! ```text
+//! shbf-cli gen-trace --flows 100000 --packets 500000 --out t.trace
+//! shbf-cli build     --trace t.trace --kind shbf-m --out flows.filter
+//! shbf-cli build     --trace t.trace --kind shbf-x --out counts.filter
+//! shbf-cli query     --filter flows.filter --trace t.trace --sample 1000
+//! shbf-cli stats     --filter flows.filter
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use shbf::analysis::{bf as bf_theory, shbf as shbf_theory};
+use shbf::baselines::Bf;
+use shbf::core::{ShbfM, ShbfX};
+use shbf::workloads::{SyntheticTrace, TraceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen-trace") => cmd_gen_trace(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `shbf-cli help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "shbf-cli — Shifting Bloom Filters for set queries (VLDB 2016 reproduction)
+
+COMMANDS
+  gen-trace --flows N --packets P --out FILE [--seed S] [--theta T]
+      Generate a synthetic 5-tuple packet trace (binary, CRC-checked).
+
+  build --trace FILE --out FILE [--kind shbf-m|bf|shbf-x]
+        [--bits-per-item B] [--k K] [--max-count C] [--seed S]
+      Build a filter from a trace's distinct flows (shbf-m / bf) or from
+      its per-flow packet counts (shbf-x).
+
+  query --filter FILE (--key HEX | --trace FILE [--sample N])
+      Query a filter: one hex-encoded key, or sampled flows from a trace
+      (reports hit rate; for shbf-x, exact-count rate).
+
+  stats --filter FILE
+      Print a filter's parameters, fill ratio, and theoretical FPR."
+    );
+}
+
+/// Minimal flag parser: `--name value` pairs plus boolean flags.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let name = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name, value.as_str()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn cmd_gen_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let flows: usize = flags
+        .require("flows")?
+        .parse()
+        .map_err(|_| "--flows: not a number")?;
+    let packets: usize = flags
+        .require("packets")?
+        .parse()
+        .map_err(|_| "--packets: not a number")?;
+    let out = PathBuf::from(flags.require("out")?);
+    let seed: u64 = flags.get_parsed("seed", 0x5683_2016)?;
+    let theta: f64 = flags.get_parsed("theta", 0.9)?;
+
+    if packets < flows {
+        return Err("--packets must be >= --flows".into());
+    }
+    let trace = SyntheticTrace::generate(&TraceConfig {
+        distinct_flows: flows,
+        total_packets: packets,
+        zipf_theta: theta,
+        seed,
+    });
+    trace
+        .write_file(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {}: {} packets, {} distinct flows (zipf θ = {theta}, seed {seed:#x})",
+        out.display(),
+        trace.len(),
+        trace.flows.len()
+    );
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<SyntheticTrace, String> {
+    SyntheticTrace::read_file(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let trace = load_trace(flags.require("trace")?)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let kind = flags.get("kind").unwrap_or("shbf-m");
+    let bits_per_item: usize = flags.get_parsed("bits-per-item", 14)?;
+    let seed: u64 = flags.get_parsed("seed", 0x5683_2016)?;
+
+    let n = trace.flows.len();
+    let m = n * bits_per_item;
+    let blob = match kind {
+        "shbf-m" => {
+            let k: usize = flags.get_parsed("k", ShbfM::optimal_even_k(m, n))?;
+            let mut f = ShbfM::new(m, k, seed).map_err(|e| e.to_string())?;
+            for flow in &trace.flows {
+                f.insert(&flow.to_bytes());
+            }
+            println!(
+                "built ShBF_M: m = {m}, k = {k}, {n} flows, fill {:.3}",
+                f.fill_ratio()
+            );
+            f.to_bytes()
+        }
+        "bf" => {
+            let k: usize = flags.get_parsed("k", Bf::optimal_k(m, n))?;
+            let mut f = Bf::new(m, k, seed).map_err(|e| e.to_string())?;
+            for flow in &trace.flows {
+                f.insert(&flow.to_bytes());
+            }
+            println!(
+                "built BF: m = {m}, k = {k}, {n} flows, fill {:.3}",
+                f.fill_ratio()
+            );
+            f.to_bytes()
+        }
+        "shbf-x" => {
+            let c: usize = flags.get_parsed("max-count", 57)?;
+            let k: usize = flags.get_parsed("k", 8)?;
+            let counts: Vec<([u8; 13], u64)> = trace
+                .flow_counts()
+                .into_iter()
+                .map(|(f, count)| (f.to_bytes(), count.min(c as u64)))
+                .collect();
+            let f = ShbfX::build(&counts, m, k, c, seed).map_err(|e| e.to_string())?;
+            println!("built ShBF_X: m = {m}, k = {k}, c = {c}, {n} flows (counts capped at {c})");
+            f.to_bytes()
+        }
+        other => return Err(format!("unknown --kind `{other}` (shbf-m | bf | shbf-x)")),
+    };
+    std::fs::write(&out, &blob).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} ({} bytes)", out.display(), blob.len());
+    Ok(())
+}
+
+/// Filter files are self-describing through their kind tag; try each type.
+enum AnyFilter {
+    ShbfM(ShbfM),
+    Bf(Bf),
+    ShbfX(ShbfX),
+}
+
+fn load_filter(path: &str) -> Result<AnyFilter, String> {
+    let blob = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if let Ok(f) = ShbfM::from_bytes(&blob) {
+        return Ok(AnyFilter::ShbfM(f));
+    }
+    if let Ok(f) = Bf::from_bytes(&blob) {
+        return Ok(AnyFilter::Bf(f));
+    }
+    if let Ok(f) = ShbfX::from_bytes(&blob) {
+        return Ok(AnyFilter::ShbfX(f));
+    }
+    Err(format!(
+        "{path}: not a recognized filter file (or corrupted)"
+    ))
+}
+
+fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("--key: hex string must have even length".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "--key: invalid hex".into()))
+        .collect()
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let filter = load_filter(flags.require("filter")?)?;
+
+    if let Some(hex) = flags.get("key") {
+        let key = parse_hex(hex)?;
+        match &filter {
+            AnyFilter::ShbfM(f) => println!("ShBF_M contains: {}", f.contains(&key)),
+            AnyFilter::Bf(f) => println!("BF contains: {}", f.contains(&key)),
+            AnyFilter::ShbfX(f) => {
+                let a = f.query(&key);
+                println!(
+                    "ShBF_X multiplicity: {} (candidates {:?})",
+                    a.reported, a.candidates
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    let trace = load_trace(flags.require("trace")?)?;
+    let sample: usize = flags.get_parsed("sample", 10_000)?;
+    let flows: Vec<_> = trace.flows.iter().take(sample).collect();
+    if flows.is_empty() {
+        return Err("trace has no flows".into());
+    }
+    match &filter {
+        AnyFilter::ShbfM(f) => {
+            let hits = flows.iter().filter(|x| f.contains(&x.to_bytes())).count();
+            println!("ShBF_M: {hits}/{} trace flows present", flows.len());
+        }
+        AnyFilter::Bf(f) => {
+            let hits = flows.iter().filter(|x| f.contains(&x.to_bytes())).count();
+            println!("BF: {hits}/{} trace flows present", flows.len());
+        }
+        AnyFilter::ShbfX(f) => {
+            let counts = trace.flow_counts();
+            let checked = counts.iter().take(sample);
+            let mut exact = 0usize;
+            let mut under = 0usize;
+            let mut total = 0usize;
+            for (flow, count) in checked {
+                let reported = f.query(&flow.to_bytes()).reported;
+                let capped = (*count).min(f.c() as u64);
+                if reported == capped {
+                    exact += 1;
+                }
+                if reported < capped {
+                    under += 1;
+                }
+                total += 1;
+            }
+            println!(
+                "ShBF_X over {total} flows: {exact} exact ({:.2}%), {under} under-reports",
+                100.0 * exact as f64 / total as f64
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("filter")?;
+    match load_filter(path)? {
+        AnyFilter::ShbfM(f) => {
+            let (m, k, n) = (f.m() as f64, f.k() as f64, f.items() as f64);
+            println!("kind:            ShBF_M");
+            println!("m (logical):     {}", f.m());
+            println!(
+                "k:               {} ({} pairs + 1 offset hash)",
+                f.k(),
+                f.pairs()
+            );
+            println!("w-bar:           {}", f.w_bar());
+            println!("items:           {}", f.items());
+            println!("fill ratio:      {:.4}", f.fill_ratio());
+            if f.items() > 0 {
+                println!(
+                    "theoretical FPR: {:.3e} (BF at same params: {:.3e})",
+                    shbf_theory::fpr(m, n, k, f.w_bar() as f64),
+                    bf_theory::fpr(m, n, k)
+                );
+            }
+        }
+        AnyFilter::Bf(f) => {
+            println!("kind:            BF");
+            println!("m:               {}", f.m());
+            println!("k:               {}", f.k());
+            println!("items:           {}", f.items());
+            println!("fill ratio:      {:.4}", f.fill_ratio());
+            if f.items() > 0 {
+                println!(
+                    "theoretical FPR: {:.3e}",
+                    bf_theory::fpr(f.m() as f64, f.items() as f64, f.k() as f64)
+                );
+            }
+        }
+        AnyFilter::ShbfX(f) => {
+            println!("kind:            ShBF_X");
+            println!("m (logical):     {}", f.m());
+            println!("k:               {}", f.k());
+            println!("c (max count):   {}", f.c());
+            println!("distinct items:  {}", f.n_distinct());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # shbf — Shifting Bloom Filters for set queries
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates
+//! for details; the README has a quickstart.
+//!
+//! ```
+//! use shbf::core::{ShbfA, ShbfM, ShbfX};
+//!
+//! // Membership: half the hashing & memory accesses of a Bloom filter.
+//! let mut seen = ShbfM::new(14_000, 8, 0xC0FFEE).unwrap();
+//! seen.insert(b"flow-1");
+//! assert!(seen.contains(b"flow-1"));
+//!
+//! // Association: which of two (overlapping) sets holds an element?
+//! let gateway = ShbfA::builder()
+//!     .hashes(10)
+//!     .seed(1)
+//!     .build(&[b"a", b"b"], &[b"b", b"c"])
+//!     .unwrap();
+//! assert!(gateway.query(b"b").is_clear());
+//!
+//! // Multiplicity: counts encoded in bit offsets, no counters stored.
+//! let counts = [(b"x".to_vec(), 3u64)];
+//! let sizes = ShbfX::build(&counts, 4096, 8, 57, 2).unwrap();
+//! assert_eq!(sizes.query(b"x").reported, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use shbf_analysis as analysis;
+pub use shbf_baselines as baselines;
+pub use shbf_bits as bits;
+pub use shbf_concurrent as concurrent;
+pub use shbf_core as core;
+pub use shbf_hash as hash;
+pub use shbf_workloads as workloads;

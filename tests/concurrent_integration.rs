@@ -1,0 +1,91 @@
+//! Integration tests for the concurrent crate through the facade: the
+//! lock-free filter must agree with the sequential reference, and the
+//! diagnostics module must assess filters consistently across crates.
+
+use std::sync::Arc;
+
+use shbf::concurrent::{ConcurrentShbfM, ShardedCShbfM};
+use shbf::core::diagnostics::inspect_shbf_m;
+use shbf::core::ShbfM;
+use shbf::workloads::sets::distinct_flows;
+
+#[test]
+fn lock_free_filter_agrees_with_sequential_reference() {
+    let flows = distinct_flows(5000, 3);
+    let m = 70_000;
+    let concurrent = Arc::new(ConcurrentShbfM::new(m, 8, 0xACE).unwrap());
+    let mut sequential = ShbfM::new(m, 8, 0xACE).unwrap();
+
+    // Parallel inserts into the concurrent filter; serial into the reference.
+    crossbeam_scope(&flows, &concurrent);
+    for f in &flows {
+        sequential.insert(&f.to_bytes());
+    }
+
+    // Same parameters + same seed ⇒ identical bit addressing ⇒ identical
+    // answers on both members and probes.
+    let probes = distinct_flows(20_000, 99);
+    for f in flows.iter().chain(probes.iter()) {
+        assert_eq!(
+            concurrent.contains(&f.to_bytes()),
+            sequential.contains(&f.to_bytes())
+        );
+    }
+}
+
+fn crossbeam_scope(flows: &[shbf::workloads::FlowId], filter: &Arc<ConcurrentShbfM>) {
+    let chunks: Vec<&[shbf::workloads::FlowId]> = flows.chunks(flows.len() / 4 + 1).collect();
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            let filter = Arc::clone(filter);
+            scope.spawn(move || {
+                for f in chunk {
+                    filter.insert(&f.to_bytes());
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn sharded_filter_survives_parallel_churn_without_false_negatives() {
+    let filter = Arc::new(ShardedCShbfM::new(400_000, 8, 8, 0xD1CE).unwrap());
+    let flows = distinct_flows(20_000, 7);
+
+    std::thread::scope(|scope| {
+        // Writers insert disjoint quarters; a reader hammers membership.
+        for chunk in flows.chunks(5000) {
+            let filter = Arc::clone(&filter);
+            scope.spawn(move || {
+                for f in chunk {
+                    filter.insert(&f.to_bytes());
+                }
+            });
+        }
+    });
+    for f in &flows {
+        assert!(filter.contains(&f.to_bytes()));
+    }
+    assert_eq!(filter.items(), 20_000);
+    assert!(filter.shard_imbalance() < 0.2);
+}
+
+#[test]
+fn diagnostics_flag_overload_before_fpr_explodes() {
+    let mut f = ShbfM::new(20_000, 8, 0xFACE).unwrap();
+    let budget = 1e-3;
+    let mut first_unhealthy = None;
+    for (i, flow) in distinct_flows(4000, 11).iter().enumerate() {
+        f.insert(&flow.to_bytes());
+        if first_unhealthy.is_none() && !inspect_shbf_m(&f, budget).healthy() {
+            first_unhealthy = Some(i + 1);
+        }
+    }
+    // The filter must be flagged before it is grossly overloaded: Theorem 1
+    // puts the 1e-3 capacity of m = 20k, k = 8 at about n ≈ 1350.
+    let flagged_at = first_unhealthy.expect("overload never flagged");
+    assert!(
+        (1200..1600).contains(&flagged_at),
+        "flagged at {flagged_at}, expected near the Theorem-1 capacity"
+    );
+}

@@ -1,0 +1,209 @@
+//! Serialization integration tests: every persistable structure roundtrips
+//! byte-exactly in behaviour, kind tags are enforced, and corruption at any
+//! byte is rejected.
+
+use shbf::baselines::{Bf, Cbf, CmSketch, CuckooFilter, OneMemBf, SpectralBf};
+use shbf::core::{GenShbfM, ScmSketch, ShbfA, ShbfM, ShbfX};
+use shbf::workloads::sets::{distinct_flows, AssociationPair};
+
+fn keys(n: usize, seed: u64) -> Vec<[u8; 13]> {
+    distinct_flows(n, seed)
+        .iter()
+        .map(|f| f.to_bytes())
+        .collect()
+}
+
+/// Builds one serialized blob per structure kind, loaded with behaviour
+/// probes.
+fn all_blobs() -> Vec<(&'static str, Vec<u8>)> {
+    let members = keys(800, 1);
+    let mut out = Vec::new();
+
+    let mut f = ShbfM::new(12_000, 8, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("ShbfM", f.to_bytes()));
+
+    let mut f = GenShbfM::new(12_000, 12, 2, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("GenShbfM", f.to_bytes()));
+
+    let pair = AssociationPair::generate(500, 500, 125, 2);
+    let f = ShbfA::builder()
+        .hashes(8)
+        .seed(42)
+        .build(&pair.s1_bytes(), &pair.s2_bytes())
+        .unwrap();
+    out.push(("ShbfA", f.to_bytes()));
+
+    let counted: Vec<([u8; 13], u64)> = members
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (*k, (i as u64 % 20) + 1))
+        .collect();
+    let f = ShbfX::build(&counted, 24_000, 8, 20, 42).unwrap();
+    out.push(("ShbfX", f.to_bytes()));
+
+    let mut f = ScmSketch::new(8, 1024, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("ScmSketch", f.to_bytes()));
+
+    let mut f = Bf::new(12_000, 8, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("Bf", f.to_bytes()));
+
+    let mut f = Cbf::new(12_000, 8, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("Cbf", f.to_bytes()));
+
+    let mut f = OneMemBf::new(12_000, 8, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("OneMemBf", f.to_bytes()));
+
+    let mut f = SpectralBf::new(12_000, 8, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("SpectralBf", f.to_bytes()));
+
+    let mut f = CmSketch::new(8, 1024, 42).unwrap();
+    members.iter().for_each(|k| f.insert(k));
+    out.push(("CmSketch", f.to_bytes()));
+
+    let mut f = CuckooFilter::new(2000, 12, 42).unwrap();
+    members.iter().for_each(|k| f.try_insert(k).unwrap());
+    out.push(("CuckooFilter", f.to_bytes()));
+
+    out
+}
+
+#[test]
+fn every_structure_roundtrips_with_identical_answers() {
+    let members = keys(800, 1);
+    let probes = keys(3000, 99);
+
+    // Decode each blob with its own type and compare answers on a probe set.
+    macro_rules! check_membership {
+        ($ty:ty, $blob:expr, $build:expr) => {{
+            let restored = <$ty>::from_bytes($blob).expect("roundtrip failed");
+            let original = $build;
+            for p in members.iter().chain(probes.iter()) {
+                assert_eq!(
+                    original.contains(p),
+                    restored.contains(p),
+                    concat!(stringify!($ty), " answer changed after roundtrip")
+                );
+            }
+        }};
+    }
+
+    let blobs = all_blobs();
+    let get = |name: &str| -> &[u8] { &blobs.iter().find(|(n, _)| *n == name).unwrap().1 };
+
+    check_membership!(ShbfM, get("ShbfM"), {
+        let mut f = ShbfM::new(12_000, 8, 42).unwrap();
+        members.iter().for_each(|k| f.insert(k));
+        f
+    });
+    check_membership!(Bf, get("Bf"), {
+        let mut f = Bf::new(12_000, 8, 42).unwrap();
+        members.iter().for_each(|k| f.insert(k));
+        f
+    });
+    check_membership!(OneMemBf, get("OneMemBf"), {
+        let mut f = OneMemBf::new(12_000, 8, 42).unwrap();
+        members.iter().for_each(|k| f.insert(k));
+        f
+    });
+    check_membership!(GenShbfM, get("GenShbfM"), {
+        let mut f = GenShbfM::new(12_000, 12, 2, 42).unwrap();
+        members.iter().for_each(|k| f.insert(k));
+        f
+    });
+
+    // Count estimators.
+    let restored = ShbfX::from_bytes(get("ShbfX")).unwrap();
+    for (i, key) in members.iter().enumerate() {
+        assert!(restored.query(key).reported > (i as u64 % 20));
+    }
+    let restored = SpectralBf::from_bytes(get("SpectralBf")).unwrap();
+    for key in &members {
+        assert!(restored.estimate(key) >= 1);
+    }
+    let restored = CmSketch::from_bytes(get("CmSketch")).unwrap();
+    for key in &members {
+        assert!(restored.estimate(key) >= 1);
+    }
+    let restored = ScmSketch::from_bytes(get("ScmSketch")).unwrap();
+    for key in &members {
+        assert!(restored.estimate(key) >= 1);
+    }
+
+    // Association answers.
+    let pair = AssociationPair::generate(500, 500, 125, 2);
+    let original = ShbfA::builder()
+        .hashes(8)
+        .seed(42)
+        .build(&pair.s1_bytes(), &pair.s2_bytes())
+        .unwrap();
+    let restored = ShbfA::from_bytes(get("ShbfA")).unwrap();
+    for f in pair
+        .s1_only
+        .iter()
+        .chain(pair.both.iter())
+        .chain(pair.s2_only.iter())
+    {
+        assert_eq!(original.query(&f.to_bytes()), restored.query(&f.to_bytes()));
+    }
+
+    // Cuckoo.
+    let restored = CuckooFilter::from_bytes(get("CuckooFilter")).unwrap();
+    for key in &members {
+        assert!(restored.contains(key));
+    }
+    // CBF.
+    let restored = Cbf::from_bytes(get("Cbf")).unwrap();
+    for key in &members {
+        assert!(restored.contains(key));
+    }
+}
+
+#[test]
+fn kind_tags_prevent_cross_decoding() {
+    let mut bf = Bf::new(1000, 4, 1).unwrap();
+    bf.insert(b"x");
+    let blob = bf.to_bytes();
+    assert!(
+        ShbfM::from_bytes(&blob).is_err(),
+        "ShbfM accepted a BF blob"
+    );
+    assert!(
+        ShbfX::from_bytes(&blob).is_err(),
+        "ShbfX accepted a BF blob"
+    );
+    assert!(CuckooFilter::from_bytes(&blob).is_err());
+}
+
+#[test]
+fn single_byte_corruption_is_always_detected() {
+    for (name, blob) in all_blobs() {
+        // Flip one byte at a sample of positions (every 97th byte keeps
+        // runtime sane for large blobs) — decode must fail every time.
+        for i in (0..blob.len()).step_by(97) {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x20;
+            let rejected = match name {
+                "ShbfM" => ShbfM::from_bytes(&bad).is_err(),
+                "GenShbfM" => GenShbfM::from_bytes(&bad).is_err(),
+                "ShbfA" => ShbfA::from_bytes(&bad).is_err(),
+                "ShbfX" => ShbfX::from_bytes(&bad).is_err(),
+                "ScmSketch" => ScmSketch::from_bytes(&bad).is_err(),
+                "Bf" => Bf::from_bytes(&bad).is_err(),
+                "Cbf" => Cbf::from_bytes(&bad).is_err(),
+                "OneMemBf" => OneMemBf::from_bytes(&bad).is_err(),
+                "SpectralBf" => SpectralBf::from_bytes(&bad).is_err(),
+                "CmSketch" => CmSketch::from_bytes(&bad).is_err(),
+                "CuckooFilter" => CuckooFilter::from_bytes(&bad).is_err(),
+                _ => unreachable!(),
+            };
+            assert!(rejected, "{name}: corruption at byte {i} went undetected");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based invariants across the workspace (proptest).
+//!
+//! Each property encodes a guarantee the paper relies on:
+//! no false negatives, multiplicity answers never undershoot, counting
+//! filters return to their exact prior state after delete, association
+//! answers never exclude the true region, and the bit substrate's windowed
+//! reads agree with naive bit-by-bit gathering.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use shbf::baselines::{Bf, Cbf};
+use shbf::bits::BitArray;
+use shbf::core::{AssociationAnswer, CShbfM, CShbfX, ShbfA, ShbfM, ShbfX};
+
+/// Arbitrary small byte keys; duplicates allowed (sets dedup internally
+/// where needed).
+fn keys_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    vec(vec(any::<u8>(), 1..24), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shbf_m_never_false_negative(keys in keys_strategy(200), seed in any::<u64>()) {
+        let mut f = ShbfM::new(8192, 8, seed).unwrap();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn bf_never_false_negative(keys in keys_strategy(200), seed in any::<u64>()) {
+        let mut f = Bf::new(8192, 6, seed).unwrap();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn shbf_m_eager_and_lazy_agree(keys in keys_strategy(100), probes in keys_strategy(100), seed in any::<u64>()) {
+        let mut f = ShbfM::new(4096, 8, seed).unwrap();
+        for k in &keys {
+            f.insert(k);
+        }
+        for p in keys.iter().chain(probes.iter()) {
+            prop_assert_eq!(f.contains(p), f.contains_eager(p));
+        }
+    }
+
+    #[test]
+    fn cshbf_m_delete_restores_exact_state(
+        base in keys_strategy(100),
+        extra in keys_strategy(50),
+        seed in any::<u64>()
+    ) {
+        let mut f = CShbfM::new(8192, 8, seed).unwrap();
+        for k in &base {
+            f.insert(k);
+        }
+        let snapshot = f.snapshot().to_bytes();
+        // Insert and then delete the extra keys (multiset-style: duplicates
+        // inserted as many times as they appear, deleted as many times).
+        for k in &extra {
+            f.insert(k);
+        }
+        for k in &extra {
+            f.delete(k).unwrap();
+        }
+        prop_assert_eq!(f.snapshot().to_bytes(), snapshot);
+        prop_assert_eq!(f.check_sync(), 0);
+    }
+
+    #[test]
+    fn cbf_delete_restores_membership(keys in keys_strategy(120), seed in any::<u64>()) {
+        let mut f = Cbf::new(8192, 6, seed).unwrap();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            f.delete(k).unwrap();
+        }
+        // A fully-drained CBF has all counters at zero: nothing is present.
+        for k in &keys {
+            prop_assert!(!f.contains(k));
+        }
+    }
+
+    #[test]
+    fn shbf_x_reported_never_undershoots(
+        entries in vec((vec(any::<u8>(), 1..16), 1u64..20), 1..80),
+        seed in any::<u64>()
+    ) {
+        // Deduplicate keys (last count wins) as ShbfX::build expects.
+        let mut map = std::collections::HashMap::new();
+        for (k, c) in entries {
+            map.insert(k, c);
+        }
+        let counted: Vec<(Vec<u8>, u64)> = map.into_iter().collect();
+        let f = ShbfX::build(&counted, 16_384, 6, 20, seed).unwrap();
+        for (k, c) in &counted {
+            let answer = f.query(k);
+            prop_assert!(answer.reported >= *c);
+            prop_assert!(answer.candidates.contains(c));
+        }
+    }
+
+    #[test]
+    fn cshbf_x_tracks_running_counts(
+        ops in vec((0u8..8, any::<bool>()), 1..300),
+        seed in any::<u64>()
+    ) {
+        // 8 possible keys; ops insert (true) or delete (false).
+        let mut f = CShbfX::new(4096, 6, 32, seed).unwrap();
+        let mut truth = [0u64; 8];
+        for (key_id, is_insert) in ops {
+            let key = [key_id; 5];
+            if is_insert && truth[key_id as usize] < 32 {
+                f.insert(&key).unwrap();
+                truth[key_id as usize] += 1;
+            } else if !is_insert && truth[key_id as usize] > 0 {
+                f.delete(&key).unwrap();
+                truth[key_id as usize] -= 1;
+            }
+        }
+        for (key_id, count) in truth.iter().enumerate() {
+            let key = [key_id as u8; 5];
+            let reported = f.query(&key).reported;
+            prop_assert!(reported >= *count, "key {key_id}: {reported} < {count}");
+        }
+        prop_assert_eq!(f.check_sync(), 0);
+    }
+
+    #[test]
+    fn shbf_a_answer_never_excludes_true_region(
+        s1 in keys_strategy(60),
+        s2 in keys_strategy(60),
+        seed in any::<u64>()
+    ) {
+        let f = ShbfA::builder()
+            .bits(8192)
+            .hashes(6)
+            .seed(seed)
+            .build(&s1, &s2)
+            .unwrap();
+        let s1set: std::collections::HashSet<_> = s1.iter().collect();
+        let s2set: std::collections::HashSet<_> = s2.iter().collect();
+        for e in s1.iter().chain(s2.iter()) {
+            let answer = f.query(e);
+            let in1 = s1set.contains(e);
+            let in2 = s2set.contains(e);
+            let compatible = match answer {
+                AssociationAnswer::OnlyS1 => in1 && !in2,
+                AssociationAnswer::Intersection => in1 && in2,
+                AssociationAnswer::OnlyS2 => !in1 && in2,
+                AssociationAnswer::S1Unsure => in1,
+                AssociationAnswer::S2Unsure => in2,
+                AssociationAnswer::EitherDifference => in1 != in2,
+                AssociationAnswer::Union => true,
+                AssociationAnswer::NotInUnion => false,
+            };
+            prop_assert!(compatible, "answer {answer:?} excludes truth (in1={in1}, in2={in2})");
+        }
+    }
+
+    #[test]
+    fn window_reads_match_naive_bit_gather(
+        set_bits in vec(0usize..512, 0..64),
+        start in 0usize..500,
+        width in 1usize..=64
+    ) {
+        let mut b = BitArray::new(512);
+        for &i in &set_bits {
+            b.set(i);
+        }
+        let window = b.read_window(start, width);
+        for j in 0..width {
+            let expected = if start + j < 512 { b.get(start + j) } else { false };
+            prop_assert_eq!(
+                (window >> j) & 1 == 1,
+                expected,
+                "bit {} of window(start={}, width={})", j, start, width
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips_for_arbitrary_contents(
+        keys in keys_strategy(100),
+        seed in any::<u64>()
+    ) {
+        let mut f = ShbfM::new(4096, 6, seed).unwrap();
+        for k in &keys {
+            f.insert(k);
+        }
+        let restored = ShbfM::from_bytes(&f.to_bytes()).unwrap();
+        for k in &keys {
+            prop_assert!(restored.contains(k));
+        }
+        prop_assert_eq!(restored.to_bytes(), f.to_bytes());
+    }
+
+    /// Deserializing arbitrary garbage must error, never panic, for every
+    /// persistable structure.
+    #[test]
+    fn from_bytes_never_panics_on_garbage(garbage in vec(any::<u8>(), 0..512)) {
+        prop_assert!(ShbfM::from_bytes(&garbage).is_err() || !garbage.is_empty());
+        let _ = ShbfM::from_bytes(&garbage);
+        let _ = shbf::core::GenShbfM::from_bytes(&garbage);
+        let _ = ShbfA::from_bytes(&garbage);
+        let _ = ShbfX::from_bytes(&garbage);
+        let _ = CShbfM::from_bytes(&garbage);
+        let _ = CShbfX::from_bytes(&garbage);
+        let _ = shbf::core::ScmSketch::from_bytes(&garbage);
+        let _ = Bf::from_bytes(&garbage);
+        let _ = Cbf::from_bytes(&garbage);
+        let _ = shbf::baselines::OneMemBf::from_bytes(&garbage);
+        let _ = shbf::baselines::SpectralBf::from_bytes(&garbage);
+        let _ = shbf::baselines::CmSketch::from_bytes(&garbage);
+        let _ = shbf::baselines::CuckooFilter::from_bytes(&garbage);
+    }
+
+    /// The Bloomier filter returns exact values for all keys at any size.
+    #[test]
+    fn bloomier_is_exact_on_keys(
+        entries in vec((vec(any::<u8>(), 1..16), any::<u64>()), 0..120),
+    ) {
+        // Deduplicate keys (last value wins).
+        let mut map = std::collections::HashMap::new();
+        for (k, v) in entries {
+            map.insert(k, v & 0xFFFF);
+        }
+        let data: Vec<(Vec<u8>, u64)> = map.into_iter().collect();
+        let f = shbf::baselines::BloomierFilter::build(&data, 16, 9).unwrap();
+        for (k, v) in &data {
+            prop_assert_eq!(f.get(k), *v);
+        }
+    }
+}

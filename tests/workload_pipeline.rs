@@ -1,0 +1,147 @@
+//! End-to-end pipeline tests: synthetic trace → filters → queries, spanning
+//! the workloads, core, and baselines crates the way the examples (and the
+//! paper's evaluation) wire them together.
+
+use shbf::core::{CShbfM, CShbfX, ShbfM, ShbfX};
+use shbf::workloads::multiset::{CountDistribution, MultisetWorkload};
+use shbf::workloads::queries::{membership_mix, negatives_for};
+use shbf::workloads::{SyntheticTrace, TraceConfig};
+
+fn small_trace(seed: u64) -> SyntheticTrace {
+    SyntheticTrace::generate(&TraceConfig {
+        distinct_flows: 5_000,
+        total_packets: 25_000,
+        zipf_theta: 0.9,
+        seed,
+    })
+}
+
+#[test]
+fn trace_to_membership_filter() {
+    let trace = small_trace(1);
+    let mut filter = ShbfM::new(trace.flows.len() * 14, 8, 7).unwrap();
+    for f in &trace.flows {
+        filter.insert(&f.to_bytes());
+    }
+    // Every packet's flow must be found (packets reference inserted flows).
+    for p in &trace.packets {
+        assert!(filter.contains(&p.to_bytes()));
+    }
+    // Non-member FPR must be tiny at 14 bits/flow.
+    let absent = negatives_for(&trace.flows, 50_000, 0x11);
+    let fp = absent
+        .iter()
+        .filter(|f| filter.contains(&f.to_bytes()))
+        .count();
+    assert!((fp as f64 / absent.len() as f64) < 0.002);
+}
+
+#[test]
+fn trace_to_flow_counter_with_cap() {
+    let trace = small_trace(2);
+    const CAP: usize = 57;
+    let mut counter = CShbfX::new(trace.flows.len() * 18, 8, CAP, 3).unwrap();
+    for p in &trace.packets {
+        // Flows past the cap are rejected — callers decide the policy.
+        let _ = counter.insert(&p.to_bytes());
+    }
+    let mut under = 0;
+    for (flow, count) in trace.flow_counts() {
+        let capped = count.min(CAP as u64);
+        let reported = counter.query(&flow.to_bytes()).reported;
+        if reported < capped {
+            under += 1;
+        }
+    }
+    assert_eq!(under, 0, "exact-table CShBF_X must never under-report");
+    assert_eq!(counter.check_sync(), 0);
+}
+
+#[test]
+fn membership_mix_has_expected_composition() {
+    let trace = small_trace(3);
+    let mix = membership_mix(&trace.flows, 0x33);
+    assert_eq!(mix.len(), 2 * trace.flows.len());
+    let mut filter = ShbfM::new(trace.flows.len() * 14, 8, 5).unwrap();
+    for f in &trace.flows {
+        filter.insert(&f.to_bytes());
+    }
+    let mut true_pos = 0;
+    let mut false_neg = 0;
+    for q in &mix {
+        let answer = filter.contains(&q.flow.to_bytes());
+        if q.is_member {
+            if answer {
+                true_pos += 1;
+            } else {
+                false_neg += 1;
+            }
+        }
+    }
+    assert_eq!(false_neg, 0);
+    assert_eq!(true_pos, trace.flows.len());
+}
+
+#[test]
+fn trace_file_feeds_identical_filters() {
+    let trace = small_trace(4);
+    let dir = std::env::temp_dir().join("shbf-pipeline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.trace");
+    trace.write_file(&path).unwrap();
+    let loaded = SyntheticTrace::read_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut a = ShbfM::new(80_000, 8, 9).unwrap();
+    let mut b = ShbfM::new(80_000, 8, 9).unwrap();
+    for f in &trace.flows {
+        a.insert(&f.to_bytes());
+    }
+    for f in &loaded.flows {
+        b.insert(&f.to_bytes());
+    }
+    // Identical input + identical seed ⇒ identical serialized state.
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}
+
+#[test]
+fn static_and_dynamic_multiplicity_agree() {
+    // Build ShbfX from final counts; build CShbfX by replaying the packet
+    // stream. Same parameters ⇒ the bit arrays encode the same state.
+    let workload = MultisetWorkload::generate(2000, 30, CountDistribution::Zipf(0.8), 5);
+    let counts = workload.byte_counts();
+    let m = 60_000usize;
+    let (k, c, seed) = (8usize, 30usize, 21u64);
+
+    let static_f = ShbfX::build(&counts, m, k, c, seed).unwrap();
+    let mut dynamic_f = CShbfX::new(m, k, c, seed).unwrap();
+    for packet in workload.packet_stream(6) {
+        dynamic_f.insert(&packet.to_bytes()).unwrap();
+    }
+    for (key, _) in &counts {
+        assert_eq!(
+            static_f.query(key),
+            dynamic_f.query(key),
+            "static and replayed filters disagree"
+        );
+    }
+}
+
+#[test]
+fn dedup_counts_distinct_flows() {
+    // The packet_dedup example's core logic as a test.
+    let trace = small_trace(6);
+    let mut seen = CShbfM::new(trace.flows.len() * 14, 8, 77).unwrap();
+    let mut admitted = 0usize;
+    for p in &trace.packets {
+        let key = p.to_bytes();
+        if !seen.contains(&key) {
+            seen.insert(&key);
+            admitted += 1;
+        }
+    }
+    // FPs only ever reduce the admitted count, never increase it.
+    assert!(admitted <= trace.flows.len());
+    let miss_rate = (trace.flows.len() - admitted) as f64 / trace.flows.len() as f64;
+    assert!(miss_rate < 0.005, "distinct-count miss rate {miss_rate:.5}");
+}
