@@ -1,0 +1,116 @@
+//! Criterion microbench: server protocol parse + in-process command
+//! dispatch throughput.
+//!
+//! This is the baseline later async/batching PRs must beat: it isolates
+//! the non-network cost of serving — line parsing, namespace lookup,
+//! filter probe, reply encoding — so transport improvements can be
+//! attributed correctly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shbf_server::protocol::{parse_command, Response};
+use shbf_server::Engine;
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn filled_engine() -> Engine {
+    let engine = Engine::new();
+    assert_eq!(
+        engine.eval_line("CREATE flows shbf-m 140000 8 8 7"),
+        Response::ok()
+    );
+    assert_eq!(
+        engine.eval_line("CREATE sizes shbf-x 65536 6 57 7"),
+        Response::ok()
+    );
+    for i in 0..N {
+        engine.eval_line(&format!("INSERT flows key-{i}"));
+    }
+    engine
+}
+
+fn bench_protocol_parse(c: &mut Criterion) {
+    let lines = [
+        "QUERY flows key-4242",
+        "INSERT flows key-777",
+        "MQUERY flows key-1 key-2 key-3 key-4 key-5 key-6 key-7 key-8",
+        "CREATE ns shbf-m 140000 8 4 99",
+        "STATS flows",
+        "ASSOC gw 0xdeadbeef",
+    ];
+    let mut group = c.benchmark_group("protocol_parse");
+    let mut ix = 0usize;
+    group.bench_function("mixed_lines", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % lines.len();
+            black_box(parse_command(black_box(lines[ix])).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let engine = filled_engine();
+    let mut group = c.benchmark_group("server_dispatch");
+
+    let queries: Vec<_> = (0..N)
+        .map(|i| parse_command(&format!("QUERY flows key-{i}")).unwrap())
+        .collect();
+    let mut ix = 0usize;
+    group.bench_function("query_positive", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % queries.len();
+            black_box(engine.dispatch(black_box(&queries[ix])))
+        })
+    });
+
+    let negative: Vec<_> = (0..N)
+        .map(|i| parse_command(&format!("QUERY flows nope-{i}")).unwrap())
+        .collect();
+    let mut ix = 0usize;
+    group.bench_function("query_negative", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % negative.len();
+            black_box(engine.dispatch(black_box(&negative[ix])))
+        })
+    });
+
+    // Pipelined batch: 32 keys per MQUERY, shard-grouped under one lock
+    // acquisition per touched shard.
+    let batches: Vec<_> = (0..64)
+        .map(|b| {
+            let keys: Vec<String> = (0..32)
+                .map(|i| format!("key-{}", (b * 32 + i) % N))
+                .collect();
+            parse_command(&format!("MQUERY flows {}", keys.join(" "))).unwrap()
+        })
+        .collect();
+    let mut ix = 0usize;
+    group.bench_function("mquery_32", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % batches.len();
+            black_box(engine.dispatch(black_box(&batches[ix])))
+        })
+    });
+
+    let inserts: Vec<_> = (0..N)
+        .map(|i| parse_command(&format!("INSERT flows extra-{i}")).unwrap())
+        .collect();
+    let mut ix = 0usize;
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            ix = (ix + 1) % inserts.len();
+            black_box(engine.dispatch(black_box(&inserts[ix])))
+        })
+    });
+
+    let count_cmd = parse_command("COUNT sizes some-flow").unwrap();
+    group.bench_function("count_absent", |b| {
+        b.iter(|| black_box(engine.dispatch(black_box(&count_cmd))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_parse, bench_dispatch);
+criterion_main!(benches);

@@ -72,7 +72,7 @@ pub fn run(cfg: &RunConfig) {
         let mut ops = 0u64;
         for round in 0..5u64 {
             for (i, key) in keys.iter().enumerate() {
-                if (i as u64 + round) % 3 == 0 && truth[i] > 0 {
+                if (i as u64 + round).is_multiple_of(3) && truth[i] > 0 {
                     if f.delete(key).is_ok() {
                         truth[i] -= 1;
                     }

@@ -116,7 +116,7 @@ impl AtomicBitArray {
             .map(|w| w.load(Ordering::Relaxed))
             .collect();
         let mut words = words;
-        if self.len_bits % 64 != 0 {
+        if !self.len_bits.is_multiple_of(64) {
             // Mask the tail so the snapshot satisfies BitArray's invariant.
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (self.len_bits % 64)) - 1;

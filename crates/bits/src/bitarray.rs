@@ -167,7 +167,7 @@ impl BitArray {
     /// bits beyond `len_bits` are set.
     pub fn from_words(words: Vec<u64>, len_bits: usize) -> Self {
         assert_eq!(words.len(), len_bits.div_ceil(64), "word count mismatch");
-        if len_bits % 64 != 0 {
+        if !len_bits.is_multiple_of(64) {
             if let Some(last) = words.last() {
                 let used = len_bits % 64;
                 assert_eq!(last >> used, 0, "set bits beyond len_bits");

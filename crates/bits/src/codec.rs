@@ -252,7 +252,7 @@ impl<'a> Reader<'a> {
         if words.len() != len_bits.div_ceil(64) {
             return Err(CodecError::InvalidField("bit array word count"));
         }
-        if len_bits % 64 != 0 {
+        if !len_bits.is_multiple_of(64) {
             if let Some(last) = words.last() {
                 if last >> (len_bits % 64) != 0 {
                     return Err(CodecError::InvalidField("bit array dirty tail"));

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace vendors the small subset of the `bytes` API it actually
+//! uses (little-endian scalar cursors over byte buffers) so that builds
+//! work without a network-reachable registry. Semantics match the real
+//! crate for this subset; `Bytes` is a plain immutable heap buffer rather
+//! than a refcounted slice, which is all the codec layer needs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read cursor over a byte source.
+///
+/// Reads advance the cursor. Callers are expected to check
+/// [`Buf::remaining`] before reading; out-of-bounds reads panic, exactly
+/// like the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Advance the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+macro_rules! slice_get {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let (head, rest) = $self.split_at(N);
+        let v = <$ty>::from_le_bytes(head.try_into().unwrap());
+        *$self = rest;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        slice_get!(self, u8)
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        slice_get!(self, u16)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        slice_get!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        slice_get!(self, u64)
+    }
+}
+
+/// Write cursor appending to a growable byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer (the mutable half of the pair).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Immutable byte buffer produced by [`BytesMut::freeze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.buf
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_slice(b"xyz");
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r, b"xyz");
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface over a simple wall-clock measurement loop: each benchmark warms
+//! up briefly, then runs timed batches and reports the median ns/iter to
+//! stdout. Statistical machinery (outlier analysis, HTML reports) is out of
+//! scope — the goal is comparable relative numbers from `cargo bench`
+//! without a registry dependency.
+//!
+//! Environment knobs: `SHBF_BENCH_MEASURE_MS` (per-benchmark measurement
+//! budget, default 120) and `SHBF_BENCH_WARMUP_MS` (default 40).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default))
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    /// Total iterations executed during measurement.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns/iter over timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = env_ms("SHBF_BENCH_WARMUP_MS", 40);
+        let measure = env_ms("SHBF_BENCH_MEASURE_MS", 120);
+
+        // Warm-up: discover a batch size that takes roughly 1ms.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if warm_start.elapsed() >= warmup && el >= Duration::from_micros(200) {
+                break;
+            }
+            if el < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        // Measurement: timed batches until the budget is spent.
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < measure || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            samples.push(el.as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            if samples.len() >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+/// Top-level benchmark driver, one per process.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(None, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(Some(&self.name), name, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: Option<&str>, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if b.ns_per_iter.is_nan() {
+        println!("{full:<48} (no iter() call)");
+    } else {
+        let per_sec = 1e9 / b.ns_per_iter;
+        println!(
+            "{full:<48} {:>12.1} ns/iter {:>14.0} ops/s ({} iters)",
+            b.ns_per_iter, per_sec, b.iters
+        );
+    }
+}
+
+/// Declares a function running each listed benchmark with one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; none affect this harness.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("SHBF_BENCH_MEASURE_MS", "5");
+        std::env::set_var("SHBF_BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            })
+        });
+        group.finish();
+    }
+}

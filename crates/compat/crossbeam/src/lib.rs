@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided, implemented over `std::thread::scope`
+//! (stable since Rust 1.63). Closures passed to [`Scope::spawn`] receive a
+//! `&Scope` so call sites written against crossbeam's signature (`|_| ...`)
+//! compile unchanged. One semantic difference: a panicking child thread
+//! propagates its panic when the scope joins rather than surfacing as
+//! `Err`, which is equivalent for the `.unwrap()`-style callers here.
+
+#![forbid(unsafe_code)]
+
+/// Scope handle passed to [`scope`] closures; spawn children through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` (crossbeam
+    /// signature) so nested spawning works.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Always `Ok` — child panics propagate on join (see module docs).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let counter = AtomicU64::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..100 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicU64::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

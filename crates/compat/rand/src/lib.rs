@@ -1,0 +1,251 @@
+//! Offline stand-in for the `rand` crate (0.9-era API surface).
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++, seeded via splitmix64) and the
+//! method subset this workspace calls: [`Rng::random`],
+//! [`Rng::random_range`] (over integer `Range`/`RangeInclusive`), and
+//! [`Rng::random_bool`]. Streams are deterministic per seed, which is all
+//! the workload generators require; no claim of statistical equivalence
+//! with the real `StdRng` (ChaCha12) is made.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// splitmix64 — used to expand a `u64` seed into full RNG state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),*) => {$(
+        impl StandardUniform for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Debiased bounded sampling: widening-multiply with rejection (Lemire).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let wide = (x as u128) * (bound as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded_u64(rng, span) as $ty)
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(bounded_u64(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of an inferred type.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value from an integer (or `f64`) range.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5u8..=9);
+            assert!((5..=9).contains(&w));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn range_hits_both_endpoints_inclusive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

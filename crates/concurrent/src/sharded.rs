@@ -16,6 +16,9 @@ use parking_lot::RwLock;
 use shbf_core::{CShbfM, ShbfError};
 use shbf_hash::{murmur3::murmur3_x64_128, range_reduce};
 
+/// Serialization kind tag (core claims 1–8; the sharded wrapper takes 9).
+const SHARDED_CSHBF_M_KIND: u16 = 9;
+
 /// A sharded counting ShBF_M.
 pub struct ShardedCShbfM {
     shards: Vec<RwLock<CShbfM>>,
@@ -79,6 +82,63 @@ impl ShardedCShbfM {
         self.shards.iter().map(|s| s.read().items()).sum()
     }
 
+    /// Per-shard geometry `(m, k, w̄)` — identical across shards.
+    pub fn shard_params(&self) -> (usize, usize, usize) {
+        let s = self.shards[0].read();
+        (s.m(), s.k(), s.w_bar())
+    }
+
+    /// Batched membership query: keys are grouped by shard so each shard's
+    /// read lock is taken **once per batch** instead of once per key. This
+    /// is the server's `MQUERY` fast path — under pipelined traffic the
+    /// lock traffic drops from `O(keys)` to `O(shards touched)`.
+    ///
+    /// Answers are returned in input order.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, item) in items.iter().enumerate() {
+            by_shard[self.shard_of(item.as_ref())].push(i);
+        }
+        let mut out = vec![false; items.len()];
+        for (shard, indexes) in by_shard.iter().enumerate() {
+            if indexes.is_empty() {
+                continue;
+            }
+            let guard = self.shards[shard].read();
+            for &i in indexes {
+                out[i] = guard.contains(items[i].as_ref());
+            }
+        }
+        out
+    }
+
+    /// Serializes the filter: shard hash seed plus every shard's
+    /// [`CShbfM`] blob, wrapped in the workspace codec envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = shbf_bits::Writer::new(SHARDED_CSHBF_M_KIND);
+        w.u64(self.shard_seed).u64(self.shards.len() as u64);
+        for shard in &self.shards {
+            w.bytes(&shard.read().to_bytes());
+        }
+        w.finish().to_vec()
+    }
+
+    /// Deserializes a filter produced by [`Self::to_bytes`].
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, ShbfError> {
+        let mut r = shbf_bits::Reader::new(blob, SHARDED_CSHBF_M_KIND)?;
+        let shard_seed = r.u64()?;
+        let count = r.u64()? as usize;
+        if count == 0 {
+            return Err(ShbfError::ZeroSize("shards"));
+        }
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            shards.push(RwLock::new(CShbfM::from_bytes(&r.bytes()?)?));
+        }
+        r.expect_end()?;
+        Ok(ShardedCShbfM { shards, shard_seed })
+    }
+
     /// Largest relative deviation of any shard's item count from the mean —
     /// a load-balance health metric (should stay within a few percent for
     /// uniform shard hashing).
@@ -124,6 +184,40 @@ mod tests {
             assert!(f.contains(&key(i)), "survivor {i} lost");
         }
         assert_eq!(f.items(), 1500);
+    }
+
+    #[test]
+    fn batch_agrees_with_single_queries() {
+        let f = ShardedCShbfM::new(120_000, 8, 8, 5).unwrap();
+        for i in 0..4000 {
+            f.insert(&key(i));
+        }
+        let probes: Vec<[u8; 8]> = (0..8000).map(key).collect();
+        let batch = f.contains_batch(&probes);
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(batch[i], f.contains(probe), "probe {i}");
+        }
+        assert!(batch[..4000].iter().all(|&b| b), "false negative in batch");
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let f = ShardedCShbfM::new(80_000, 8, 4, 21).unwrap();
+        for i in 0..2000 {
+            f.insert(&key(i));
+        }
+        let blob = f.to_bytes();
+        let g = ShardedCShbfM::from_bytes(&blob).unwrap();
+        assert_eq!(g.shards(), 4);
+        assert_eq!(g.items(), 2000);
+        for i in 0..2000 {
+            assert!(g.contains(&key(i)), "restored filter lost {i}");
+        }
+        // Same shard hash → deletes still route correctly after reload.
+        g.delete(&key(0)).unwrap();
+        assert_eq!(g.items(), 1999);
+        assert_eq!(g.to_bytes().len(), blob.len());
+        assert!(ShardedCShbfM::from_bytes(&blob[..blob.len() - 2]).is_err());
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct CShbfA {
     w_bar: usize,
     half: usize,
     family: SeededFamily,
+    master_seed: u64,
 }
+
+/// Serialization kind tag (core tags 1–6 live in [`crate::kind`];
+/// CShBF_× claims 7).
+const CSHBF_A_KIND: u16 = 8;
 
 impl CShbfA {
     /// Creates an empty counting association filter with 4-bit counters.
@@ -93,6 +98,7 @@ impl CShbfA {
             w_bar,
             half,
             family: SeededFamily::new(alg, seed, k + 2),
+            master_seed: seed,
         })
     }
 
@@ -238,6 +244,65 @@ impl CShbfA {
         (0..self.bits.len())
             .filter(|&i| self.bits.get(i) != (self.counters.get(i) != 0))
             .count()
+    }
+
+    /// Serializes the filter: parameters, counters, and both membership
+    /// tables (T1/T2 are authoritative for regions, so they must persist;
+    /// the bit mirror is rebuilt on load).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = shbf_bits::Writer::new(CSHBF_A_KIND);
+        w.u64(self.m as u64)
+            .u64(self.k as u64)
+            .u64(self.w_bar as u64)
+            .u32(self.counters.width())
+            .u8(self.family.alg().tag())
+            .u64(self.master_seed)
+            .counter_array(&self.counters);
+        for table in [&self.t1, &self.t2] {
+            // Sort for a canonical encoding: equal filters serialize
+            // identically regardless of hash-set iteration order.
+            let mut keys: Vec<&Vec<u8>> = table.iter().collect();
+            keys.sort();
+            w.u64(keys.len() as u64);
+            for key in keys {
+                w.bytes(key);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Deserializes a filter produced by [`Self::to_bytes`].
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, ShbfError> {
+        let mut r = shbf_bits::Reader::new(blob, CSHBF_A_KIND)?;
+        let m = r.u64()? as usize;
+        let k = r.u64()? as usize;
+        let w_bar = r.u64()? as usize;
+        let counter_bits = r.u32()?;
+        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash alg"),
+        ))?;
+        let seed = r.u64()?;
+        let counters = r.counter_array()?;
+        let mut f = Self::with_config(m, k, w_bar, counter_bits, alg, seed)?;
+        if counters.len() != f.counters.len() {
+            return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
+                "counter array size",
+            )));
+        }
+        for table in [&mut f.t1, &mut f.t2] {
+            let len = r.u64()? as usize;
+            for _ in 0..len {
+                table.insert(r.bytes()?);
+            }
+        }
+        r.expect_end()?;
+        f.counters = counters;
+        for i in 0..f.counters.len() {
+            if f.counters.get(i) != 0 {
+                f.bits.set(i);
+            }
+        }
+        Ok(f)
     }
 }
 

@@ -79,7 +79,7 @@ impl GenShbfM {
         if t == 0 {
             return Err(ShbfError::ZeroSize("t"));
         }
-        if k % (t + 1) != 0 {
+        if !k.is_multiple_of(t + 1) {
             return Err(ShbfError::KNotDivisible { k, group: t + 1 });
         }
         let max = MemoryModel::default().max_window();

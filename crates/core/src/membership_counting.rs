@@ -77,7 +77,7 @@ impl CShbfM {
         if k == 0 {
             return Err(ShbfError::KZero);
         }
-        if k % 2 != 0 {
+        if !k.is_multiple_of(2) {
             return Err(ShbfError::KMustBeEven(k));
         }
         let max = MemoryModel::default().max_window();

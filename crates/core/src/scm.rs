@@ -66,7 +66,7 @@ impl ScmSketch {
         if d == 0 || r == 0 {
             return Err(ShbfError::ZeroSize("d/r"));
         }
-        if d % 2 != 0 {
+        if !d.is_multiple_of(2) {
             return Err(ShbfError::KMustBeEven(d));
         }
         let w_slots = MemoryModel::default().max_window() / counter_bits as usize;

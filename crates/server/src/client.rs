@@ -1,0 +1,72 @@
+//! Minimal blocking client: one command line out, one framed reply in.
+//!
+//! Shared by `shbf-cli client`, the loopback integration tests, and any
+//! Rust caller that wants a typed handle without pulling in a Redis
+//! client. Replies come back as the raw RESP lines (`+OK`, `:1`, …) with
+//! array headers preserved, so callers can assert on exact frames.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a running `shbf-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn read_frame_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Sends one command line, returns all reply lines (1 for scalars,
+    /// 1 + n for an `*n` array; arrays nest for future-proofing).
+    pub fn send(&mut self, command: &str) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(command.as_bytes())?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        let mut lines = Vec::with_capacity(1);
+        self.read_reply(&mut lines)?;
+        Ok(lines)
+    }
+
+    fn read_reply(&mut self, lines: &mut Vec<String>) -> std::io::Result<()> {
+        let head = self.read_frame_line()?;
+        let nested = head.strip_prefix('*').and_then(|n| n.parse::<usize>().ok());
+        lines.push(head);
+        if let Some(n) = nested {
+            for _ in 0..n {
+                self.read_reply(lines)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a command and asserts a single-line reply, returning it.
+    pub fn send_expect_one(&mut self, command: &str) -> std::io::Result<String> {
+        let mut lines = self.send(command)?;
+        if lines.len() != 1 {
+            return Err(std::io::Error::other(format!(
+                "expected one reply line, got {lines:?}"
+            )));
+        }
+        Ok(lines.pop().unwrap())
+    }
+}

@@ -1,0 +1,434 @@
+//! Command dispatch: one parsed [`Command`] in, one [`Response`] out.
+//!
+//! The engine is transport-agnostic — the TCP layer, the CLI's local mode,
+//! and the dispatch benchmarks all drive the same [`Engine::dispatch`].
+
+use std::sync::Arc;
+
+use shbf_core::SetId;
+
+use crate::protocol::{Command, Response, WireSet};
+use crate::registry::{Backend, CreateParams, Namespace, Registry};
+use crate::snapshot;
+
+/// What the transport should do after a reply is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep serving this connection.
+    Continue,
+    /// Close this connection (`QUIT`).
+    CloseConnection,
+    /// Stop the whole server (`SHUTDOWN`).
+    ShutdownServer,
+}
+
+/// The query engine: a registry plus dispatch logic.
+#[derive(Default)]
+pub struct Engine {
+    registry: Registry,
+}
+
+fn wire_set(set: WireSet) -> SetId {
+    match set {
+        WireSet::S1 => SetId::S1,
+        WireSet::S2 => SetId::S2,
+    }
+}
+
+fn answer_name(a: shbf_core::AssociationAnswer) -> &'static str {
+    use shbf_core::AssociationAnswer::*;
+    match a {
+        OnlyS1 => "ONLY_S1",
+        Intersection => "INTERSECTION",
+        OnlyS2 => "ONLY_S2",
+        S1Unsure => "S1_UNSURE",
+        S2Unsure => "S2_UNSURE",
+        EitherDifference => "EITHER_DIFFERENCE",
+        Union => "UNION",
+        NotInUnion => "NOT_IN_UNION",
+    }
+}
+
+impl Engine {
+    /// Engine with an empty registry.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// The namespace registry (snapshot code and tests reach through this).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Executes one command. Never panics on bad input — protocol and
+    /// registry errors come back as [`Response::Error`].
+    pub fn dispatch(&self, cmd: &Command) -> (Response, Control) {
+        let response = self.eval(cmd);
+        let control = match cmd {
+            Command::Quit => Control::CloseConnection,
+            // Only a successfully evaluated SHUTDOWN stops the server.
+            Command::Shutdown if !matches!(response, Response::Error(_)) => Control::ShutdownServer,
+            _ => Control::Continue,
+        };
+        (response, control)
+    }
+
+    fn eval(&self, cmd: &Command) -> Response {
+        match cmd {
+            Command::Ping => Response::Simple("PONG".into()),
+            Command::Quit | Command::Shutdown => Response::Simple("BYE".into()),
+            Command::Create {
+                ns,
+                kind,
+                m,
+                k,
+                extra,
+                seed,
+            } => {
+                let params = CreateParams {
+                    kind: *kind,
+                    m: *m,
+                    k: *k,
+                    extra: *extra,
+                    seed: *seed,
+                };
+                match self.registry.create(ns, params) {
+                    Ok(()) => Response::ok(),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Command::Drop { ns } => match self.registry.drop_ns(ns) {
+                Ok(()) => Response::ok(),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Command::Namespaces => {
+                let items = self
+                    .registry
+                    .list()
+                    .iter()
+                    .map(|n| Response::Simple(format!("{} {}", n.name, n.backend.kind())))
+                    .collect();
+                Response::Array(items)
+            }
+            Command::Insert { ns, key, set } => self.with_ns(ns, |n| insert(n, key, *set)),
+            Command::Delete { ns, key, set } => self.with_ns(ns, |n| delete(n, key, *set)),
+            Command::Query { ns, key } => self.with_ns(ns, |n| query(n, key)),
+            Command::MQuery { ns, keys } => self.with_ns(ns, |n| mquery(n, keys)),
+            Command::Count { ns, key } => self.with_ns(ns, |n| count(n, key)),
+            Command::Assoc { ns, key } => self.with_ns(ns, |n| assoc(n, key)),
+            Command::Stats { ns } => self.with_ns(ns, stats),
+            Command::Snapshot { path } => match snapshot::save(&self.registry, path.as_ref()) {
+                Ok(count) => Response::Simple(format!("OK {count} namespaces")),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Command::Load { path } => match snapshot::load(&self.registry, path.as_ref()) {
+                Ok(count) => Response::Simple(format!("OK {count} namespaces")),
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+
+    fn with_ns(&self, ns: &str, f: impl FnOnce(&Namespace) -> Response) -> Response {
+        match self.registry.get(ns) {
+            Ok(namespace) => f(&namespace),
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    /// Convenience for tests/benches: dispatch an already-parsed command
+    /// shared behind an `Arc`-free reference and return only the response.
+    pub fn eval_line(&self, line: &str) -> Response {
+        match crate::protocol::parse_command(line) {
+            Ok(cmd) => self.dispatch(&cmd).0,
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+}
+
+/// Engines are shared across connection threads as `Arc<Engine>`.
+pub type SharedEngine = Arc<Engine>;
+
+fn insert(n: &Namespace, key: &[u8], set: WireSet) -> Response {
+    match &n.backend {
+        Backend::Membership(f) => {
+            f.insert(key);
+            n.stats
+                .inserts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Response::ok()
+        }
+        Backend::Multiplicity(f) => match f.write().insert(key) {
+            Ok(new_count) => {
+                n.stats
+                    .inserts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Response::Int(new_count as i64)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Backend::Association(f) => {
+            f.write().insert(key, wire_set(set));
+            n.stats
+                .inserts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Response::ok()
+        }
+    }
+}
+
+fn delete(n: &Namespace, key: &[u8], set: WireSet) -> Response {
+    let outcome = match &n.backend {
+        Backend::Membership(f) => f.delete(key).map(|_| Response::ok()),
+        Backend::Multiplicity(f) => f.write().delete(key).map(|c| Response::Int(c as i64)),
+        Backend::Association(f) => f.write().remove(key, wire_set(set)).map(|_| Response::ok()),
+    };
+    match outcome {
+        Ok(r) => {
+            n.stats
+                .deletes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            r
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn query(n: &Namespace, key: &[u8]) -> Response {
+    let hit = match &n.backend {
+        Backend::Membership(f) => f.contains(key),
+        Backend::Multiplicity(f) => f.read().query(key).reported > 0,
+        Backend::Association(f) => !matches!(
+            f.read().query(key),
+            shbf_core::AssociationAnswer::NotInUnion
+        ),
+    };
+    n.stats.record_query(hit);
+    Response::bool(hit)
+}
+
+fn mquery(n: &Namespace, keys: &[Vec<u8>]) -> Response {
+    let answers: Vec<bool> = match &n.backend {
+        // Sharded fast path: group keys by shard, one lock per shard.
+        Backend::Membership(f) => f.contains_batch(keys),
+        // Sequential backends: hold one read lock across the whole batch
+        // instead of re-acquiring per key.
+        Backend::Multiplicity(f) => {
+            let guard = f.read();
+            keys.iter().map(|k| guard.query(k).reported > 0).collect()
+        }
+        Backend::Association(f) => {
+            let guard = f.read();
+            keys.iter()
+                .map(|k| !matches!(guard.query(k), shbf_core::AssociationAnswer::NotInUnion))
+                .collect()
+        }
+    };
+    for &hit in &answers {
+        n.stats.record_query(hit);
+    }
+    Response::Array(answers.into_iter().map(Response::bool).collect())
+}
+
+fn count(n: &Namespace, key: &[u8]) -> Response {
+    match &n.backend {
+        Backend::Multiplicity(f) => {
+            let reported = f.read().query(key).reported;
+            n.stats.record_query(reported > 0);
+            Response::Int(reported as i64)
+        }
+        other => Response::Error(format!(
+            "COUNT requires a shbf-x namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
+}
+
+fn assoc(n: &Namespace, key: &[u8]) -> Response {
+    match &n.backend {
+        Backend::Association(f) => {
+            let answer = f.read().query(key);
+            n.stats
+                .record_query(!matches!(answer, shbf_core::AssociationAnswer::NotInUnion));
+            Response::Simple(answer_name(answer).into())
+        }
+        other => Response::Error(format!(
+            "ASSOC requires a shbf-a namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
+}
+
+fn stats(n: &Namespace) -> Response {
+    let (hits, misses, inserts, deletes) = n.stats.snapshot();
+    let mut fields: Vec<(String, String)> = vec![("kind".into(), n.backend.kind().to_string())];
+    match &n.backend {
+        Backend::Membership(f) => {
+            let (m, k, w_bar) = f.shard_params();
+            let shards = f.shards();
+            let items = f.items();
+            fields.push(("shards".into(), shards.to_string()));
+            fields.push(("m_per_shard".into(), m.to_string()));
+            fields.push(("k".into(), k.to_string()));
+            fields.push(("items".into(), items.to_string()));
+            fields.push((
+                "shard_imbalance".into(),
+                format!("{:.4}", f.shard_imbalance()),
+            ));
+            // Theorem 1 FPR at the current per-shard load.
+            let est = shbf_analysis::shbf::fpr(
+                m as f64,
+                items as f64 / shards as f64,
+                k as f64,
+                w_bar as f64,
+            );
+            fields.push(("est_fpr".into(), format!("{est:.3e}")));
+        }
+        Backend::Multiplicity(f) => {
+            let guard = f.read();
+            fields.push(("c".into(), guard.c().to_string()));
+            fields.push(("items".into(), guard.tracked_elements().to_string()));
+        }
+        Backend::Association(f) => {
+            let guard = f.read();
+            fields.push(("s1".into(), guard.len_s1().to_string()));
+            fields.push(("s2".into(), guard.len_s2().to_string()));
+        }
+    }
+    fields.push(("hits".into(), hits.to_string()));
+    fields.push(("misses".into(), misses.to_string()));
+    fields.push(("inserts".into(), inserts.to_string()));
+    fields.push(("deletes".into(), deletes.to_string()));
+    Response::Array(
+        fields
+            .into_iter()
+            .map(|(k, v)| Response::Simple(format!("{k}={v}")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new()
+    }
+
+    fn simple(r: &Response) -> &str {
+        match r {
+            Response::Simple(s) => s,
+            other => panic!("expected simple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_lifecycle_through_dispatch() {
+        let e = engine();
+        assert_eq!(
+            e.eval_line("CREATE flows shbf-m 140000 8 4 7"),
+            Response::ok()
+        );
+        for i in 0..500 {
+            assert_eq!(
+                e.eval_line(&format!("INSERT flows key-{i}")),
+                Response::ok()
+            );
+        }
+        for i in 0..500 {
+            assert_eq!(
+                e.eval_line(&format!("QUERY flows key-{i}")),
+                Response::Int(1),
+                "false negative at {i}"
+            );
+        }
+        assert_eq!(e.eval_line("DELETE flows key-0"), Response::ok());
+        // MQUERY answers in order.
+        let r = e.eval_line("MQUERY flows key-1 key-2 definitely-never-inserted-a-b-c");
+        match r {
+            Response::Array(items) => {
+                assert_eq!(items[0], Response::Int(1));
+                assert_eq!(items[1], Response::Int(1));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplicity_and_association_paths() {
+        let e = engine();
+        assert_eq!(
+            e.eval_line("CREATE sizes shbf-x 8192 6 30 3"),
+            Response::ok()
+        );
+        assert_eq!(e.eval_line("INSERT sizes flow"), Response::Int(1));
+        assert_eq!(e.eval_line("INSERT sizes flow"), Response::Int(2));
+        assert_eq!(e.eval_line("COUNT sizes flow"), Response::Int(2));
+        assert_eq!(e.eval_line("DELETE sizes flow"), Response::Int(1));
+        assert_eq!(e.eval_line("COUNT sizes flow"), Response::Int(1));
+
+        assert_eq!(e.eval_line("CREATE gw shbf-a 8192 6"), Response::ok());
+        assert_eq!(e.eval_line("INSERT gw file 1"), Response::ok());
+        let r = e.eval_line("ASSOC gw file");
+        assert!(
+            ["ONLY_S1", "S1_UNSURE", "EITHER_DIFFERENCE", "UNION"].contains(&simple(&r)),
+            "unexpected region {r:?}"
+        );
+        assert_eq!(e.eval_line("INSERT gw file 2"), Response::ok());
+        let r = e.eval_line("ASSOC gw file");
+        assert!(
+            ["INTERSECTION", "S1_UNSURE", "S2_UNSURE", "UNION"].contains(&simple(&r)),
+            "unexpected region {r:?}"
+        );
+        // COUNT against non-x namespace is a type error, not a panic.
+        assert!(matches!(e.eval_line("COUNT gw file"), Response::Error(_)));
+        assert!(matches!(
+            e.eval_line("ASSOC sizes flow"),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn stats_report_live_counters() {
+        let e = engine();
+        e.eval_line("CREATE ns shbf-m 80000 8");
+        e.eval_line("INSERT ns a");
+        e.eval_line("QUERY ns a");
+        e.eval_line("QUERY ns nope-never");
+        let r = e.eval_line("STATS ns");
+        let fields: Vec<String> = match r {
+            Response::Array(items) => items.iter().map(|i| simple(i).to_string()).collect(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert!(fields.contains(&"kind=shbf-m".to_string()), "{fields:?}");
+        assert!(fields.contains(&"hits=1".to_string()), "{fields:?}");
+        assert!(fields.contains(&"misses=1".to_string()), "{fields:?}");
+        assert!(fields.contains(&"inserts=1".to_string()), "{fields:?}");
+        assert!(
+            fields.iter().any(|f| f.starts_with("est_fpr=")),
+            "{fields:?}"
+        );
+    }
+
+    #[test]
+    fn control_flow_signals() {
+        let e = engine();
+        let (r, c) = e.dispatch(&Command::Ping);
+        assert_eq!(simple(&r), "PONG");
+        assert_eq!(c, Control::Continue);
+        let (_, c) = e.dispatch(&Command::Quit);
+        assert_eq!(c, Control::CloseConnection);
+        let (_, c) = e.dispatch(&Command::Shutdown);
+        assert_eq!(c, Control::ShutdownServer);
+    }
+
+    #[test]
+    fn unknown_namespace_is_an_error() {
+        let e = engine();
+        assert!(matches!(e.eval_line("QUERY ghost key"), Response::Error(_)));
+        assert!(matches!(e.eval_line("STATS ghost"), Response::Error(_)));
+        assert!(matches!(e.eval_line("DROP ghost"), Response::Error(_)));
+        assert!(matches!(e.eval_line("gibberish"), Response::Error(_)));
+    }
+}

@@ -1,0 +1,79 @@
+//! # shbf-server — a network-facing set-query daemon over Shifting Bloom
+//! Filters
+//!
+//! The paper's pitch is that ShBF halves hashing and memory accesses for
+//! membership, association, and multiplicity queries; this crate puts
+//! those structures behind a TCP wire so they can actually serve traffic.
+//! A **namespace registry** maps client-chosen names to filter instances:
+//! membership namespaces run on the sharded concurrent
+//! [`shbf_concurrent::ShardedCShbfM`], multiplicity on
+//! [`shbf_core::CShbfX`], association on [`shbf_core::CShbfA`].
+//!
+//! ## Wire grammar
+//!
+//! Requests are single text lines (LF or CRLF), whitespace-separated;
+//! verbs are case-insensitive. Keys are opaque tokens — `0x<hex>` for raw
+//! bytes, anything else is taken as UTF-8. Replies use RESP framing
+//! (`+simple`, `-ERR msg`, `:int`, `*n` array), so `redis-cli`-style
+//! tooling can speak it.
+//!
+//! | Request | Reply | Notes |
+//! |---|---|---|
+//! | `PING` | `+PONG` | liveness |
+//! | `CREATE ns kind m k [extra] [seed]` | `+OK` | kind ∈ `shbf-m`,`shbf-x`,`shbf-a`; `extra` = shards (m) / max count (x) |
+//! | `INSERT ns key [1\|2]` | `+OK` / `:count` | set id for `shbf-a`; `shbf-x` replies new count |
+//! | `DELETE ns key [1\|2]` | `+OK` / `:count` | provably-absent deletes are `-ERR` |
+//! | `QUERY ns key` | `:1` / `:0` | membership for any kind |
+//! | `MQUERY ns key...` | `*n` of `:1`/`:0` | batched; one lock per touched shard |
+//! | `COUNT ns key` | `:count` | `shbf-x` only |
+//! | `ASSOC ns key` | `+ONLY_S1` … | `shbf-a` only; paper's 8 outcomes |
+//! | `STATS ns` | `*n` of `+k=v` | kind, geometry, items, hit/miss/insert/delete, est. FPR |
+//! | `NAMESPACES` | `*n` of `+name kind` | name-sorted |
+//! | `DROP ns` | `+OK` | |
+//! | `SNAPSHOT path` | `+OK n namespaces` | CRC-checked single file, atomic rename |
+//! | `LOAD path` | `+OK n namespaces` | replaces all namespaces; atomic on failure |
+//! | `SHUTDOWN` | `+BYE` | stops the server |
+//! | `QUIT` | `+BYE` | closes the connection |
+//!
+//! ## Trust model
+//!
+//! The protocol is **unauthenticated**: every connected client can run
+//! every command, including `SNAPSHOT`/`LOAD` with server-side filesystem
+//! paths and `SHUTDOWN`. Bind to loopback (the CLI default) or a trusted
+//! network only; AUTH and snapshot-path sandboxing are tracked as future
+//! work in the roadmap. Per-connection memory is bounded (request lines
+//! are capped at 1 MiB) and worker threads are capped by
+//! [`ServerConfig::max_connections`].
+//!
+//! ## Layers
+//!
+//! [`protocol`] (codec) → [`engine`] (dispatch) → [`registry`]
+//! (namespaces) → filter crates; [`server`] owns the TCP accept loop and
+//! the bounded worker pool, [`snapshot`] the persistence format, and
+//! [`client`] a minimal blocking client used by the CLI and tests.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use shbf_server::{Engine, Server, ServerConfig};
+//!
+//! let engine = Arc::new(Engine::new());
+//! let server = Server::bind("127.0.0.1:7878", engine, ServerConfig::default()).unwrap();
+//! server.run().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod snapshot;
+
+pub use client::Client;
+pub use engine::{Control, Engine};
+pub use protocol::{parse_command, Command, KindSpec, Response};
+pub use registry::{Namespace, Registry, RegistryError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::SnapshotError;

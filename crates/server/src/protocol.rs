@@ -1,0 +1,537 @@
+//! Wire protocol: a RESP-like, line-oriented request/reply codec.
+//!
+//! Requests are single lines of whitespace-separated tokens terminated by
+//! `\n` (a trailing `\r` is stripped, so both LF and CRLF clients work).
+//! The first token is the case-insensitive command verb. Keys are opaque
+//! tokens; a token of the form `0x<hex>` denotes raw bytes, anything else
+//! is taken as its UTF-8 bytes. See the crate docs for the full grammar.
+//!
+//! Replies use RESP framing so any Redis-style client can parse them:
+//!
+//! * `+<text>\r\n` — simple string (`+OK`, `+PONG`, `+INTERSECTION`, …)
+//! * `-ERR <msg>\r\n` — error
+//! * `:<n>\r\n` — integer (`:1`/`:0` for membership, counts for `COUNT`)
+//! * `*<n>\r\n` followed by `n` nested replies — arrays (`MQUERY`, `STATS`)
+
+use std::fmt;
+
+/// Which of the two sets an association update targets (wire form `1`/`2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSet {
+    /// Set S1 (the default when omitted).
+    S1,
+    /// Set S2.
+    S2,
+}
+
+/// The filter family a namespace is created with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindSpec {
+    /// `shbf-m` — sharded counting membership filter (insert/delete/query).
+    Membership,
+    /// `shbf-x` — counting multiplicity filter (insert bumps a count).
+    Multiplicity,
+    /// `shbf-a` — counting association filter over two sets.
+    Association,
+}
+
+impl KindSpec {
+    /// Wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            KindSpec::Membership => "shbf-m",
+            KindSpec::Multiplicity => "shbf-x",
+            KindSpec::Association => "shbf-a",
+        }
+    }
+}
+
+impl fmt::Display for KindSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `PING` → `+PONG`.
+    Ping,
+    /// `CREATE ns kind m k [extra] [seed]` — `extra` is shard count for
+    /// `shbf-m`, max count `c` for `shbf-x`, absent for `shbf-a`.
+    Create {
+        /// Namespace name.
+        ns: String,
+        /// Filter family.
+        kind: KindSpec,
+        /// Logical bits.
+        m: usize,
+        /// Hash positions.
+        k: usize,
+        /// Kind-specific extra parameter (shards / max count), if given.
+        extra: Option<usize>,
+        /// Hash seed, if given.
+        seed: Option<u64>,
+    },
+    /// `INSERT ns key [1|2]` — set id only meaningful for `shbf-a`.
+    Insert {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+        /// Target set for association namespaces.
+        set: WireSet,
+    },
+    /// `DELETE ns key [1|2]`.
+    Delete {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+        /// Target set for association namespaces.
+        set: WireSet,
+    },
+    /// `QUERY ns key` → `:1` / `:0`.
+    Query {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+    },
+    /// `MQUERY ns key...` → array of `:1`/`:0`, batched per shard.
+    MQuery {
+        /// Namespace name.
+        ns: String,
+        /// Element keys, answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// `COUNT ns key` → `:multiplicity` (shbf-x namespaces).
+    Count {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+    },
+    /// `ASSOC ns key` → `+ONLY_S1` etc. (shbf-a namespaces).
+    Assoc {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+    },
+    /// `STATS ns` → array of `+field=value` lines.
+    Stats {
+        /// Namespace name.
+        ns: String,
+    },
+    /// `NAMESPACES` → array of `+name kind` lines.
+    Namespaces,
+    /// `DROP ns` → `+OK`.
+    Drop {
+        /// Namespace name.
+        ns: String,
+    },
+    /// `SNAPSHOT path` — persist every namespace to one file.
+    Snapshot {
+        /// Destination file path.
+        path: String,
+    },
+    /// `LOAD path` — replace all namespaces from a snapshot file.
+    Load {
+        /// Source file path.
+        path: String,
+    },
+    /// `SHUTDOWN` — stop the server after replying `+BYE`.
+    Shutdown,
+    /// `QUIT` — close this connection after replying `+BYE`.
+    Quit,
+}
+
+/// A parse failure, reported to the client as `-ERR ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Decodes a key token: `0x<hex>` → raw bytes, otherwise UTF-8 bytes.
+pub fn decode_key(token: &str) -> Result<Vec<u8>, ParseError> {
+    if let Some(hex) = token.strip_prefix("0x") {
+        if hex.is_empty() || hex.len() % 2 != 0 {
+            return Err(err("hex key must have even, nonzero length"));
+        }
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| {
+                u8::from_str_radix(&hex[i..i + 2], 16)
+                    .map_err(|_| err(format!("invalid hex key `{token}`")))
+            })
+            .collect()
+    } else {
+        Ok(token.as_bytes().to_vec())
+    }
+}
+
+/// Encodes a key for display: printable ASCII as-is, otherwise `0x<hex>`.
+pub fn encode_key(key: &[u8]) -> String {
+    let printable = !key.is_empty() && key.iter().all(|&b| b.is_ascii_graphic() && b != b'"');
+    if printable && !key.starts_with(b"0x") {
+        String::from_utf8(key.to_vec()).unwrap()
+    } else {
+        let mut s = String::with_capacity(2 + key.len() * 2);
+        s.push_str("0x");
+        for b in key {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+fn parse_set(token: Option<&str>) -> Result<WireSet, ParseError> {
+    match token {
+        None | Some("1") => Ok(WireSet::S1),
+        Some("2") => Ok(WireSet::S2),
+        Some(other) => Err(err(format!("set must be 1 or 2, got `{other}`"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, ParseError> {
+    token
+        .parse()
+        .map_err(|_| err(format!("{what}: cannot parse `{token}`")))
+}
+
+fn check_ns(ns: &str) -> Result<String, ParseError> {
+    if ns.is_empty() || ns.len() > 128 {
+        return Err(err("namespace must be 1..=128 chars"));
+    }
+    if !ns
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+    {
+        return Err(err(format!(
+            "namespace `{ns}` may only contain [A-Za-z0-9._:-]"
+        )));
+    }
+    Ok(ns.to_string())
+}
+
+/// Parses one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, ParseError> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or_else(|| err("empty command"))?;
+    let rest: Vec<&str> = tokens.collect();
+
+    let arity = |n: usize, usage: &str| -> Result<(), ParseError> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("usage: {usage}")))
+        }
+    };
+
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Command::Ping),
+        "CREATE" => {
+            if !(4..=6).contains(&rest.len()) {
+                return Err(err(
+                    "usage: CREATE ns shbf-m|shbf-x|shbf-a m k [extra] [seed]",
+                ));
+            }
+            let ns = check_ns(rest[0])?;
+            let kind = match rest[1] {
+                "shbf-m" => KindSpec::Membership,
+                "shbf-x" => KindSpec::Multiplicity,
+                "shbf-a" => KindSpec::Association,
+                other => {
+                    return Err(err(format!(
+                        "unknown kind `{other}` (shbf-m | shbf-x | shbf-a)"
+                    )))
+                }
+            };
+            let m = parse_num(rest[2], "m")?;
+            let k = parse_num(rest[3], "k")?;
+            let extra = rest.get(4).map(|t| parse_num(t, "extra")).transpose()?;
+            let seed = rest.get(5).map(|t| parse_num(t, "seed")).transpose()?;
+            Ok(Command::Create {
+                ns,
+                kind,
+                m,
+                k,
+                extra,
+                seed,
+            })
+        }
+        "INSERT" | "DELETE" => {
+            if !(2..=3).contains(&rest.len()) {
+                return Err(err(format!("usage: {verb} ns key [1|2]")));
+            }
+            let ns = check_ns(rest[0])?;
+            let key = decode_key(rest[1])?;
+            let set = parse_set(rest.get(2).copied())?;
+            if verb.eq_ignore_ascii_case("INSERT") {
+                Ok(Command::Insert { ns, key, set })
+            } else {
+                Ok(Command::Delete { ns, key, set })
+            }
+        }
+        "QUERY" => {
+            arity(2, "QUERY ns key")?;
+            Ok(Command::Query {
+                ns: check_ns(rest[0])?,
+                key: decode_key(rest[1])?,
+            })
+        }
+        "MQUERY" => {
+            if rest.len() < 2 {
+                return Err(err("usage: MQUERY ns key [key...]"));
+            }
+            let ns = check_ns(rest[0])?;
+            let keys = rest[1..]
+                .iter()
+                .map(|t| decode_key(t))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::MQuery { ns, keys })
+        }
+        "COUNT" => {
+            arity(2, "COUNT ns key")?;
+            Ok(Command::Count {
+                ns: check_ns(rest[0])?,
+                key: decode_key(rest[1])?,
+            })
+        }
+        "ASSOC" => {
+            arity(2, "ASSOC ns key")?;
+            Ok(Command::Assoc {
+                ns: check_ns(rest[0])?,
+                key: decode_key(rest[1])?,
+            })
+        }
+        "STATS" => {
+            arity(1, "STATS ns")?;
+            Ok(Command::Stats {
+                ns: check_ns(rest[0])?,
+            })
+        }
+        "NAMESPACES" => {
+            arity(0, "NAMESPACES")?;
+            Ok(Command::Namespaces)
+        }
+        "DROP" => {
+            arity(1, "DROP ns")?;
+            Ok(Command::Drop {
+                ns: check_ns(rest[0])?,
+            })
+        }
+        "SNAPSHOT" => {
+            arity(1, "SNAPSHOT path")?;
+            Ok(Command::Snapshot {
+                path: rest[0].to_string(),
+            })
+        }
+        "LOAD" => {
+            arity(1, "LOAD path")?;
+            Ok(Command::Load {
+                path: rest[0].to_string(),
+            })
+        }
+        "SHUTDOWN" => {
+            arity(0, "SHUTDOWN")?;
+            Ok(Command::Shutdown)
+        }
+        "QUIT" => {
+            arity(0, "QUIT")?;
+            Ok(Command::Quit)
+        }
+        other => Err(err(format!("unknown command `{other}`"))),
+    }
+}
+
+/// A reply, encodable in RESP framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `+<text>` simple string.
+    Simple(String),
+    /// `-ERR <msg>` error.
+    Error(String),
+    /// `:<n>` integer.
+    Int(i64),
+    /// `*<n>` array of nested replies.
+    Array(Vec<Response>),
+}
+
+impl Response {
+    /// `+OK`.
+    pub fn ok() -> Response {
+        Response::Simple("OK".into())
+    }
+
+    /// Boolean as the RESP integer convention (`:1` / `:0`).
+    pub fn bool(b: bool) -> Response {
+        Response::Int(b as i64)
+    }
+
+    /// Appends the RESP encoding of this reply to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Response::Error(msg) => {
+                out.extend_from_slice(b"-ERR ");
+                out.extend_from_slice(msg.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Response::Int(n) => {
+                out.push(b':');
+                out.extend_from_slice(n.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Response::Array(items) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// The encoding as a `String` (responses are always valid UTF-8).
+    pub fn encode_to_string(&self) -> String {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        String::from_utf8(out).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(parse_command("PING\r").unwrap(), Command::Ping);
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(
+            parse_command("CREATE flows shbf-m 140000 8 4 99").unwrap(),
+            Command::Create {
+                ns: "flows".into(),
+                kind: KindSpec::Membership,
+                m: 140_000,
+                k: 8,
+                extra: Some(4),
+                seed: Some(99),
+            }
+        );
+        assert_eq!(
+            parse_command("CREATE c shbf-x 4096 6").unwrap(),
+            Command::Create {
+                ns: "c".into(),
+                kind: KindSpec::Multiplicity,
+                m: 4096,
+                k: 6,
+                extra: None,
+                seed: None,
+            }
+        );
+        assert_eq!(
+            parse_command("insert ns key-1").unwrap(),
+            Command::Insert {
+                ns: "ns".into(),
+                key: b"key-1".to_vec(),
+                set: WireSet::S1,
+            }
+        );
+        assert_eq!(
+            parse_command("INSERT gw file7 2").unwrap(),
+            Command::Insert {
+                ns: "gw".into(),
+                key: b"file7".to_vec(),
+                set: WireSet::S2,
+            }
+        );
+        assert_eq!(
+            parse_command("MQUERY ns a b 0x0aff").unwrap(),
+            Command::MQuery {
+                ns: "ns".into(),
+                keys: vec![b"a".to_vec(), b"b".to_vec(), vec![0x0a, 0xff]],
+            }
+        );
+        assert_eq!(
+            parse_command("SNAPSHOT /tmp/s.snap").unwrap(),
+            Command::Snapshot {
+                path: "/tmp/s.snap".into()
+            }
+        );
+        assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+        assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "   ",
+            "BOGUS x",
+            "CREATE ns shbf-m",
+            "CREATE ns nope 100 8",
+            "CREATE b@d shbf-m 100 8",
+            "INSERT ns",
+            "INSERT ns k 3",
+            "QUERY ns",
+            "MQUERY ns",
+            "COUNT ns k extra",
+            "STATS",
+            "SHUTDOWN now",
+        ] {
+            assert!(parse_command(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn key_token_roundtrip() {
+        for key in [
+            b"plain-token".to_vec(),
+            vec![0u8, 1, 2, 255],
+            b"with space".to_vec(),
+            b"0xlooks-like-hex".to_vec(),
+        ] {
+            let token = encode_key(&key);
+            assert!(
+                !token.contains(char::is_whitespace) || key.contains(&b' '),
+                "token must be one word"
+            );
+            assert_eq!(decode_key(&token).unwrap(), key, "token `{token}`");
+        }
+        assert!(decode_key("0x1").is_err());
+        assert!(decode_key("0xzz").is_err());
+    }
+
+    #[test]
+    fn responses_encode_as_resp() {
+        assert_eq!(Response::ok().encode_to_string(), "+OK\r\n");
+        assert_eq!(Response::Int(-3).encode_to_string(), ":-3\r\n");
+        assert_eq!(
+            Response::Error("boom".into()).encode_to_string(),
+            "-ERR boom\r\n"
+        );
+        assert_eq!(
+            Response::Array(vec![Response::bool(true), Response::bool(false)]).encode_to_string(),
+            "*2\r\n:1\r\n:0\r\n"
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Namespace registry: names → filter instances plus live counters.
+//!
+//! Concurrency model: the registry map itself is behind one `RwLock`, held
+//! only long enough to clone an `Arc<Namespace>` out (lookups are reads;
+//! `CREATE`/`DROP`/`LOAD` are the only writers). Per-namespace
+//! synchronization then depends on the backend: the membership backend
+//! ([`ShardedCShbfM`]) is internally sharded and needs no outer lock, while
+//! the multiplicity and association backends are single sequential
+//! structures behind their own `RwLock` — queries share read locks, updates
+//! take the write lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use shbf_concurrent::ShardedCShbfM;
+use shbf_core::{CShbfA, CShbfX, ShbfError};
+
+use crate::protocol::KindSpec;
+
+/// Default shard count for `shbf-m` namespaces.
+pub const DEFAULT_SHARDS: usize = 8;
+/// Default maximum multiplicity for `shbf-x` namespaces.
+pub const DEFAULT_MAX_COUNT: usize = 57;
+/// Default hash seed (the paper's year, like the CLI default).
+pub const DEFAULT_SEED: u64 = 0x5683_2016;
+
+/// The filter instance behind a namespace.
+pub enum Backend {
+    /// `shbf-m`: concurrent sharded counting membership filter.
+    Membership(ShardedCShbfM),
+    /// `shbf-x`: counting multiplicity filter.
+    Multiplicity(RwLock<CShbfX>),
+    /// `shbf-a`: counting association filter.
+    Association(RwLock<CShbfA>),
+}
+
+impl Backend {
+    /// The kind this backend serves.
+    pub fn kind(&self) -> KindSpec {
+        match self {
+            Backend::Membership(_) => KindSpec::Membership,
+            Backend::Multiplicity(_) => KindSpec::Multiplicity,
+            Backend::Association(_) => KindSpec::Association,
+        }
+    }
+}
+
+/// Monotonic per-namespace operation counters, updated lock-free.
+#[derive(Debug, Default)]
+pub struct NamespaceStats {
+    /// Queries that answered positive (member / count > 0 / in-union).
+    pub hits: AtomicU64,
+    /// Queries that answered negative.
+    pub misses: AtomicU64,
+    /// Successful inserts.
+    pub inserts: AtomicU64,
+    /// Successful deletes.
+    pub deletes: AtomicU64,
+}
+
+impl NamespaceStats {
+    /// Records one query outcome.
+    pub fn record_query(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot as `(hits, misses, inserts, deletes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.inserts.load(Ordering::Relaxed),
+            self.deletes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Restores counters (snapshot load).
+    pub fn restore(&self, hits: u64, misses: u64, inserts: u64, deletes: u64) {
+        self.hits.store(hits, Ordering::Relaxed);
+        self.misses.store(misses, Ordering::Relaxed);
+        self.inserts.store(inserts, Ordering::Relaxed);
+        self.deletes.store(deletes, Ordering::Relaxed);
+    }
+}
+
+/// One named filter with its counters and creation parameters.
+pub struct Namespace {
+    /// Namespace name.
+    pub name: String,
+    /// The filter.
+    pub backend: Backend,
+    /// Live operation counters.
+    pub stats: NamespaceStats,
+}
+
+/// Parameters for creating a namespace (wire `CREATE` arguments).
+#[derive(Debug, Clone, Copy)]
+pub struct CreateParams {
+    /// Filter family.
+    pub kind: KindSpec,
+    /// Logical bits.
+    pub m: usize,
+    /// Hash positions.
+    pub k: usize,
+    /// Shards (`shbf-m`) or max count (`shbf-x`); `None` → default.
+    pub extra: Option<usize>,
+    /// Hash seed; `None` → [`DEFAULT_SEED`].
+    pub seed: Option<u64>,
+}
+
+/// Errors from registry operations, reported as `-ERR` to clients.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// `CREATE` on a name that already exists.
+    Exists(String),
+    /// Operation on a name that does not exist.
+    NotFound(String),
+    /// `CREATE` arguments that don't fit the requested kind.
+    BadParams(&'static str),
+    /// Filter construction / update rejected by the core library.
+    Filter(ShbfError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Exists(ns) => write!(f, "namespace `{ns}` already exists"),
+            RegistryError::NotFound(ns) => write!(f, "no such namespace `{ns}`"),
+            RegistryError::BadParams(msg) => f.write_str(msg),
+            RegistryError::Filter(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ShbfError> for RegistryError {
+    fn from(e: ShbfError) -> Self {
+        RegistryError::Filter(e)
+    }
+}
+
+/// The name → namespace map.
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<HashMap<String, Arc<Namespace>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Builds the backend for `params` (shared by `CREATE` and tests).
+    pub fn build_backend(params: &CreateParams) -> Result<Backend, RegistryError> {
+        let seed = params.seed.unwrap_or(DEFAULT_SEED);
+        Ok(match params.kind {
+            KindSpec::Membership => {
+                let shards = params.extra.unwrap_or(DEFAULT_SHARDS);
+                Backend::Membership(ShardedCShbfM::new(params.m, params.k, shards, seed)?)
+            }
+            KindSpec::Multiplicity => {
+                let c = params.extra.unwrap_or(DEFAULT_MAX_COUNT);
+                Backend::Multiplicity(RwLock::new(CShbfX::new(params.m, params.k, c, seed)?))
+            }
+            KindSpec::Association => {
+                // `shbf-a` has no extra parameter, so a bare 5th CREATE
+                // token is the seed: `CREATE gw shbf-a m k 7` ≡ seed 7.
+                // Supplying both positions is ambiguous — reject it
+                // rather than silently dropping one.
+                let seed =
+                    match (params.extra, params.seed) {
+                        (Some(_), Some(_)) => return Err(RegistryError::BadParams(
+                            "shbf-a takes no extra parameter (usage: CREATE ns shbf-a m k [seed])",
+                        )),
+                        (Some(e), None) => e as u64,
+                        (None, s) => s.unwrap_or(DEFAULT_SEED),
+                    };
+                Backend::Association(RwLock::new(CShbfA::new(params.m, params.k, seed)?))
+            }
+        })
+    }
+
+    /// Creates a namespace; errors if the name is taken.
+    pub fn create(&self, name: &str, params: CreateParams) -> Result<(), RegistryError> {
+        // Build outside the lock — construction allocates the whole filter.
+        let backend = Self::build_backend(&params)?;
+        let ns = Arc::new(Namespace {
+            name: name.to_string(),
+            backend,
+            stats: NamespaceStats::default(),
+        });
+        let mut map = self.map.write();
+        if map.contains_key(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        map.insert(name.to_string(), ns);
+        Ok(())
+    }
+
+    /// Installs an already-built namespace, replacing any existing entry
+    /// (snapshot load path).
+    pub fn install(&self, ns: Namespace) {
+        self.map.write().insert(ns.name.clone(), Arc::new(ns));
+    }
+
+    /// Looks up a namespace.
+    pub fn get(&self, name: &str) -> Result<Arc<Namespace>, RegistryError> {
+        self.map
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Drops a namespace.
+    pub fn drop_ns(&self, name: &str) -> Result<(), RegistryError> {
+        self.map
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// All namespaces, name-sorted (stable wire output).
+    pub fn list(&self) -> Vec<Arc<Namespace>> {
+        let mut all: Vec<Arc<Namespace>> = self.map.read().values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Removes every namespace (snapshot load replaces the world).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_params(kind: KindSpec) -> CreateParams {
+        CreateParams {
+            kind,
+            m: 8192,
+            k: 8,
+            extra: None,
+            seed: None,
+        }
+    }
+
+    #[test]
+    fn create_get_drop_lifecycle() {
+        let r = Registry::new();
+        r.create("a", mk_params(KindSpec::Membership)).unwrap();
+        r.create("b", mk_params(KindSpec::Multiplicity)).unwrap();
+        assert!(matches!(
+            r.create("a", mk_params(KindSpec::Membership)),
+            Err(RegistryError::Exists(_))
+        ));
+        assert_eq!(r.get("a").unwrap().backend.kind(), KindSpec::Membership);
+        assert_eq!(
+            r.list().iter().map(|n| n.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        r.drop_ns("a").unwrap();
+        assert!(matches!(r.get("a"), Err(RegistryError::NotFound(_))));
+        assert!(matches!(r.drop_ns("a"), Err(RegistryError::NotFound(_))));
+    }
+
+    #[test]
+    fn bad_params_surface_filter_errors() {
+        let r = Registry::new();
+        let bad = CreateParams {
+            kind: KindSpec::Membership,
+            m: 8192,
+            k: 7, // ShBF_M needs even k
+            extra: None,
+            seed: None,
+        };
+        assert!(matches!(
+            r.create("x", bad),
+            Err(RegistryError::Filter(ShbfError::KMustBeEven(7)))
+        ));
+    }
+
+    #[test]
+    fn association_fifth_token_is_the_seed() {
+        // `CREATE gw shbf-a m k 7` — the bare 5th token lands in `extra`
+        // and must act as the seed, not vanish.
+        let with_extra = Registry::build_backend(&CreateParams {
+            kind: KindSpec::Association,
+            m: 8192,
+            k: 6,
+            extra: Some(7),
+            seed: None,
+        })
+        .unwrap();
+        let with_seed = Registry::build_backend(&CreateParams {
+            kind: KindSpec::Association,
+            m: 8192,
+            k: 6,
+            extra: None,
+            seed: Some(7),
+        })
+        .unwrap();
+        // Same seed → identical serialized filters.
+        match (with_extra, with_seed) {
+            (Backend::Association(a), Backend::Association(b)) => {
+                assert_eq!(a.read().to_bytes(), b.read().to_bytes());
+            }
+            _ => panic!("expected association backends"),
+        }
+        // Both positions at once is ambiguous and rejected.
+        assert!(matches!(
+            Registry::build_backend(&CreateParams {
+                kind: KindSpec::Association,
+                m: 8192,
+                k: 6,
+                extra: Some(1),
+                seed: Some(2),
+            }),
+            Err(RegistryError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let s = NamespaceStats::default();
+        s.record_query(true);
+        s.record_query(true);
+        s.record_query(false);
+        s.inserts.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(s.snapshot(), (2, 1, 5, 0));
+        s.restore(9, 8, 7, 6);
+        assert_eq!(s.snapshot(), (9, 8, 7, 6));
+    }
+}

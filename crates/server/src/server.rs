@@ -1,0 +1,324 @@
+//! TCP transport: std-only listener with a bounded thread-per-connection
+//! worker model.
+//!
+//! Tokio is deliberately not used — the offline registry bakes in no async
+//! runtime, and the std model is sufficient for the current scale target.
+//! The accept loop admits at most `max_connections` concurrent handler
+//! threads; beyond that, accepts block until a slot frees (TCP backlog
+//! absorbs the burst). Every handler shares one [`Engine`] behind an
+//! `Arc`, so all synchronization lives in the registry/backends.
+//!
+//! Shutdown: `SHUTDOWN` (or [`ServerHandle::shutdown`]) sets a flag and
+//! pokes the listener with a loopback connection so the blocking `accept`
+//! observes it; in-flight connections finish their current command and
+//! close on the next read.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{Control, Engine};
+use crate::protocol::{parse_command, Response};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent connection-handler threads.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+        }
+    }
+}
+
+/// Counting semaphore bounding live connection handlers.
+struct ConnSlots {
+    state: Mutex<usize>,
+    freed: Condvar,
+    max: usize,
+}
+
+impl ConnSlots {
+    fn new(max: usize) -> Self {
+        ConnSlots {
+            state: Mutex::new(0),
+            freed: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+
+    fn acquire(self: &Arc<Self>) -> SlotGuard {
+        let mut active = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *active >= self.max {
+            active = self.freed.wait(active).unwrap_or_else(|e| e.into_inner());
+        }
+        *active += 1;
+        SlotGuard {
+            slots: Arc::clone(self),
+        }
+    }
+
+    fn release(&self) {
+        let mut active = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *active -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// RAII slot: released on drop, so a panicking connection handler still
+/// returns its slot instead of shrinking capacity forever.
+struct SlotGuard {
+    slots: Arc<ConnSlots>,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.slots.release();
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) serving `engine`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on this thread until shutdown.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        let slots = Arc::new(ConnSlots::new(self.config.max_connections));
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept error; keep serving
+            };
+            let slot = slots.acquire();
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            handlers.push(std::thread::spawn(move || {
+                let _slot = slot; // held for the connection's lifetime
+                let _ = handle_connection(stream, &engine, &shutdown, addr);
+            }));
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connections close after their current command.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Longest accepted request line (1 MiB) — bounds per-connection memory.
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+fn reject_oversized(writer: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+    out.clear();
+    Response::Error(format!(
+        "protocol: request line exceeds {MAX_REQUEST_LINE} bytes"
+    ))
+    .encode(out);
+    let _ = writer.write_all(out);
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    server_addr: SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Bounded reads so a connection parked in `read_line` observes a
+    // server shutdown within one poll interval instead of blocking the
+    // run loop's join forever.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut out = Vec::with_capacity(256);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // `line` deliberately accumulates across timeouts: a read timeout
+        // mid-line must not discard the partial line already buffered.
+        // It is capped so a peer streaming newline-free bytes (or one
+        // enormous request) cannot grow the buffer without bound.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if line.len() > MAX_REQUEST_LINE {
+                    return reject_oversized(&mut writer, &mut out);
+                }
+                continue;
+            }
+            // Non-UTF-8 bytes on a text protocol: tell the peer why
+            // before closing, instead of silently dropping the link.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                out.clear();
+                Response::Error("protocol: request is not valid UTF-8".into()).encode(&mut out);
+                let _ = writer.write_all(&out);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        if line.len() > MAX_REQUEST_LINE {
+            return reject_oversized(&mut writer, &mut out);
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, control) = match parse_command(trimmed) {
+            Ok(cmd) => engine.dispatch(&cmd),
+            Err(e) => (Response::Error(e.to_string()), Control::Continue),
+        };
+        line.clear();
+        out.clear();
+        response.encode(&mut out);
+        writer.write_all(&out)?;
+        writer.flush()?;
+        match control {
+            Control::Continue => {}
+            Control::CloseConnection => return Ok(()),
+            Control::ShutdownServer => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor so the whole server exits.
+                let _ = TcpStream::connect(server_addr);
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_slots_bound_concurrency() {
+        let slots = Arc::new(ConnSlots::new(2));
+        let g1 = slots.acquire();
+        let g2 = slots.acquire();
+        let s = Arc::clone(&slots);
+        let t = std::thread::spawn(move || {
+            let _g3 = s.acquire(); // blocks until a release
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!t.is_finished(), "third acquire should block at max=2");
+        drop(g1);
+        t.join().unwrap();
+        drop(g2);
+    }
+
+    #[test]
+    fn conn_slot_released_even_on_panic() {
+        let slots = Arc::new(ConnSlots::new(1));
+        let s = Arc::clone(&slots);
+        let panicker = std::thread::spawn(move || {
+            let _g = s.acquire();
+            panic!("handler died");
+        });
+        assert!(panicker.join().is_err());
+        // The slot came back: this would deadlock if the panic leaked it.
+        let _g = slots.acquire();
+    }
+
+    #[test]
+    fn shutdown_via_handle_unblocks_accept() {
+        let engine = Arc::new(Engine::new());
+        let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+        // Server is alive: a PING roundtrips.
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        assert_eq!(client.send("PING").unwrap(), vec!["+PONG".to_string()]);
+        drop(client);
+        handle.shutdown().unwrap();
+        // After shutdown new connections can't complete a roundtrip.
+        let gone = crate::client::Client::connect(addr)
+            .and_then(|mut c| c.send("PING"))
+            .is_err();
+        assert!(gone, "server still answering after shutdown");
+    }
+}

@@ -1,0 +1,200 @@
+//! Whole-registry persistence: `SNAPSHOT path` / `LOAD path`.
+//!
+//! One snapshot file is a single [`shbf_bits::codec`] blob (magic,
+//! version, kind tag, CRC-32 footer) whose body is:
+//!
+//! ```text
+//! u64 namespace-count
+//! per namespace:
+//!   bytes  name
+//!   u8     backend tag (1 = shbf-m, 2 = shbf-x, 3 = shbf-a)
+//!   bytes  backend blob (the structure's own self-describing encoding)
+//!   u64×4  hits, misses, inserts, deletes
+//! ```
+//!
+//! Backend blobs nest the per-structure codec envelopes, so corruption
+//! anywhere — container or payload — is caught by a CRC before any field
+//! is trusted. Loads are atomic with respect to failure: the registry is
+//! only replaced after the entire file parses.
+
+use std::path::Path;
+
+use shbf_bits::{CodecError, Reader, Writer};
+use shbf_concurrent::ShardedCShbfM;
+use shbf_core::{CShbfA, CShbfX, ShbfError};
+
+use crate::registry::{Backend, Namespace, NamespaceStats, Registry};
+
+/// Codec kind tag for the snapshot container (structures use 1–22).
+pub const SNAPSHOT_KIND: u16 = 64;
+
+const TAG_MEMBERSHIP: u8 = 1;
+const TAG_MULTIPLICITY: u8 = 2;
+const TAG_ASSOCIATION: u8 = 3;
+
+/// Errors from snapshot persistence.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Container decode failure.
+    Codec(CodecError),
+    /// Nested structure decode failure.
+    Filter(ShbfError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Codec(e) => write!(f, "snapshot format: {e}"),
+            SnapshotError::Filter(e) => write!(f, "snapshot filter: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<ShbfError> for SnapshotError {
+    fn from(e: ShbfError) -> Self {
+        SnapshotError::Filter(e)
+    }
+}
+
+/// Serializes every namespace to `path`. Returns the namespace count.
+pub fn save(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
+    let namespaces = registry.list();
+    let mut w = Writer::new(SNAPSHOT_KIND);
+    w.u64(namespaces.len() as u64);
+    for ns in &namespaces {
+        w.bytes(ns.name.as_bytes());
+        let (tag, blob) = match &ns.backend {
+            Backend::Membership(f) => (TAG_MEMBERSHIP, f.to_bytes()),
+            Backend::Multiplicity(f) => (TAG_MULTIPLICITY, f.read().to_bytes()),
+            Backend::Association(f) => (TAG_ASSOCIATION, f.read().to_bytes()),
+        };
+        w.u8(tag).bytes(&blob);
+        let (hits, misses, inserts, deletes) = ns.stats.snapshot();
+        w.u64(hits).u64(misses).u64(inserts).u64(deletes);
+    }
+    let blob = w.finish();
+    // Write to a sibling temp file then rename, so a crash mid-write never
+    // clobbers the previous good snapshot.
+    let tmp = path.with_extension("snap.tmp");
+    std::fs::write(&tmp, &blob)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(namespaces.len())
+}
+
+/// Replaces the registry contents from `path`. Returns the namespace
+/// count. On any error the registry is left untouched.
+pub fn load(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
+    let blob = std::fs::read(path)?;
+    let mut r = Reader::new(&blob, SNAPSHOT_KIND)?;
+    let count = r.u64()? as usize;
+    let mut loaded = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_bytes = r.bytes()?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CodecError::InvalidField("namespace name utf-8"))?;
+        let tag = r.u8()?;
+        let payload = r.bytes()?;
+        let backend = match tag {
+            TAG_MEMBERSHIP => Backend::Membership(ShardedCShbfM::from_bytes(&payload)?),
+            TAG_MULTIPLICITY => {
+                Backend::Multiplicity(parking_lot::RwLock::new(CShbfX::from_bytes(&payload)?))
+            }
+            TAG_ASSOCIATION => {
+                Backend::Association(parking_lot::RwLock::new(CShbfA::from_bytes(&payload)?))
+            }
+            _ => return Err(CodecError::InvalidField("backend tag").into()),
+        };
+        let stats = NamespaceStats::default();
+        stats.restore(r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+        loaded.push(Namespace {
+            name,
+            backend,
+            stats,
+        });
+    }
+    r.expect_end()?;
+    registry.clear();
+    let n = loaded.len();
+    for ns in loaded {
+        registry.install(ns);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::protocol::Response;
+
+    #[test]
+    fn snapshot_roundtrips_all_backends() {
+        let dir = std::env::temp_dir().join(format!("shbf-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.snap");
+
+        let e = Engine::new();
+        e.eval_line("CREATE flows shbf-m 120000 8 4 7");
+        e.eval_line("CREATE sizes shbf-x 8192 6 30 3");
+        e.eval_line("CREATE gw shbf-a 8192 6 5");
+        for i in 0..300 {
+            e.eval_line(&format!("INSERT flows key-{i}"));
+        }
+        e.eval_line("INSERT sizes f");
+        e.eval_line("INSERT sizes f");
+        e.eval_line("INSERT gw file 1");
+        e.eval_line("INSERT gw file 2");
+        e.eval_line("QUERY flows key-0"); // hits=1
+
+        let saved = save(e.registry(), &path).unwrap();
+        assert_eq!(saved, 3);
+
+        // Load into a brand-new engine (fresh process simulation).
+        let e2 = Engine::new();
+        let loaded = load(e2.registry(), &path).unwrap();
+        assert_eq!(loaded, 3);
+        // Persisted stats are restored before any new queries run.
+        let stats = e2.eval_line("STATS flows").encode_to_string();
+        assert!(stats.contains("hits=1"), "{stats}");
+        for i in 0..300 {
+            assert_eq!(
+                e2.eval_line(&format!("QUERY flows key-{i}")),
+                Response::Int(1),
+                "restored membership lost key-{i}"
+            );
+        }
+        assert_eq!(e2.eval_line("COUNT sizes f"), Response::Int(2));
+        assert_eq!(
+            e2.eval_line("ASSOC gw file"),
+            e.eval_line("ASSOC gw file"),
+            "association answer changed across snapshot"
+        );
+        // Corruption is rejected and leaves the registry intact.
+        let mut bad = std::fs::read(&path).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let bad_path = dir.join("bad.snap");
+        std::fs::write(&bad_path, &bad).unwrap();
+        assert!(load(e2.registry(), &bad_path).is_err());
+        assert_eq!(e2.eval_line("COUNT sizes f"), Response::Int(2));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,14 +7,19 @@
 //! shbf-cli build     --trace t.trace --kind shbf-x --out counts.filter
 //! shbf-cli query     --filter flows.filter --trace t.trace --sample 1000
 //! shbf-cli stats     --filter flows.filter
+//! shbf-cli serve     --port 7878 --workers 64
+//! shbf-cli client    --port 7878 --send "CREATE flows shbf-m 140000 8"
 //! ```
 
+use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use shbf::analysis::{bf as bf_theory, shbf as shbf_theory};
 use shbf::baselines::Bf;
 use shbf::core::{ShbfM, ShbfX};
+use shbf::server::{Client, Engine, Server, ServerConfig};
 use shbf::workloads::{SyntheticTrace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -24,6 +29,8 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -57,7 +64,16 @@ COMMANDS
       (reports hit rate; for shbf-x, exact-count rate).
 
   stats --filter FILE
-      Print a filter's parameters, fill ratio, and theoretical FPR."
+      Print a filter's parameters, fill ratio, and theoretical FPR.
+
+  serve [--port P] [--bind ADDR] [--workers N] [--load SNAPSHOT]
+      Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
+      Speaks the RESP-like line protocol documented in shbf-server;
+      --load restores namespaces from a snapshot file at startup.
+
+  client [--port P] [--host ADDR] [--send CMD]
+      Talk to a running daemon: --send fires one command and prints the
+      reply; without it, an interactive line REPL reads from stdin."
     );
 }
 
@@ -219,13 +235,9 @@ fn load_filter(path: &str) -> Result<AnyFilter, String> {
 }
 
 fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
-        return Err("--key: hex string must have even length".into());
-    }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "--key: invalid hex".into()))
-        .collect()
+    // One hex decoder for the whole project: the server protocol's key
+    // codec, which expects a `0x` prefix the CLI flag omits.
+    shbf::server::protocol::decode_key(&format!("0x{s}")).map_err(|e| format!("--key: {e}"))
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -287,6 +299,88 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let bind = flags.get("bind").unwrap_or("127.0.0.1");
+    let port: u16 = flags.get_parsed("port", 7878)?;
+    let workers: usize = flags.get_parsed("workers", 64)?;
+
+    let engine = Arc::new(Engine::new());
+    if let Some(snapshot) = flags.get("load") {
+        let n = shbf::server::snapshot::load(engine.registry(), Path::new(snapshot))
+            .map_err(|e| format!("loading {snapshot}: {e}"))?;
+        println!("restored {n} namespaces from {snapshot}");
+    }
+    let server = Server::bind(
+        (bind, port),
+        engine,
+        ServerConfig {
+            max_connections: workers,
+        },
+    )
+    .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("shbf-server listening on {addr} ({workers} workers); send SHUTDOWN to stop");
+    server.run().map_err(|e| format!("serving: {e}"))
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let host = flags.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = flags.get_parsed("port", 7878)?;
+    let mut client =
+        Client::connect((host, port)).map_err(|e| format!("connecting {host}:{port}: {e}"))?;
+
+    let print_reply = |lines: Vec<String>| {
+        for line in lines {
+            println!("{line}");
+        }
+    };
+
+    if let Some(command) = flags.get("send") {
+        let lines = client.send(command).map_err(|e| e.to_string())?;
+        let failed = lines.first().is_some_and(|l| l.starts_with('-'));
+        print_reply(lines);
+        return if failed {
+            Err("server returned an error".into())
+        } else {
+            Ok(())
+        };
+    }
+
+    // Interactive REPL: one request line in, one framed reply out.
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("shbf> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            return Ok(()); // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match client.send(line) {
+            Ok(lines) => {
+                let closing =
+                    line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("shutdown");
+                print_reply(lines);
+                if closing {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(format!("connection lost: {e}")),
+        }
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

@@ -33,4 +33,5 @@ pub use shbf_bits as bits;
 pub use shbf_concurrent as concurrent;
 pub use shbf_core as core;
 pub use shbf_hash as hash;
+pub use shbf_server as server;
 pub use shbf_workloads as workloads;
