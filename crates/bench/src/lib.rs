@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod figs;
 pub mod harness;
 pub mod speed;

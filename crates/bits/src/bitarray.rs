@@ -135,6 +135,28 @@ impl BitArray {
         (win & 1 == 1, (win >> offset) & 1 == 1)
     }
 
+    /// True iff **both** bits of a pair are set — [`Self::probe_pair`]
+    /// collapsed to the single compare `win & mask == mask` the query hot
+    /// path wants (one branch instead of two extracted booleans).
+    ///
+    /// # Panics
+    /// Panics if `start + offset >= len()` or `offset > 63`.
+    #[inline]
+    pub fn pair_all_set(&self, start: usize, offset: usize) -> bool {
+        debug_assert!(offset < 64, "pair offset {offset} must fit one window");
+        let mask = 1u64 | (1u64 << offset);
+        self.read_window(start, offset + 1) & mask == mask
+    }
+
+    /// Issues a cache prefetch hint for the word holding bit `bit`.
+    /// Out-of-range bits are ignored (a hint, never a panic).
+    #[inline]
+    pub fn prefetch(&self, bit: usize) {
+        if let Some(word) = self.words.get(bit / 64) {
+            crate::prefetch::prefetch_word(word);
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -257,6 +279,32 @@ mod tests {
         assert_eq!(b.probe_pair(100, 57), (true, true));
         assert_eq!(b.probe_pair(100, 56), (true, false));
         assert_eq!(b.probe_pair(99, 1), (false, true));
+    }
+
+    #[test]
+    fn pair_all_set_equals_probe_pair_conjunction() {
+        let mut b = BitArray::new(512);
+        for bit in [3usize, 60, 64, 100, 157, 200, 263] {
+            b.set(bit);
+        }
+        for start in 0..420 {
+            for offset in 1..57 {
+                let (b0, b1) = b.probe_pair(start, offset);
+                assert_eq!(
+                    b.pair_all_set(start, offset),
+                    b0 && b1,
+                    "start {start} offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_never_panics() {
+        let b = BitArray::new(100);
+        b.prefetch(0);
+        b.prefetch(99);
+        b.prefetch(1_000_000); // out of range: silently ignored
     }
 
     #[test]

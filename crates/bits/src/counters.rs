@@ -78,6 +78,15 @@ impl CounterArray {
         self.max
     }
 
+    /// Issues a cache prefetch hint for the word holding counter `idx`.
+    /// Out-of-range indexes are ignored (a hint, never a panic).
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        if let Some(word) = self.words.get(idx * self.width as usize / 64) {
+            crate::prefetch::prefetch_word(word);
+        }
+    }
+
     /// How many increments have saturated so far.
     #[inline]
     pub fn saturations(&self) -> u64 {

@@ -14,7 +14,10 @@
 //! * [`codec`] — a versioned, CRC-checked binary format so filters can be
 //!   persisted and shipped (what SRAM/DRAM synchronization would serialize).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `prefetch` module's `_mm_prefetch` hint, allowed locally with a SAFETY
+// comment. Everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
@@ -23,9 +26,11 @@ pub mod bitarray;
 pub mod codec;
 pub mod counters;
 pub mod crc;
+pub mod prefetch;
 
 pub use access::{AccessStats, MemoryModel, WORD_BITS};
 pub use atomic::AtomicBitArray;
 pub use bitarray::BitArray;
 pub use codec::{CodecError, Reader, Writer};
 pub use counters::CounterArray;
+pub use prefetch::prefetch_word;

@@ -24,4 +24,4 @@ pub mod lockfree;
 pub mod sharded;
 
 pub use lockfree::{ConcurrentBf, ConcurrentShbfM};
-pub use sharded::ShardedCShbfM;
+pub use sharded::{BatchScratch, ShardedCShbfM};

@@ -14,10 +14,22 @@
 
 use parking_lot::RwLock;
 use shbf_core::{CShbfM, ShbfError};
-use shbf_hash::{murmur3::murmur3_x64_128, range_reduce};
+use shbf_hash::{murmur3::murmur3_x64_128, range_reduce, FamilyKind};
 
 /// Serialization kind tag (core claims 1–8; the sharded wrapper takes 9).
 const SHARDED_CSHBF_M_KIND: u16 = 9;
+
+/// Reusable scratch for [`ShardedCShbfM::contains_batch_with`]: the
+/// shard-grouping index lists and the per-shard verdict buffer. One scratch
+/// per connection/worker turns steady-state batch queries into a
+/// zero-allocation path (the buffers grow to the high-water mark and stay).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Indexes of the batch's keys, grouped by shard.
+    by_shard: Vec<Vec<usize>>,
+    /// Verdicts for one shard's keys (scattered back into the output).
+    verdicts: Vec<bool>,
+}
 
 /// A sharded counting ShBF_M.
 pub struct ShardedCShbfM {
@@ -37,12 +49,37 @@ impl ShardedCShbfM {
     /// Creates a filter of `m` total logical bits split over `shards`
     /// sub-filters, each with `k` nominal hash positions.
     pub fn new(m: usize, k: usize, shards: usize, seed: u64) -> Result<Self, ShbfError> {
+        Self::with_family(
+            m,
+            k,
+            shards,
+            FamilyKind::Seeded(shbf_hash::HashAlg::Murmur3),
+            seed,
+        )
+    }
+
+    /// [`Self::new`] generalized over the per-shard hash-family construction
+    /// (pass [`FamilyKind::OneShot`] for digest-once hashing). Shard
+    /// geometry matches [`CShbfM::new`]'s defaults: 4-bit counters and the
+    /// single-access-update bound `w̄ = ⌊(w − 7)/4⌋`.
+    pub fn with_family(
+        m: usize,
+        k: usize,
+        shards: usize,
+        family: FamilyKind,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
         if shards == 0 {
             return Err(ShbfError::ZeroSize("shards"));
         }
+        let w_bar = CShbfM::default_w_bar();
+        let z = CShbfM::DEFAULT_COUNTER_BITS;
         let per_shard = (m / shards).max(64);
         let shards = (0..shards)
-            .map(|s| CShbfM::new(per_shard, k, seed.wrapping_add(s as u64)).map(RwLock::new))
+            .map(|s| {
+                CShbfM::with_family(per_shard, k, w_bar, z, family, seed.wrapping_add(s as u64))
+                    .map(RwLock::new)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedCShbfM {
             shards,
@@ -89,27 +126,53 @@ impl ShardedCShbfM {
     }
 
     /// Batched membership query: keys are grouped by shard so each shard's
-    /// read lock is taken **once per batch** instead of once per key. This
-    /// is the server's `MQUERY` fast path — under pipelined traffic the
-    /// lock traffic drops from `O(keys)` to `O(shards touched)`.
+    /// read lock is taken **once per batch** instead of once per key, and
+    /// each shard's group runs through [`CShbfM::contains_batch_into`]'s
+    /// prefetched two-stage pipeline. Under pipelined traffic the lock
+    /// traffic drops from `O(keys)` to `O(shards touched)` and probe cache
+    /// misses overlap instead of serializing.
     ///
     /// Answers are returned in input order.
     pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, item) in items.iter().enumerate() {
-            by_shard[self.shard_of(item.as_ref())].push(i);
+        let mut out = Vec::new();
+        let mut scratch = BatchScratch::default();
+        self.contains_batch_with(items, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Self::contains_batch`] with caller-owned output and scratch
+    /// buffers, so a connection handler serving a stream of `MQUERY`
+    /// batches allocates nothing in steady state.
+    pub fn contains_batch_with<T: AsRef<[u8]>>(
+        &self,
+        items: &[T],
+        out: &mut Vec<bool>,
+        scratch: &mut BatchScratch,
+    ) {
+        out.clear();
+        out.resize(items.len(), false);
+        scratch.by_shard.resize(self.shards.len(), Vec::new());
+        for group in &mut scratch.by_shard {
+            group.clear();
         }
-        let mut out = vec![false; items.len()];
-        for (shard, indexes) in by_shard.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
+            scratch.by_shard[self.shard_of(item.as_ref())].push(i);
+        }
+        // Per-shard key list, reused across shards (borrows `items`, so it
+        // cannot live in the scratch struct).
+        let mut shard_keys: Vec<&[u8]> = Vec::new();
+        for (shard, indexes) in scratch.by_shard.iter().enumerate() {
             if indexes.is_empty() {
                 continue;
             }
+            shard_keys.clear();
+            shard_keys.extend(indexes.iter().map(|&i| items[i].as_ref()));
             let guard = self.shards[shard].read();
-            for &i in indexes {
-                out[i] = guard.contains(items[i].as_ref());
+            guard.contains_batch_into(&shard_keys, &mut scratch.verdicts);
+            for (&i, &verdict) in indexes.iter().zip(scratch.verdicts.iter()) {
+                out[i] = verdict;
             }
         }
-        out
     }
 
     /// Serializes the filter: shard hash seed plus every shard's
@@ -198,6 +261,42 @@ mod tests {
             assert_eq!(batch[i], f.contains(probe), "probe {i}");
         }
         assert!(batch[..4000].iter().all(|&b| b), "false negative in batch");
+    }
+
+    #[test]
+    fn batch_scratch_reuse_is_consistent() {
+        let f = ShardedCShbfM::new(120_000, 8, 8, 5).unwrap();
+        for i in 0..4000 {
+            f.insert(&key(i));
+        }
+        let mut out = Vec::new();
+        let mut scratch = BatchScratch::default();
+        // Several batches through the same scratch, including an empty one.
+        for range in [0..2000u64, 1000..5000, 0..0, 3999..4001] {
+            let probes: Vec<[u8; 8]> = range.map(key).collect();
+            f.contains_batch_with(&probes, &mut out, &mut scratch);
+            assert_eq!(out.len(), probes.len());
+            for (i, probe) in probes.iter().enumerate() {
+                assert_eq!(out[i], f.contains(probe), "probe {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_family_shards_roundtrip() {
+        let f = ShardedCShbfM::with_family(80_000, 8, 4, FamilyKind::OneShot, 21).unwrap();
+        for i in 0..2000 {
+            f.insert(&key(i));
+        }
+        for i in 0..2000 {
+            assert!(f.contains(&key(i)), "one-shot sharded lost {i}");
+        }
+        let g = ShardedCShbfM::from_bytes(&f.to_bytes()).unwrap();
+        for i in 0..4000 {
+            assert_eq!(f.contains(&key(i)), g.contains(&key(i)), "key {i}");
+        }
+        g.delete(&key(0)).unwrap();
+        assert_eq!(g.items(), 1999);
     }
 
     #[test]

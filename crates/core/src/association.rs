@@ -18,9 +18,10 @@
 use shbf_bits::access::MemoryModel;
 use shbf_bits::{AccessStats, BitArray, Reader, Writer};
 use shbf_hash::fnv::FnvHashSet;
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, PreparedKey, QueryFamily};
 
 use crate::error::ShbfError;
+use crate::BATCH_CHUNK;
 
 /// The seven possible answers of an association query (§4.2), plus a
 /// defensive eighth for elements outside `S1 ∪ S2` (the paper assumes
@@ -58,7 +59,7 @@ impl AssociationAnswer {
     }
 
     /// Builds the answer from the three region verdicts.
-    fn from_flags(s1_only: bool, both: bool, s2_only: bool) -> Self {
+    pub(crate) fn from_flags(s1_only: bool, both: bool, s2_only: bool) -> Self {
         match (s1_only, both, s2_only) {
             (true, false, false) => AssociationAnswer::OnlyS1,
             (false, true, false) => AssociationAnswer::Intersection,
@@ -78,7 +79,7 @@ pub struct ShbfABuilder {
     m: Option<usize>,
     k: usize,
     w_bar: usize,
-    alg: HashAlg,
+    family: FamilyKind,
     seed: u64,
 }
 
@@ -88,7 +89,7 @@ impl Default for ShbfABuilder {
             m: None,
             k: 10,
             w_bar: MemoryModel::default().max_window(),
-            alg: HashAlg::Murmur3,
+            family: FamilyKind::Seeded(HashAlg::Murmur3),
             seed: 0x5842_4641, // "XBFA"
         }
     }
@@ -119,9 +120,16 @@ impl ShbfABuilder {
         self
     }
 
-    /// Sets the hash algorithm.
+    /// Sets the hash algorithm (a seeded family of that algorithm).
     pub fn algorithm(mut self, alg: HashAlg) -> Self {
-        self.alg = alg;
+        self.family = FamilyKind::Seeded(alg);
+        self
+    }
+
+    /// Sets the hash-family construction directly
+    /// ([`FamilyKind::OneShot`] for digest-once hashing).
+    pub fn family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
         self
     }
 
@@ -163,8 +171,7 @@ pub struct ShbfA {
     /// Offset half-range `(w̄ − 1)/2`: o1 ∈ [1, half], o2 − o1 ∈ [1, half].
     half: usize,
     /// `k` position hashes, then the o1 hash, then the o2-delta hash.
-    family: SeededFamily,
-    alg: HashAlg,
+    family: QueryFamily,
     master_seed: u64,
     n_distinct: u64,
 }
@@ -213,8 +220,7 @@ impl ShbfA {
             k: cfg.k,
             w_bar: cfg.w_bar,
             half,
-            family: SeededFamily::new(cfg.alg, cfg.seed, cfg.k + 2),
-            alg: cfg.alg,
+            family: QueryFamily::new(cfg.family, cfg.seed, cfg.k + 2),
             master_seed: cfg.seed,
             n_distinct,
         };
@@ -269,23 +275,29 @@ impl ShbfA {
     }
 
     #[inline]
+    fn o1_of(&self, key: &PreparedKey<'_>) -> usize {
+        shbf_hash::range_reduce(key.index(self.k), self.half) + 1
+    }
+
+    #[inline]
+    fn o2_of(&self, key: &PreparedKey<'_>) -> usize {
+        self.o1_of(key) + shbf_hash::range_reduce(key.index(self.k + 1), self.half) + 1
+    }
+
+    #[inline]
     fn o1(&self, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(self.k, item), self.half) + 1
+        self.o1_of(&self.family.prepare(item))
     }
 
     #[inline]
     fn o2(&self, item: &[u8]) -> usize {
-        self.o1(item) + shbf_hash::range_reduce(self.family.hash(self.k + 1, item), self.half) + 1
-    }
-
-    #[inline]
-    fn position(&self, i: usize, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+        self.o2_of(&self.family.prepare(item))
     }
 
     fn set_all(&mut self, item: &[u8], offset: usize) {
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             self.bits.set(pos + offset);
         }
     }
@@ -294,11 +306,12 @@ impl ShbfA {
     /// three k-wide AND verdicts to an answer. Short-circuits once all three
     /// region candidates are dead.
     pub fn query(&self, item: &[u8]) -> AssociationAnswer {
-        let o1 = self.o1(item);
-        let o2 = self.o2(item);
+        let key = self.family.prepare(item);
+        let o1 = self.o1_of(&key);
+        let o2 = self.o2_of(&key);
         let (mut c0, mut c1, mut c2) = (true, true, true);
         for i in 0..self.k {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             let win = self.bits.read_window(pos, o2 + 1);
             c0 &= win & 1 == 1;
             c1 &= (win >> o1) & 1 == 1;
@@ -310,6 +323,70 @@ impl ShbfA {
         AssociationAnswer::from_flags(c0, c1, c2)
     }
 
+    /// Batched association queries, one answer per element in input order,
+    /// via the prefetched two-stage pipeline (see
+    /// [`crate::ShbfM::contains_batch`]).
+    pub fn query_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<AssociationAnswer> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::query_batch`] writing into a caller-owned buffer (cleared
+    /// first), sparing the reply-buffer allocation per batch (the pipeline's
+    /// small fixed stage buffers are still allocated per call).
+    pub fn query_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<AssociationAnswer>) {
+        self.query_batch_map(items, out, |a| a);
+    }
+
+    /// Batched membership view of [`Self::query_batch`]: true iff the
+    /// element is (possibly) somewhere in `S1 ∪ S2`.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_map(items, &mut out, |a| a != AssociationAnswer::NotInUnion);
+        out
+    }
+
+    /// The batch pipeline, mapping each answer through `f` as it is
+    /// produced — every batch surface shares this one loop (no
+    /// intermediate answer vector for the boolean views).
+    fn query_batch_map<T: AsRef<[u8]>, R>(
+        &self,
+        items: &[T],
+        out: &mut Vec<R>,
+        f: impl Fn(AssociationAnswer) -> R,
+    ) {
+        out.clear();
+        out.reserve(items.len());
+        let k = self.k;
+        let mut positions = vec![0usize; BATCH_CHUNK * k];
+        let mut offsets = [(0usize, 0usize); BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = (self.o1_of(&key), self.o2_of(&key));
+                for (i, slot) in positions[j * k..(j + 1) * k].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &(o1, o2)) in offsets.iter().enumerate().take(chunk.len()) {
+                let (mut c0, mut c1, mut c2) = (true, true, true);
+                for &pos in &positions[j * k..(j + 1) * k] {
+                    let win = self.bits.read_window(pos, o2 + 1);
+                    c0 &= win & 1 == 1;
+                    c1 &= (win >> o1) & 1 == 1;
+                    c2 &= (win >> o2) & 1 == 1;
+                    if !(c0 || c1 || c2) {
+                        break;
+                    }
+                }
+                out.push(f(AssociationAnswer::from_flags(c0, c1, c2)));
+            }
+        }
+    }
+
     /// Association query with **eager hashing**: all `k + 2` hash values
     /// computed before probing (probes still short-circuit). The paper-era
     /// implementation convention; see `ShbfM::contains_eager` for the
@@ -317,12 +394,18 @@ impl ShbfA {
     /// hash advantage over iBF become visible in throughput (§6.3.3's
     /// 1.4× claim).
     pub fn query_eager(&self, item: &[u8]) -> AssociationAnswer {
-        debug_assert!(self.k <= 64, "eager path supports k <= 64");
-        let o1 = self.o1(item);
-        let o2 = self.o2(item);
+        if self.k > 64 {
+            // The stack index array holds 64 positions; larger k is legal
+            // geometry, so fall back to the lazy path instead of indexing
+            // out of bounds.
+            return self.query(item);
+        }
+        let key = self.family.prepare(item);
+        let o1 = self.o1_of(&key);
+        let o2 = self.o2_of(&key);
         let mut positions = [0usize; 64];
         for (i, slot) in positions[..self.k].iter_mut().enumerate() {
-            *slot = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            *slot = shbf_hash::range_reduce(key.index(i), self.m);
         }
         let (mut c0, mut c1, mut c2) = (true, true, true);
         for &pos in &positions[..self.k] {
@@ -337,17 +420,19 @@ impl ShbfA {
         AssociationAnswer::from_flags(c0, c1, c2)
     }
 
-    /// [`Self::query`] with accounting: 2 offset hashes up front, then one
-    /// hash + one read per probed position.
+    /// [`Self::query`] with accounting: 2 offset hashes up front (for the
+    /// seeded family; the one-shot family's whole query is 1 digest), then
+    /// one read — and, seeded, one hash — per probed position.
     pub fn query_profiled(&self, item: &[u8], stats: &mut AccessStats) -> AssociationAnswer {
-        stats.record_hashes(2);
-        let o1 = self.o1(item);
-        let o2 = self.o2(item);
+        stats.record_hashes(self.family.probe_cost(0) + self.family.probe_cost(1));
+        let key = self.family.prepare(item);
+        let o1 = self.o1_of(&key);
+        let o2 = self.o2_of(&key);
         let (mut c0, mut c1, mut c2) = (true, true, true);
         for i in 0..self.k {
-            stats.record_hashes(1);
+            stats.record_hashes(self.family.probe_cost(i + 2));
             stats.record_reads(1);
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             let win = self.bits.read_window(pos, o2 + 1);
             c0 &= win & 1 == 1;
             c1 &= (win >> o1) & 1 == 1;
@@ -366,7 +451,7 @@ impl ShbfA {
         w.u64(self.m as u64)
             .u64(self.k as u64)
             .u64(self.w_bar as u64)
-            .u8(self.alg.tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .u64(self.n_distinct)
             .bit_array(&self.bits);
@@ -379,8 +464,8 @@ impl ShbfA {
         let m = r.u64()? as usize;
         let k = r.u64()? as usize;
         let w_bar = r.u64()? as usize;
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let n_distinct = r.u64()?;
@@ -405,8 +490,7 @@ impl ShbfA {
             k,
             w_bar,
             half,
-            family: SeededFamily::new(alg, seed, k + 2),
-            alg,
+            family: QueryFamily::new(family, seed, k + 2),
             master_seed: seed,
             n_distinct,
         })
@@ -600,6 +684,68 @@ mod tests {
         let g = ShbfA::from_bytes(&f.to_bytes()).unwrap();
         for e in s1.iter().chain(s2.iter()) {
             assert_eq!(f.query(e), g.query(e));
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_scalar() {
+        let s1 = elems(0..400, 1);
+        let s2 = elems(200..600, 1);
+        for kind in [
+            FamilyKind::Seeded(shbf_hash::HashAlg::Murmur3),
+            FamilyKind::OneShot,
+        ] {
+            let f = ShbfA::builder()
+                .hashes(8)
+                .seed(23)
+                .family(kind)
+                .build(&s1, &s2)
+                .unwrap();
+            let probes: Vec<Vec<u8>> = s1
+                .iter()
+                .chain(s2.iter())
+                .cloned()
+                .chain(elems(0..300, 9))
+                .collect();
+            let batch = f.query_batch(&probes);
+            let bools = f.contains_batch(&probes);
+            for (i, probe) in probes.iter().enumerate() {
+                assert_eq!(batch[i], f.query(probe), "{kind:?} probe {i}");
+                assert_eq!(bools[i], batch[i] != AssociationAnswer::NotInUnion);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_roundtrips_identically() {
+        let s1 = elems(0..300, 1);
+        let s2 = elems(150..450, 1);
+        let f = ShbfA::builder()
+            .hashes(6)
+            .seed(31)
+            .family(FamilyKind::OneShot)
+            .build(&s1, &s2)
+            .unwrap();
+        let g = ShbfA::from_bytes(&f.to_bytes()).unwrap();
+        for e in s1.iter().chain(s2.iter()).chain(elems(0..500, 5).iter()) {
+            assert_eq!(f.query(e), g.query(e));
+        }
+    }
+
+    #[test]
+    fn query_eager_survives_k_over_64() {
+        // Regression: k > 64 used to overrun the stack index array in
+        // release builds; now it falls back to the lazy path.
+        let s1 = elems(0..50, 1);
+        let s2 = elems(25..75, 1);
+        let f = ShbfA::builder()
+            .bits(200_000)
+            .hashes(70)
+            .seed(3)
+            .build(&s1, &s2)
+            .unwrap();
+        for e in s1.iter().chain(elems(0..100, 9).iter()) {
+            assert_eq!(f.query(e), f.query_eager(e));
         }
     }
 

@@ -11,10 +11,11 @@
 use shbf_bits::access::MemoryModel;
 use shbf_bits::{BitArray, CounterArray};
 use shbf_hash::fnv::FnvHashSet;
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, PreparedKey, QueryFamily};
 
 use crate::association::AssociationAnswer;
 use crate::error::ShbfError;
+use crate::BATCH_CHUNK;
 
 /// Which of the two sets an update targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,7 +47,7 @@ pub struct CShbfA {
     k: usize,
     w_bar: usize,
     half: usize,
-    family: SeededFamily,
+    family: QueryFamily,
     master_seed: u64,
 }
 
@@ -76,6 +77,19 @@ impl CShbfA {
         alg: HashAlg,
         seed: u64,
     ) -> Result<Self, ShbfError> {
+        Self::with_family(m, k, w_bar, counter_bits, FamilyKind::Seeded(alg), seed)
+    }
+
+    /// [`Self::with_config`] generalized over the hash-family construction
+    /// (pass [`FamilyKind::OneShot`] for digest-once hashing).
+    pub fn with_family(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        counter_bits: u32,
+        family: FamilyKind,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
         if m == 0 {
             return Err(ShbfError::ZeroSize("m"));
         }
@@ -97,7 +111,7 @@ impl CShbfA {
             k,
             w_bar,
             half,
-            family: SeededFamily::new(alg, seed, k + 2),
+            family: QueryFamily::new(family, seed, k + 2),
             master_seed: seed,
         })
     }
@@ -119,18 +133,23 @@ impl CShbfA {
     }
 
     #[inline]
+    fn o1_of(&self, key: &PreparedKey<'_>) -> usize {
+        shbf_hash::range_reduce(key.index(self.k), self.half) + 1
+    }
+
+    #[inline]
+    fn o2_of(&self, key: &PreparedKey<'_>) -> usize {
+        self.o1_of(key) + shbf_hash::range_reduce(key.index(self.k + 1), self.half) + 1
+    }
+
+    #[inline]
     fn o1(&self, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(self.k, item), self.half) + 1
+        self.o1_of(&self.family.prepare(item))
     }
 
     #[inline]
     fn o2(&self, item: &[u8]) -> usize {
-        self.o1(item) + shbf_hash::range_reduce(self.family.hash(self.k + 1, item), self.half) + 1
-    }
-
-    #[inline]
-    fn position(&self, i: usize, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+        self.o2_of(&self.family.prepare(item))
     }
 
     fn region_of(&self, item: &[u8]) -> Region {
@@ -152,16 +171,18 @@ impl CShbfA {
     }
 
     fn encode(&mut self, item: &[u8], offset: usize) {
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let idx = self.position(i, item) + offset;
+            let idx = shbf_hash::range_reduce(key.index(i), self.m) + offset;
             self.counters.inc(idx);
             self.bits.set(idx);
         }
     }
 
     fn unencode(&mut self, item: &[u8], offset: usize) {
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let idx = self.position(i, item) + offset;
+            let idx = shbf_hash::range_reduce(key.index(i), self.m) + offset;
             if let Some(0) = self.counters.dec(idx) {
                 self.bits.clear(idx);
             }
@@ -214,11 +235,12 @@ impl CShbfA {
     /// Association query against the SRAM-side bit mirror — identical
     /// semantics to [`crate::ShbfA::query`].
     pub fn query(&self, item: &[u8]) -> AssociationAnswer {
-        let o1 = self.o1(item);
-        let o2 = self.o2(item);
+        let key = self.family.prepare(item);
+        let o1 = self.o1_of(&key);
+        let o2 = self.o2_of(&key);
         let (mut c0, mut c1, mut c2) = (true, true, true);
         for i in 0..self.k {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             let win = self.bits.read_window(pos, o2 + 1);
             c0 &= win & 1 == 1;
             c1 &= (win >> o1) & 1 == 1;
@@ -227,15 +249,73 @@ impl CShbfA {
                 break;
             }
         }
-        match (c0, c1, c2) {
-            (true, false, false) => AssociationAnswer::OnlyS1,
-            (false, true, false) => AssociationAnswer::Intersection,
-            (false, false, true) => AssociationAnswer::OnlyS2,
-            (true, true, false) => AssociationAnswer::S1Unsure,
-            (false, true, true) => AssociationAnswer::S2Unsure,
-            (true, false, true) => AssociationAnswer::EitherDifference,
-            (true, true, true) => AssociationAnswer::Union,
-            (false, false, false) => AssociationAnswer::NotInUnion,
+        AssociationAnswer::from_flags(c0, c1, c2)
+    }
+
+    /// Batched association queries against the bit mirror, one answer per
+    /// element in input order, via the prefetched two-stage pipeline.
+    pub fn query_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<AssociationAnswer> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::query_batch`] writing into a caller-owned buffer (cleared
+    /// first), sparing the reply-buffer allocation per batch (the pipeline's
+    /// small fixed stage buffers are still allocated per call).
+    pub fn query_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<AssociationAnswer>) {
+        self.query_batch_map(items, out, |a| a);
+    }
+
+    /// Batched membership view: true iff the element is (possibly) in
+    /// `S1 ∪ S2` — the server's `MQUERY` path for association namespaces.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(items.len());
+        self.contains_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::contains_batch`] writing into a caller-owned buffer.
+    pub fn contains_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<bool>) {
+        self.query_batch_map(items, out, |a| a != AssociationAnswer::NotInUnion);
+    }
+
+    /// The batch pipeline, mapping each answer through `f` as it is
+    /// produced (no intermediate answer vector for the boolean view).
+    fn query_batch_map<T: AsRef<[u8]>, R>(
+        &self,
+        items: &[T],
+        out: &mut Vec<R>,
+        f: impl Fn(AssociationAnswer) -> R,
+    ) {
+        out.clear();
+        out.reserve(items.len());
+        let k = self.k;
+        let mut positions = vec![0usize; BATCH_CHUNK * k];
+        let mut offsets = [(0usize, 0usize); BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = (self.o1_of(&key), self.o2_of(&key));
+                for (i, slot) in positions[j * k..(j + 1) * k].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &(o1, o2)) in offsets.iter().enumerate().take(chunk.len()) {
+                let (mut c0, mut c1, mut c2) = (true, true, true);
+                for &pos in &positions[j * k..(j + 1) * k] {
+                    let win = self.bits.read_window(pos, o2 + 1);
+                    c0 &= win & 1 == 1;
+                    c1 &= (win >> o1) & 1 == 1;
+                    c2 &= (win >> o2) & 1 == 1;
+                    if !(c0 || c1 || c2) {
+                        break;
+                    }
+                }
+                out.push(f(AssociationAnswer::from_flags(c0, c1, c2)));
+            }
         }
     }
 
@@ -255,7 +335,7 @@ impl CShbfA {
             .u64(self.k as u64)
             .u64(self.w_bar as u64)
             .u32(self.counters.width())
-            .u8(self.family.alg().tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .counter_array(&self.counters);
         for table in [&self.t1, &self.t2] {
@@ -278,12 +358,12 @@ impl CShbfA {
         let k = r.u64()? as usize;
         let w_bar = r.u64()? as usize;
         let counter_bits = r.u32()?;
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let counters = r.counter_array()?;
-        let mut f = Self::with_config(m, k, w_bar, counter_bits, alg, seed)?;
+        let mut f = Self::with_family(m, k, w_bar, counter_bits, family, seed)?;
         if counters.len() != f.counters.len() {
             return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
                 "counter array size",
@@ -314,6 +394,46 @@ mod tests {
         let mut v = vec![tag];
         v.extend_from_slice(&i.to_le_bytes());
         v
+    }
+
+    #[test]
+    fn query_batch_matches_scalar() {
+        let mut f = CShbfA::new(20_000, 8, 7).unwrap();
+        for i in 0..400u64 {
+            f.insert(&key(1, i), SetId::S1);
+        }
+        for i in 200..600u64 {
+            f.insert(&key(1, i), SetId::S2);
+        }
+        let probes: Vec<Vec<u8>> = (0..800u64)
+            .map(|i| key(1, i))
+            .chain((0..200u64).map(|i| key(9, i)))
+            .collect();
+        let batch = f.query_batch(&probes);
+        let bools = f.contains_batch(&probes);
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(batch[i], f.query(probe), "probe {i}");
+            assert_eq!(bools[i], batch[i] != AssociationAnswer::NotInUnion);
+        }
+    }
+
+    #[test]
+    fn one_shot_family_transitions_and_roundtrips() {
+        let mut f = CShbfA::with_family(20_000, 8, 57, 4, FamilyKind::OneShot, 7).unwrap();
+        for i in 0..300u64 {
+            f.insert(&key(2, i), SetId::S1);
+        }
+        for i in 150..450u64 {
+            f.insert(&key(2, i), SetId::S2);
+        }
+        for i in 0..50u64 {
+            f.remove(&key(2, i), SetId::S1).unwrap();
+        }
+        assert_eq!(f.check_sync(), 0);
+        let g = CShbfA::from_bytes(&f.to_bytes()).unwrap();
+        for i in 0..500u64 {
+            assert_eq!(f.query(&key(2, i)), g.query(&key(2, i)), "key {i}");
+        }
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub use multiplicity_counting::{CShbfX, UpdatePolicy};
 pub use scm::ScmSketch;
 pub use traits::{CountEstimator, MembershipFilter};
 
+/// Chunk size of the two-stage batch pipelines (`contains_batch` & co.):
+/// stage 1 hashes a chunk of keys and prefetches their target words, stage 2
+/// probes. 32 keys × `k/2` pairs keeps the staged index block comfortably in
+/// L1 while giving the prefetcher a few hundred cycles of lead time.
+pub const BATCH_CHUNK: usize = 32;
+
 /// Serialization kind tags for the [`shbf_bits::codec`] format.
 pub mod kind {
     /// [`crate::ShbfM`].

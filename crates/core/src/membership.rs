@@ -13,10 +13,11 @@
 
 use shbf_bits::access::MemoryModel;
 use shbf_bits::{AccessStats, BitArray, Reader, Writer};
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, PreparedKey, QueryFamily};
 
 use crate::error::ShbfError;
 use crate::traits::MembershipFilter;
+use crate::BATCH_CHUNK;
 
 /// Shifting Bloom Filter for membership queries.
 #[derive(Debug, Clone)]
@@ -29,8 +30,7 @@ pub struct ShbfM {
     k: usize,
     /// Offset bound: offsets are drawn from `[1, w̄ − 1]`.
     w_bar: usize,
-    family: SeededFamily,
-    alg: HashAlg,
+    family: QueryFamily,
     master_seed: u64,
     items: u64,
 }
@@ -49,7 +49,8 @@ impl ShbfM {
         )
     }
 
-    /// Fully parameterized constructor.
+    /// Fully parameterized constructor over a seeded family (the paper's
+    /// cost model: one full hash computation per position).
     ///
     /// `w_bar` must lie in `[2, w − 7]` (57 on 64-bit machines, 25 on
     /// 32-bit; §3.4.2 shows `w̄ ≥ 20` already matches BF's FPR).
@@ -58,6 +59,19 @@ impl ShbfM {
         k: usize,
         w_bar: usize,
         alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        Self::with_family(m, k, w_bar, FamilyKind::Seeded(alg), seed)
+    }
+
+    /// [`Self::with_config`] generalized over the hash-family construction:
+    /// pass [`FamilyKind::OneShot`] for digest-once hashing (one Murmur3
+    /// pass per key instead of `k/2 + 1`).
+    pub fn with_family(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        family: FamilyKind,
         seed: u64,
     ) -> Result<Self, ShbfError> {
         if m == 0 {
@@ -79,8 +93,7 @@ impl ShbfM {
             m,
             k,
             w_bar,
-            family: SeededFamily::new(alg, seed, pairs + 1),
-            alg,
+            family: QueryFamily::new(family, seed, pairs + 1),
             master_seed: seed,
             items: 0,
         })
@@ -93,18 +106,16 @@ impl ShbfM {
         k: usize,
         w_bar: usize,
         master_seed: u64,
-        family: SeededFamily,
+        family: QueryFamily,
         bits: BitArray,
         items: u64,
     ) -> Self {
-        let alg = family.alg();
         ShbfM {
             bits,
             m,
             k,
             w_bar,
             family,
-            alg,
             master_seed,
             items,
         }
@@ -143,6 +154,12 @@ impl ShbfM {
         self.w_bar
     }
 
+    /// The hash-family construction this filter addresses bits with.
+    #[inline]
+    pub fn family_kind(&self) -> FamilyKind {
+        self.family.kind()
+    }
+
     /// Elements inserted so far.
     #[inline]
     pub fn items(&self) -> u64 {
@@ -166,38 +183,92 @@ impl ShbfM {
         -(self.bits.len() as f64 / self.k as f64) * (1.0 - fill).ln()
     }
 
-    /// Inserts every element of a batch.
+    /// Inserts every element of a batch through the two-stage pipeline:
+    /// per [`BATCH_CHUNK`]-sized chunk, stage 1 hashes every key once and
+    /// prefetches the target words, stage 2 sets the bit pairs.
     pub fn insert_batch<T: AsRef<[u8]>>(&mut self, items: &[T]) {
-        for item in items {
-            self.insert(item.as_ref());
+        let pairs = self.pairs();
+        let mut positions = vec![0usize; BATCH_CHUNK * pairs];
+        let mut offsets = [0usize; BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = self.offset_of(&key);
+                for (i, slot) in positions[j * pairs..(j + 1) * pairs].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &o) in offsets.iter().enumerate().take(chunk.len()) {
+                for &pos in &positions[j * pairs..(j + 1) * pairs] {
+                    self.bits.set(pos);
+                    self.bits.set(pos + o);
+                }
+            }
+            self.items += chunk.len() as u64;
         }
     }
 
     /// Queries a batch, returning one verdict per element in order.
+    ///
+    /// Pipelined in [`BATCH_CHUNK`]-sized chunks: stage 1 computes every
+    /// key's digest, positions, and offset and issues a cache prefetch per
+    /// target word; stage 2 probes. On filters larger than L2 this overlaps
+    /// the memory latency that a scalar query loop pays serially.
     pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
-        items
-            .iter()
-            .map(|item| self.contains(item.as_ref()))
-            .collect()
+        let mut out = Vec::with_capacity(items.len());
+        self.contains_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::contains_batch`] writing into a caller-owned buffer
+    /// (cleared first), sparing the reply-buffer allocation per batch (the
+    /// pipeline's small fixed stage buffers are still allocated per call).
+    pub fn contains_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(items.len());
+        let pairs = self.pairs();
+        let mut positions = vec![0usize; BATCH_CHUNK * pairs];
+        let mut offsets = [0usize; BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = self.offset_of(&key);
+                for (i, slot) in positions[j * pairs..(j + 1) * pairs].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &o) in offsets.iter().enumerate().take(chunk.len()) {
+                out.push(
+                    positions[j * pairs..(j + 1) * pairs]
+                        .iter()
+                        .all(|&pos| self.bits.pair_all_set(pos, o)),
+                );
+            }
+        }
     }
 
     /// The offset `o(e) ∈ [1, w̄ − 1]` (§3.1: `o(e) ≠ 0`, otherwise the two
     /// bits of a pair would coincide).
     #[inline]
-    fn offset(&self, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(self.pairs(), item), self.w_bar - 1) + 1
+    fn offset_of(&self, key: &PreparedKey<'_>) -> usize {
+        shbf_hash::range_reduce(key.index(self.pairs()), self.w_bar - 1) + 1
     }
 
-    #[inline]
-    fn position(&self, i: usize, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+    #[cfg(test)]
+    fn offset(&self, item: &[u8]) -> usize {
+        self.offset_of(&self.family.prepare(item))
     }
 
     /// Inserts an element: sets `k/2` bit pairs.
     pub fn insert(&mut self, item: &[u8]) {
-        let o = self.offset(item);
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         for i in 0..self.pairs() {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             self.bits.set(pos);
             self.bits.set(pos + o);
         }
@@ -205,13 +276,15 @@ impl ShbfM {
     }
 
     /// Membership query; short-circuits on the first zero pair (§3.2).
+    /// The key is hashed at most once end to end under a one-shot family,
+    /// `k/2 + 1` times under a seeded family (the paper's accounting).
     #[inline]
     pub fn contains(&self, item: &[u8]) -> bool {
-        let o = self.offset(item);
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         for i in 0..self.pairs() {
-            let pos = self.position(i, item);
-            let (b0, b1) = self.bits.probe_pair(pos, o);
-            if !(b0 && b1) {
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
+            if !self.bits.pair_all_set(pos, o) {
                 return false;
             }
         }
@@ -229,34 +302,41 @@ impl ShbfM {
     /// workloads but narrows the gap to BF because BF's lazy negatives stop
     /// after ~2 hashes.
     pub fn contains_eager(&self, item: &[u8]) -> bool {
-        debug_assert!(self.pairs() <= 64, "eager path supports k <= 128");
-        let o = self.offset(item);
-        let mut positions = [0usize; 64];
         let pairs = self.pairs();
+        if pairs > 64 {
+            // The stack index array holds 64 pairs (k ≤ 128). Larger k is
+            // legal filter geometry, so fall back to the lazy path instead
+            // of indexing out of bounds.
+            return self.contains(item);
+        }
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
+        let mut positions = [0usize; 64];
         for (i, slot) in positions[..pairs].iter_mut().enumerate() {
-            *slot = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            *slot = shbf_hash::range_reduce(key.index(i), self.m);
         }
         for &pos in &positions[..pairs] {
-            let (b0, b1) = self.bits.probe_pair(pos, o);
-            if !(b0 && b1) {
+            if !self.bits.pair_all_set(pos, o) {
                 return false;
             }
         }
         true
     }
 
-    /// [`Self::contains`] with access/hash accounting: one word read and one
-    /// position hash per probed pair, plus the offset hash.
+    /// [`Self::contains`] with access/hash accounting: one word read per
+    /// probed pair, and hash computations per the family's cost model
+    /// (seeded: one per probed pair plus the offset hash; one-shot: a
+    /// single digest for the whole query).
     pub fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool {
-        stats.record_hashes(1); // offset hash is always needed first
-        let o = self.offset(item);
+        stats.record_hashes(self.family.probe_cost(0)); // offset hash first
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         let mut result = true;
         for i in 0..self.pairs() {
-            stats.record_hashes(1);
+            stats.record_hashes(self.family.probe_cost(i + 1));
             stats.record_reads(1);
-            let pos = self.position(i, item);
-            let (b0, b1) = self.bits.probe_pair(pos, o);
-            if !(b0 && b1) {
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
+            if !self.bits.pair_all_set(pos, o) {
                 result = false;
                 break;
             }
@@ -271,7 +351,7 @@ impl ShbfM {
         w.u64(self.m as u64)
             .u64(self.k as u64)
             .u64(self.w_bar as u64)
-            .u8(self.alg.tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .u64(self.items)
             .bit_array(&self.bits);
@@ -284,14 +364,14 @@ impl ShbfM {
         let m = r.u64()? as usize;
         let k = r.u64()? as usize;
         let w_bar = r.u64()? as usize;
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let items = r.u64()?;
         let bits = r.bit_array()?;
         r.expect_end()?;
-        let mut filter = Self::with_config(m, k, w_bar, alg, seed)?;
+        let mut filter = Self::with_family(m, k, w_bar, family, seed)?;
         if bits.len() != filter.bits.len() {
             return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
                 "bit array size",
@@ -512,6 +592,86 @@ mod tests {
         f.insert_batch(&items);
         for it in items.iter().chain(sample_items(5000, 13).iter()) {
             assert_eq!(f.contains(it), f.contains_eager(it));
+        }
+    }
+
+    #[test]
+    fn contains_eager_survives_k_over_128() {
+        // Regression: pairs() > 64 used to overrun the stack index array in
+        // release builds (only a debug_assert guarded it). Now it falls back
+        // to the lazy path.
+        let items = sample_items(50, 14);
+        let mut f = ShbfM::new(400_000, 130, 3).unwrap();
+        f.insert_batch(&items);
+        for it in &items {
+            assert!(f.contains_eager(it));
+        }
+        for it in sample_items(500, 15) {
+            assert_eq!(f.contains(&it), f.contains_eager(&it));
+        }
+    }
+
+    #[test]
+    fn one_shot_family_matches_scalar_and_roundtrips() {
+        let items = sample_items(600, 16);
+        let mut f = ShbfM::with_family(9_000, 8, 57, FamilyKind::OneShot, 21).unwrap();
+        f.insert_batch(&items);
+        assert_eq!(f.family_kind(), FamilyKind::OneShot);
+        for it in &items {
+            assert!(f.contains(it), "one-shot false negative");
+        }
+        let g = ShbfM::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(g.family_kind(), FamilyKind::OneShot);
+        for it in items.iter().chain(sample_items(3000, 17).iter()) {
+            assert_eq!(f.contains(it), g.contains(it));
+        }
+        // Seeded and one-shot families address different bits by design.
+        let mut seeded = ShbfM::new(9_000, 8, 21).unwrap();
+        seeded.insert(&items[0]);
+        assert_ne!(seeded.to_bytes(), {
+            let mut one = ShbfM::with_family(9_000, 8, 57, FamilyKind::OneShot, 21).unwrap();
+            one.insert(&items[0]);
+            one.to_bytes()
+        });
+    }
+
+    #[test]
+    fn one_shot_profiled_costs_one_hash() {
+        let items = sample_items(100, 18);
+        let mut f = ShbfM::with_family(10_000, 8, 57, FamilyKind::OneShot, 11).unwrap();
+        f.insert_batch(&items);
+        let mut stats = AccessStats::new();
+        assert!(f.contains_profiled(&items[0], &mut stats));
+        assert_eq!(stats.word_reads, 4); // k/2 accesses, unchanged
+        assert_eq!(stats.hash_computations, 1); // the whole query is 1 digest
+    }
+
+    #[test]
+    fn batch_pipeline_spans_chunk_boundaries() {
+        // Sizes around BATCH_CHUNK multiples exercise full and ragged chunks.
+        for n in [1usize, 31, 32, 33, 64, 97] {
+            let probes = sample_items(n, 19);
+            let mut f = ShbfM::new(4_000, 6, 9).unwrap();
+            f.insert_batch(&probes[..n / 2]);
+            let batch = f.contains_batch(&probes);
+            assert_eq!(batch.len(), n);
+            for (probe, verdict) in probes.iter().zip(&batch) {
+                assert_eq!(f.contains(probe), *verdict, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_equals_scalar_inserts() {
+        for kind in [FamilyKind::Seeded(HashAlg::Murmur3), FamilyKind::OneShot] {
+            let items = sample_items(100, 20);
+            let mut batched = ShbfM::with_family(4_000, 8, 57, kind, 5).unwrap();
+            batched.insert_batch(&items);
+            let mut scalar = ShbfM::with_family(4_000, 8, 57, kind, 5).unwrap();
+            for it in &items {
+                scalar.insert(it);
+            }
+            assert_eq!(batched.to_bytes(), scalar.to_bytes(), "{kind:?}");
         }
     }
 

@@ -15,10 +15,11 @@
 
 use shbf_bits::access::MemoryModel;
 use shbf_bits::{AccessStats, BitArray, CounterArray};
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, PreparedKey, QueryFamily};
 
 use crate::error::ShbfError;
 use crate::traits::MembershipFilter;
+use crate::BATCH_CHUNK;
 
 /// Counting Shifting Bloom Filter for membership with updates.
 ///
@@ -45,19 +46,35 @@ pub struct CShbfM {
     k: usize,
     w_bar: usize,
     counter_bits: u32,
-    family: SeededFamily,
+    family: QueryFamily,
     master_seed: u64,
     items: u64,
 }
 
 impl CShbfM {
-    /// Creates a counting filter with 4-bit counters ("in most applications,
-    /// 4 bits for a counter are enough", §3.3) and the single-access update
-    /// default `w̄ = ⌊(w − 7)/4⌋ = 14`.
+    /// Default counter width `z` ("in most applications, 4 bits for a
+    /// counter are enough", §3.3), used by [`Self::new`].
+    pub const DEFAULT_COUNTER_BITS: u32 = 4;
+
+    /// The single-access-update offset bound for the default counter
+    /// width: `w̄ = ⌊(w − 7)/z⌋` (14 on 64-bit machines). Shared with
+    /// wrappers (e.g. the sharded concurrent filter) so their geometry
+    /// cannot drift from [`Self::new`]'s.
+    pub fn default_w_bar() -> usize {
+        MemoryModel::default().max_window() / Self::DEFAULT_COUNTER_BITS as usize
+    }
+
+    /// Creates a counting filter with the default counter width and the
+    /// single-access update bound [`Self::default_w_bar`].
     pub fn new(m: usize, k: usize, seed: u64) -> Result<Self, ShbfError> {
-        let z = 4;
-        let w_bar = MemoryModel::default().max_window() / z as usize;
-        Self::with_config(m, k, w_bar, z, HashAlg::Murmur3, seed)
+        Self::with_config(
+            m,
+            k,
+            Self::default_w_bar(),
+            Self::DEFAULT_COUNTER_BITS,
+            HashAlg::Murmur3,
+            seed,
+        )
     }
 
     /// Fully parameterized constructor. `w_bar` is bounded by `w − 7` (the
@@ -69,6 +86,19 @@ impl CShbfM {
         w_bar: usize,
         counter_bits: u32,
         alg: HashAlg,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        Self::with_family(m, k, w_bar, counter_bits, FamilyKind::Seeded(alg), seed)
+    }
+
+    /// [`Self::with_config`] generalized over the hash-family construction
+    /// (pass [`FamilyKind::OneShot`] for digest-once hashing).
+    pub fn with_family(
+        m: usize,
+        k: usize,
+        w_bar: usize,
+        counter_bits: u32,
+        family: FamilyKind,
         seed: u64,
     ) -> Result<Self, ShbfError> {
         if m == 0 {
@@ -93,7 +123,7 @@ impl CShbfM {
             k,
             w_bar,
             counter_bits,
-            family: SeededFamily::new(alg, seed, pairs + 1),
+            family: QueryFamily::new(family, seed, pairs + 1),
             master_seed: seed,
             items: 0,
         })
@@ -140,21 +170,17 @@ impl CShbfM {
     }
 
     #[inline]
-    fn offset(&self, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(self.pairs(), item), self.w_bar - 1) + 1
-    }
-
-    #[inline]
-    fn position(&self, i: usize, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+    fn offset_of(&self, key: &PreparedKey<'_>) -> usize {
+        shbf_hash::range_reduce(key.index(self.pairs()), self.w_bar - 1) + 1
     }
 
     /// Inserts an element: increments both counters of every pair and sets
     /// the mirror bits.
     pub fn insert(&mut self, item: &[u8]) {
-        let o = self.offset(item);
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         for i in 0..self.pairs() {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             self.counters.inc(pos);
             self.counters.inc(pos + o);
             self.bits.set(pos);
@@ -163,12 +189,42 @@ impl CShbfM {
         self.items += 1;
     }
 
+    /// Inserts every element of a batch through the two-stage pipeline:
+    /// stage 1 hashes a [`BATCH_CHUNK`]-sized chunk and prefetches the
+    /// counter and mirror words, stage 2 applies the updates.
+    pub fn insert_batch<T: AsRef<[u8]>>(&mut self, items: &[T]) {
+        let pairs = self.pairs();
+        let mut positions = vec![0usize; BATCH_CHUNK * pairs];
+        let mut offsets = [0usize; BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = self.offset_of(&key);
+                for (i, slot) in positions[j * pairs..(j + 1) * pairs].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.counters.prefetch(pos);
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &o) in offsets.iter().enumerate().take(chunk.len()) {
+                for &pos in &positions[j * pairs..(j + 1) * pairs] {
+                    self.counters.inc(pos);
+                    self.counters.inc(pos + o);
+                    self.bits.set(pos);
+                    self.bits.set(pos + o);
+                }
+            }
+            self.items += chunk.len() as u64;
+        }
+    }
+
     /// [`Self::insert`] with update-cost accounting: one counter-word write
     /// per pair when [`Self::single_access_updates`], two otherwise, plus
     /// one bit-mirror write per pair (reported separately as writes).
     pub fn insert_profiled(&mut self, item: &[u8], stats: &mut AccessStats) {
         let per_pair = if self.single_access_updates() { 1 } else { 2 };
-        stats.record_hashes(1 + self.pairs() as u64);
+        stats.record_hashes(self.family.computations_for(self.pairs() + 1) as u64);
         stats.record_writes(self.pairs() as u64 * per_pair);
         self.insert(item);
         stats.finish_op();
@@ -184,8 +240,11 @@ impl CShbfM {
     /// positions is indistinguishable from a true delete (inherited CBF
     /// semantics).
     pub fn delete(&mut self, item: &[u8]) -> Result<(), ShbfError> {
-        let o = self.offset(item);
-        let positions: Vec<usize> = (0..self.pairs()).map(|i| self.position(i, item)).collect();
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
+        let positions: Vec<usize> = (0..self.pairs())
+            .map(|i| shbf_hash::range_reduce(key.index(i), self.m))
+            .collect();
         for &pos in &positions {
             if self.counters.get(pos) == 0 || self.counters.get(pos + o) == 0 {
                 return Err(ShbfError::NotFound);
@@ -206,28 +265,66 @@ impl CShbfM {
     /// identical cost profile to [`crate::ShbfM`]).
     #[inline]
     pub fn contains(&self, item: &[u8]) -> bool {
-        let o = self.offset(item);
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         for i in 0..self.pairs() {
-            let pos = self.position(i, item);
-            let (b0, b1) = self.bits.probe_pair(pos, o);
-            if !(b0 && b1) {
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
+            if !self.bits.pair_all_set(pos, o) {
                 return false;
             }
         }
         true
     }
 
+    /// Queries a batch against the bit mirror, one verdict per element in
+    /// order, via the prefetched two-stage pipeline (see
+    /// [`crate::ShbfM::contains_batch`]).
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(items.len());
+        self.contains_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::contains_batch`] writing into a caller-owned buffer
+    /// (cleared first), sparing the reply-buffer allocation per batch (the
+    /// pipeline's small fixed stage buffers are still allocated per call).
+    pub fn contains_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(items.len());
+        let pairs = self.pairs();
+        let mut positions = vec![0usize; BATCH_CHUNK * pairs];
+        let mut offsets = [0usize; BATCH_CHUNK];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                offsets[j] = self.offset_of(&key);
+                for (i, slot) in positions[j * pairs..(j + 1) * pairs].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    self.bits.prefetch(pos);
+                }
+            }
+            for (j, &o) in offsets.iter().enumerate().take(chunk.len()) {
+                out.push(
+                    positions[j * pairs..(j + 1) * pairs]
+                        .iter()
+                        .all(|&pos| self.bits.pair_all_set(pos, o)),
+                );
+            }
+        }
+    }
+
     /// [`Self::contains`] with accounting.
     pub fn contains_profiled(&self, item: &[u8], stats: &mut AccessStats) -> bool {
-        stats.record_hashes(1);
-        let o = self.offset(item);
+        stats.record_hashes(self.family.probe_cost(0));
+        let key = self.family.prepare(item);
+        let o = self.offset_of(&key);
         let mut result = true;
         for i in 0..self.pairs() {
-            stats.record_hashes(1);
+            stats.record_hashes(self.family.probe_cost(i + 1));
             stats.record_reads(1);
-            let pos = self.position(i, item);
-            let (b0, b1) = self.bits.probe_pair(pos, o);
-            if !(b0 && b1) {
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
+            if !self.bits.pair_all_set(pos, o) {
                 result = false;
                 break;
             }
@@ -264,7 +361,7 @@ impl CShbfM {
             .u64(self.k as u64)
             .u64(self.w_bar as u64)
             .u32(self.counter_bits)
-            .u8(self.family.alg().tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .u64(self.items)
             .counter_array(&self.counters);
@@ -278,14 +375,14 @@ impl CShbfM {
         let k = r.u64()? as usize;
         let w_bar = r.u64()? as usize;
         let counter_bits = r.u32()?;
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let items = r.u64()?;
         let counters = r.counter_array()?;
         r.expect_end()?;
-        let mut f = Self::with_config(m, k, w_bar, counter_bits, alg, seed)?;
+        let mut f = Self::with_family(m, k, w_bar, counter_bits, family, seed)?;
         if counters.len() != f.counters.len() {
             return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
                 "counter array size",

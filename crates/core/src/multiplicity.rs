@@ -14,10 +14,11 @@
 
 use shbf_bits::access::MemoryModel;
 use shbf_bits::{AccessStats, BitArray, Reader, Writer};
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, QueryFamily};
 
 use crate::error::ShbfError;
 use crate::traits::CountEstimator;
+use crate::BATCH_CHUNK;
 
 /// Result of a multiplicity query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +68,7 @@ pub struct ShbfX {
     k: usize,
     /// Maximum representable multiplicity (the paper's `c`; 57 in Fig. 11).
     c: usize,
-    family: SeededFamily,
-    alg: HashAlg,
+    family: QueryFamily,
     master_seed: u64,
     n_distinct: u64,
 }
@@ -98,14 +98,33 @@ impl ShbfX {
         alg: HashAlg,
         seed: u64,
     ) -> Result<Self, ShbfError> {
-        let mut filter = Self::empty(m, k, c, alg, seed)?;
+        Self::build_with_family(counts, m, k, c, FamilyKind::Seeded(alg), seed)
+    }
+
+    /// [`Self::build`] generalized over the hash-family construction
+    /// (pass [`FamilyKind::OneShot`] for digest-once hashing).
+    pub fn build_with_family<T: AsRef<[u8]>>(
+        counts: &[(T, u64)],
+        m: usize,
+        k: usize,
+        c: usize,
+        family: FamilyKind,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
+        let mut filter = Self::empty(m, k, c, family, seed)?;
         for (item, count) in counts {
             filter.encode(item.as_ref(), *count)?;
         }
         Ok(filter)
     }
 
-    fn empty(m: usize, k: usize, c: usize, alg: HashAlg, seed: u64) -> Result<Self, ShbfError> {
+    fn empty(
+        m: usize,
+        k: usize,
+        c: usize,
+        family: FamilyKind,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
         if m == 0 {
             return Err(ShbfError::ZeroSize("m"));
         }
@@ -120,8 +139,7 @@ impl ShbfX {
             m,
             k,
             c,
-            family: SeededFamily::new(alg, seed, k),
-            alg,
+            family: QueryFamily::new(family, seed, k),
             master_seed: seed,
             n_distinct: 0,
         })
@@ -135,8 +153,9 @@ impl ShbfX {
             });
         }
         let offset = (count - 1) as usize;
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             self.bits.set(pos + offset);
         }
         self.n_distinct += 1;
@@ -175,6 +194,90 @@ impl ShbfX {
         MultiplicityAnswer::from_mask(&mask, self.c)
     }
 
+    /// Batched multiplicity queries: the reported count (largest surviving
+    /// candidate, 0 if absent) per element in input order, via the
+    /// prefetched two-stage pipeline (see [`crate::ShbfM::contains_batch`]).
+    pub fn query_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::query_batch`] writing into a caller-owned buffer (cleared
+    /// first), sparing the reply-buffer allocation per batch (the pipeline's
+    /// small fixed stage buffers are still allocated per call).
+    pub fn query_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<u64>) {
+        self.query_batch_map(items, out, |r| r);
+    }
+
+    /// Batched membership view: `reported > 0` per element in input order.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_map(items, &mut out, |r| r > 0);
+        out
+    }
+
+    /// The batch pipeline, mapping each reported count through `f` as it is
+    /// produced (no intermediate count vector for the boolean view).
+    fn query_batch_map<T: AsRef<[u8]>, R>(
+        &self,
+        items: &[T],
+        out: &mut Vec<R>,
+        f: impl Fn(u64) -> R,
+    ) {
+        out.clear();
+        out.reserve(items.len());
+        let k = self.k;
+        let window_words = self.c.div_ceil(64);
+        let mut positions = vec![0usize; BATCH_CHUNK * k];
+        let mut acc = Vec::with_capacity(window_words);
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                let key = self.family.prepare(item.as_ref());
+                for (i, slot) in positions[j * k..(j + 1) * k].iter_mut().enumerate() {
+                    let pos = shbf_hash::range_reduce(key.index(i), self.m);
+                    *slot = pos;
+                    for w in 0..window_words {
+                        self.bits.prefetch(pos + w * 64);
+                    }
+                }
+            }
+            for j in 0..chunk.len() {
+                out.push(f(self.reported_at(&positions[j * k..(j + 1) * k], &mut acc)));
+            }
+        }
+    }
+
+    /// The reported multiplicity for pre-computed hash positions: AND the k
+    /// windows into `acc` (a reusable scratch buffer) and return the highest
+    /// surviving candidate.
+    fn reported_at(&self, positions: &[usize], acc: &mut Vec<u64>) -> u64 {
+        let words = self.c.div_ceil(64);
+        acc.clear();
+        acc.resize(words, u64::MAX);
+        let tail = self.c % 64;
+        if tail != 0 {
+            acc[words - 1] = (1u64 << tail) - 1;
+        }
+        for &pos in positions {
+            let mut any = 0u64;
+            for (j, slot) in acc.iter_mut().enumerate() {
+                let width = (self.c - j * 64).min(64);
+                *slot &= self.bits.read_window(pos + j * 64, width);
+                any |= *slot;
+            }
+            if any == 0 {
+                return 0;
+            }
+        }
+        for (w, word) in acc.iter().enumerate().rev() {
+            if *word != 0 {
+                return (w as u64) * 64 + 64 - u64::from(word.leading_zeros());
+            }
+        }
+        0
+    }
+
     /// Threshold query: is the multiplicity of `item` at least `j`?
     ///
     /// Cheaper than a full [`Self::query`]: only the window `[j−1, c)` is
@@ -198,8 +301,9 @@ impl ShbfX {
         if tail != 0 {
             acc[words - 1] = (1u64 << tail) - 1;
         }
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m) + from;
+            let pos = shbf_hash::range_reduce(key.index(i), self.m) + from;
             let mut any = 0u64;
             for (w, slot) in acc.iter_mut().enumerate() {
                 let width = (span - w * 64).min(64);
@@ -231,12 +335,13 @@ impl ShbfX {
         if tail != 0 {
             acc[words - 1] = (1u64 << tail) - 1;
         }
+        let key = self.family.prepare(item);
         for i in 0..self.k {
             if let Some(s) = stats.as_deref_mut() {
-                s.record_hashes(1);
+                s.record_hashes(self.family.probe_cost(i));
                 s.record_reads(model.accesses_for_window(self.c));
             }
-            let pos = shbf_hash::range_reduce(self.family.hash(i, item), self.m);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             let mut any = 0u64;
             for (j, slot) in acc.iter_mut().enumerate() {
                 let width = (self.c - j * 64).min(64);
@@ -257,7 +362,7 @@ impl ShbfX {
         w.u64(self.m as u64)
             .u64(self.k as u64)
             .u64(self.c as u64)
-            .u8(self.alg.tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .u64(self.n_distinct)
             .bit_array(&self.bits);
@@ -270,14 +375,14 @@ impl ShbfX {
         let m = r.u64()? as usize;
         let k = r.u64()? as usize;
         let c = r.u64()? as usize;
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let n_distinct = r.u64()?;
         let bits = r.bit_array()?;
         r.expect_end()?;
-        let mut f = Self::empty(m, k, c, alg, seed)?;
+        let mut f = Self::empty(m, k, c, family, seed)?;
         if bits.len() != f.bits.len() {
             return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
                 "bit array size",
@@ -474,5 +579,43 @@ mod tests {
             assert_eq!(f.query(item), g.query(item));
         }
         assert_eq!(g.n_distinct(), 500);
+    }
+
+    #[test]
+    fn query_batch_matches_scalar_reported() {
+        // c = 130 > 64 exercises multi-word masks in the batch path too.
+        for c in [20usize, 57, 130] {
+            let data = multiset(800, c as u64);
+            let f = ShbfX::build(&data, 40_000, 6, c, 13).unwrap();
+            let probes: Vec<Vec<u8>> = data
+                .iter()
+                .map(|(k, _)| k.clone())
+                .chain((0..500u64).map(|i| {
+                    let mut v = vec![0xEE];
+                    v.extend_from_slice(&i.to_le_bytes());
+                    v
+                }))
+                .collect();
+            let batch = f.query_batch(&probes);
+            let bools = f.contains_batch(&probes);
+            for (i, probe) in probes.iter().enumerate() {
+                assert_eq!(batch[i], f.query(probe).reported, "c {c} probe {i}");
+                assert_eq!(bools[i], batch[i] > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_family_never_underreports_and_roundtrips() {
+        let data = multiset(1000, 30);
+        let m = (1.5 * 1000.0 * 8.0 / std::f64::consts::LN_2) as usize;
+        let f = ShbfX::build_with_family(&data, m, 8, 30, FamilyKind::OneShot, 9).unwrap();
+        for (item, count) in &data {
+            assert!(f.query(item).reported >= *count);
+        }
+        let g = ShbfX::from_bytes(&f.to_bytes()).unwrap();
+        for (item, _) in &data {
+            assert_eq!(f.query(item), g.query(item));
+        }
     }
 }

@@ -18,11 +18,12 @@
 
 use shbf_bits::{AccessStats, BitArray, CounterArray};
 use shbf_hash::fnv::FnvHashMap;
-use shbf_hash::{HashAlg, HashFamily, SeededFamily};
+use shbf_hash::{FamilyKind, HashAlg, QueryFamily};
 
 use crate::error::ShbfError;
 use crate::multiplicity::MultiplicityAnswer;
 use crate::traits::CountEstimator;
+use crate::BATCH_CHUNK;
 
 /// How [`CShbfX`] determines an element's current multiplicity on update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +55,7 @@ pub struct CShbfX {
     m: usize,
     k: usize,
     c: usize,
-    family: SeededFamily,
+    family: QueryFamily,
     master_seed: u64,
 }
 
@@ -75,6 +76,20 @@ impl CShbfX {
         alg: HashAlg,
         seed: u64,
     ) -> Result<Self, ShbfError> {
+        Self::with_family(m, k, c, policy, counter_bits, FamilyKind::Seeded(alg), seed)
+    }
+
+    /// [`Self::with_config`] generalized over the hash-family construction
+    /// (pass [`FamilyKind::OneShot`] for digest-once hashing).
+    pub fn with_family(
+        m: usize,
+        k: usize,
+        c: usize,
+        policy: UpdatePolicy,
+        counter_bits: u32,
+        family: FamilyKind,
+        seed: u64,
+    ) -> Result<Self, ShbfError> {
         if m == 0 {
             return Err(ShbfError::ZeroSize("m"));
         }
@@ -93,7 +108,7 @@ impl CShbfX {
             m,
             k,
             c,
-            family: SeededFamily::new(alg, seed, k),
+            family: QueryFamily::new(family, seed, k),
             master_seed: seed,
         })
     }
@@ -116,9 +131,14 @@ impl CShbfX {
         self.table.len()
     }
 
+    /// All `k` positions of one key, hashed once (digest-once families pay
+    /// a single base-hash pass here).
     #[inline]
-    fn position(&self, i: usize, item: &[u8]) -> usize {
-        shbf_hash::range_reduce(self.family.hash(i, item), self.m)
+    fn positions_into(&self, item: &[u8], out: &mut [usize]) {
+        let key = self.family.prepare(item);
+        for (i, slot) in out.iter_mut().enumerate().take(self.k) {
+            *slot = shbf_hash::range_reduce(key.index(i), self.m);
+        }
     }
 
     /// Current multiplicity of `item` according to the update policy.
@@ -133,8 +153,9 @@ impl CShbfX {
     /// at `h_i + z − 1`.
     fn encode(&mut self, item: &[u8], z: u64) {
         let off = (z - 1) as usize;
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let idx = self.position(i, item) + off;
+            let idx = shbf_hash::range_reduce(key.index(i), self.m) + off;
             self.counters.inc(idx);
             self.bits.set(idx);
         }
@@ -144,8 +165,9 @@ impl CShbfX {
     /// bits whose counter reaches 0 (Fig. 5, steps 2–3).
     fn unencode(&mut self, item: &[u8], z: u64) {
         let off = (z - 1) as usize;
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let idx = self.position(i, item) + off;
+            let idx = shbf_hash::range_reduce(key.index(i), self.m) + off;
             if let Some(0) = self.counters.dec(idx) {
                 self.bits.clear(idx);
             }
@@ -205,8 +227,9 @@ impl CShbfX {
         if tail != 0 {
             acc[words - 1] = (1u64 << tail) - 1;
         }
+        let key = self.family.prepare(item);
         for i in 0..self.k {
-            let pos = self.position(i, item);
+            let pos = shbf_hash::range_reduce(key.index(i), self.m);
             let mut any = 0u64;
             for (j, slot) in acc.iter_mut().enumerate() {
                 let width = (self.c - j * 64).min(64);
@@ -231,6 +254,63 @@ impl CShbfX {
         }
     }
 
+    /// Batched membership view against the bit mirror (`reported > 0` per
+    /// element, in input order) via the prefetched two-stage pipeline — the
+    /// server's `MQUERY` path for multiplicity namespaces.
+    pub fn contains_batch<T: AsRef<[u8]>>(&self, items: &[T]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(items.len());
+        self.contains_batch_into(items, &mut out);
+        out
+    }
+
+    /// [`Self::contains_batch`] writing into a caller-owned buffer (cleared
+    /// first), sparing the reply-buffer allocation per batch (the pipeline's
+    /// small fixed stage buffers are still allocated per call).
+    pub fn contains_batch_into<T: AsRef<[u8]>>(&self, items: &[T], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(items.len());
+        let k = self.k;
+        let window_words = self.c.div_ceil(64);
+        let mut positions = vec![0usize; BATCH_CHUNK * k];
+        let mut acc = vec![0u64; window_words];
+        for chunk in items.chunks(BATCH_CHUNK) {
+            for (j, item) in chunk.iter().enumerate() {
+                self.positions_into(item.as_ref(), &mut positions[j * k..(j + 1) * k]);
+                for &pos in &positions[j * k..(j + 1) * k] {
+                    for w in 0..window_words {
+                        self.bits.prefetch(pos + w * 64);
+                    }
+                }
+            }
+            for j in 0..chunk.len() {
+                out.push(self.any_candidate_at(&positions[j * k..(j + 1) * k], &mut acc));
+            }
+        }
+    }
+
+    /// True iff ANDing the k windows at the given positions leaves any
+    /// candidate alive (`acc` is reusable scratch).
+    fn any_candidate_at(&self, positions: &[usize], acc: &mut [u64]) -> bool {
+        let words = self.c.div_ceil(64);
+        acc[..words].fill(u64::MAX);
+        let tail = self.c % 64;
+        if tail != 0 {
+            acc[words - 1] = (1u64 << tail) - 1;
+        }
+        for &pos in positions {
+            let mut any = 0u64;
+            for (j, slot) in acc[..words].iter_mut().enumerate() {
+                let width = (self.c - j * 64).min(64);
+                *slot &= self.bits.read_window(pos + j * 64, width);
+                any |= *slot;
+            }
+            if any == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Consistency check between bit mirror and counters.
     pub fn check_sync(&self) -> usize {
         (0..self.bits.len())
@@ -250,7 +330,7 @@ impl CShbfX {
                 UpdatePolicy::FilterDerived => 0,
                 UpdatePolicy::ExactTable => 1,
             })
-            .u8(self.family.alg().tag())
+            .u8(self.family.kind().tag())
             .u64(self.master_seed)
             .counter_array(&self.counters)
             .u64(self.table.len() as u64);
@@ -278,8 +358,8 @@ impl CShbfX {
                 )))
             }
         };
-        let alg = HashAlg::from_tag(r.u8()?).ok_or(ShbfError::Codec(
-            shbf_bits::CodecError::InvalidField("hash alg"),
+        let family = FamilyKind::from_tag(r.u8()?).ok_or(ShbfError::Codec(
+            shbf_bits::CodecError::InvalidField("hash family"),
         ))?;
         let seed = r.u64()?;
         let counters = r.counter_array()?;
@@ -296,7 +376,7 @@ impl CShbfX {
             table.insert(key, count);
         }
         r.expect_end()?;
-        let mut f = Self::with_config(m, k, c, policy, counters.width(), alg, seed)?;
+        let mut f = Self::with_family(m, k, c, policy, counters.width(), family, seed)?;
         if counters.len() != f.counters.len() {
             return Err(ShbfError::Codec(shbf_bits::CodecError::InvalidField(
                 "counter array size",
@@ -347,6 +427,47 @@ mod tests {
         let mut v = vec![0x11];
         v.extend_from_slice(&i.to_le_bytes());
         v
+    }
+
+    #[test]
+    fn contains_batch_matches_scalar_query() {
+        let mut f = CShbfX::new(20_000, 8, 57, 5).unwrap();
+        for i in 0..600u64 {
+            for _ in 0..(i % 5 + 1) {
+                f.insert(&key(i)).unwrap();
+            }
+        }
+        let probes: Vec<Vec<u8>> = (0..1200u64).map(key).collect();
+        let batch = f.contains_batch(&probes);
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(batch[i], f.query(probe).reported > 0, "probe {i}");
+        }
+    }
+
+    #[test]
+    fn one_shot_family_updates_and_roundtrips() {
+        let mut f = CShbfX::with_family(
+            20_000,
+            8,
+            57,
+            UpdatePolicy::ExactTable,
+            8,
+            FamilyKind::OneShot,
+            5,
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            f.insert(&key(i)).unwrap();
+            f.insert(&key(i)).unwrap();
+        }
+        for i in 0..100u64 {
+            f.delete(&key(i)).unwrap();
+        }
+        let g = CShbfX::from_bytes(&f.to_bytes()).unwrap();
+        for i in 0..300u64 {
+            assert_eq!(f.query(&key(i)), g.query(&key(i)), "key {i}");
+        }
+        assert_eq!(g.check_sync(), 0);
     }
 
     #[test]

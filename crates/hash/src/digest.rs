@@ -1,0 +1,154 @@
+//! Digest-once hashing: one base-hash pass per key, all filter indexes
+//! derived by integer mixing.
+//!
+//! [`SeededFamily`](crate::SeededFamily) re-runs the full base algorithm for
+//! every member function, which matches the paper's cost accounting but means
+//! a `k = 8` ShBF_M query performs `k/2 + 1 = 5` complete Murmur3 passes over
+//! the key. [`Digest128`] instead captures the two 64-bit halves of a
+//! *single* MurmurHash3 x64-128 invocation and derives arbitrarily many
+//! member values with a SplitMix64 finalizer over a double-hashing walk:
+//!
+//! ```text
+//! g_i(e) = splitmix64( h1(e) + i · (h2(e) | 1) )
+//! ```
+//!
+//! The affine walk gives every index a distinct 64-bit input (the odd
+//! multiplier makes `i ↦ h1 + i·h2` injective over `u64`), and the
+//! full-avalanche finalizer removes the linear structure that plain
+//! Kirsch–Mitzenmacher double hashing pays for with a slightly worse FPR.
+//! One hash computation per key, in the paper's unit.
+
+use crate::mix::splitmix64;
+use crate::murmur3::murmur3_x64_128;
+
+/// The 128-bit digest of one key: both halves of one MurmurHash3 x64-128
+/// pass. All member-function values are pure functions of this digest, so a
+/// batch pipeline can hash each key exactly once, stash the digest, and
+/// derive positions later without touching the key bytes again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest128 {
+    h1: u64,
+    /// Second half, forced odd so the index walk is injective.
+    h2: u64,
+}
+
+impl Digest128 {
+    /// Digests `item` under `seed` (one base-hash computation).
+    #[inline]
+    pub fn compute(seed: u64, item: &[u8]) -> Self {
+        let (h1, h2) = murmur3_x64_128(item, seed);
+        Digest128 { h1, h2: h2 | 1 }
+    }
+
+    /// The `index`-th derived member value (mixing only, no re-hash).
+    #[inline]
+    pub fn select(&self, index: usize) -> u64 {
+        splitmix64(self.h1.wrapping_add((index as u64).wrapping_mul(self.h2)))
+    }
+}
+
+/// A hash family whose members all derive from one [`Digest128`] per key.
+///
+/// Drop-in alternative to [`SeededFamily`](crate::SeededFamily): same
+/// `hash(index, item)` surface, but `computations_for(k)` is 1 — the §1.2.1
+/// cost of a whole query collapses to a single base-hash pass. Filters that
+/// know the concrete type should call [`OneShotFamily::digest`] once and
+/// [`Digest128::select`] per index; the trait method recomputes the digest
+/// on every call and exists only for generic call sites.
+#[derive(Debug, Clone)]
+pub struct OneShotFamily {
+    seed: u64,
+}
+
+impl OneShotFamily {
+    /// Creates the family from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        OneShotFamily {
+            seed: splitmix64(master_seed),
+        }
+    }
+
+    /// The derived internal seed (exposed for serialization checks).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Digests one key: the single hash computation of a whole query.
+    #[inline]
+    pub fn digest(&self, item: &[u8]) -> Digest128 {
+        Digest128::compute(self.seed, item)
+    }
+}
+
+impl crate::HashFamily for OneShotFamily {
+    #[inline]
+    fn hash(&self, index: usize, item: &[u8]) -> u64 {
+        self.digest(item).select(index)
+    }
+
+    fn computations_for(&self, count: usize) -> usize {
+        count.min(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "one-shot(murmur3-x64-128)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashFamily;
+
+    #[test]
+    fn digest_and_trait_hash_agree() {
+        let fam = OneShotFamily::new(42);
+        let d = fam.digest(b"element");
+        for i in 0..16 {
+            assert_eq!(fam.hash(i, b"element"), d.select(i));
+        }
+    }
+
+    #[test]
+    fn members_differ_and_are_reproducible() {
+        let a = OneShotFamily::new(7);
+        let b = OneShotFamily::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let h = a.hash(i, b"item");
+            assert_eq!(h, b.hash(i, b"item"));
+            assert!(seen.insert(h), "member {i} collided");
+        }
+    }
+
+    #[test]
+    fn one_computation_per_key() {
+        let fam = OneShotFamily::new(5);
+        assert_eq!(fam.computations_for(0), 0);
+        assert_eq!(fam.computations_for(1), 1);
+        assert_eq!(fam.computations_for(9), 1);
+    }
+
+    #[test]
+    fn derived_values_are_balanced() {
+        // Per-bit balance over many (key, index) pairs: each output bit
+        // should be ~50% ones, the paper's §6.1 sanity bar.
+        let fam = OneShotFamily::new(99);
+        let mut ones = [0u32; 64];
+        let samples = 4000u64;
+        for s in 0..samples / 4 {
+            let d = fam.digest(&s.to_le_bytes());
+            for i in 0..4 {
+                let h = d.select(i);
+                for (b, slot) in ones.iter_mut().enumerate() {
+                    *slot += ((h >> b) & 1) as u32;
+                }
+            }
+        }
+        for (b, &count) in ones.iter().enumerate() {
+            let frac = f64::from(count) / samples as f64;
+            assert!((0.45..0.55).contains(&frac), "bit {b} balance {frac:.3}");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Hash families: how a filter obtains its `k` "independent hash functions
 //! with uniformly distributed outputs" (paper §1.2).
 //!
-//! Two strategies are provided:
+//! Three strategies are provided:
 //!
 //! * [`SeededFamily`]: one base algorithm, `k` seeds derived from a master
 //!   seed via SplitMix64. Each member costs one full hash computation — this
@@ -9,9 +9,17 @@
 //!   ShBF_M pays `k/2 + 1`).
 //! * [`DoubleHashFamily`]: the Kirsch–Mitzenmacher construction
 //!   `g_i = h1 + i·h2 (mod m)` from two base hashes — the related-work
-//!   "less hashing" baseline (§2.1) whose cost is 2 computations but whose
-//!   FPR is slightly worse.
+//!   "less hashing" baseline (§2.1). Both base hashes are the two halves of
+//!   one MurmurHash3 x64-128 invocation, so the whole family costs **one**
+//!   computation; the price is the slightly worse FPR of the linear walk.
+//! * [`OneShotFamily`](crate::OneShotFamily): one Murmur3 x64-128 pass per
+//!   key, indexes derived by SplitMix mixing of the digest — the digest-once
+//!   fast path (also 1 computation, without the linear-structure FPR cost).
+//!
+//! [`QueryFamily`] is the closed dispatch enum filters embed: seeded or
+//! one-shot, selected by [`FamilyKind`] and serialized via its stable tag.
 
+use crate::digest::{Digest128, OneShotFamily};
 use crate::mix::splitmix64;
 
 /// The base hash algorithms available to families.
@@ -85,7 +93,9 @@ pub trait HashFamily {
     /// `count` distinct member functions on one item.
     ///
     /// For a seeded family this is `count`; for double hashing it is
-    /// `min(count, 2)` because all members derive from two base hashes.
+    /// `min(count, 1)` because both base hashes are the two halves of a
+    /// single MurmurHash3 x64-128 invocation (see
+    /// [`DoubleHashFamily::base_pair`]).
     fn computations_for(&self, count: usize) -> usize {
         count
     }
@@ -193,6 +203,172 @@ impl HashFamily for DoubleHashFamily {
     }
 }
 
+/// Which hash-family construction a filter uses, with a stable serialization
+/// tag.
+///
+/// Tags 0–5 are the [`HashAlg`] tags (a seeded family of that algorithm), so
+/// every blob written before [`QueryFamily`] existed still decodes to the
+/// seeded family it was built with. The one-shot family claims tag 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// `k` independently seeded invocations of one base algorithm.
+    Seeded(HashAlg),
+    /// One Murmur3 x64-128 digest per key, indexes derived by mixing.
+    OneShot,
+}
+
+impl FamilyKind {
+    /// Serialization tag of the one-shot family (seeded families reuse
+    /// their [`HashAlg::tag`], keeping pre-existing blobs valid).
+    pub const ONE_SHOT_TAG: u8 = 16;
+
+    /// Stable numeric tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            FamilyKind::Seeded(alg) => alg.tag(),
+            FamilyKind::OneShot => Self::ONE_SHOT_TAG,
+        }
+    }
+
+    /// Inverse of [`FamilyKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<FamilyKind> {
+        if tag == Self::ONE_SHOT_TAG {
+            Some(FamilyKind::OneShot)
+        } else {
+            HashAlg::from_tag(tag).map(FamilyKind::Seeded)
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyKind::Seeded(alg) => alg.name(),
+            FamilyKind::OneShot => "one-shot(murmur3-x64-128)",
+        }
+    }
+}
+
+/// The hash family embedded in every filter: a closed enum (not a trait
+/// object) so the per-probe dispatch is a predictable two-way branch the
+/// optimizer can hoist out of query loops.
+#[derive(Debug, Clone)]
+pub enum QueryFamily {
+    /// Paper-faithful seeded family: one full hash pass per index.
+    Seeded(SeededFamily),
+    /// Digest-once family: one hash pass per key, mixing per index.
+    OneShot(OneShotFamily),
+}
+
+impl QueryFamily {
+    /// Creates a family of `arity` member functions of the given kind.
+    /// (`arity` only matters for the seeded construction; the one-shot
+    /// digest derives any index.)
+    pub fn new(kind: FamilyKind, master_seed: u64, arity: usize) -> Self {
+        match kind {
+            FamilyKind::Seeded(alg) => {
+                QueryFamily::Seeded(SeededFamily::new(alg, master_seed, arity))
+            }
+            FamilyKind::OneShot => QueryFamily::OneShot(OneShotFamily::new(master_seed)),
+        }
+    }
+
+    /// The construction this family uses.
+    pub fn kind(&self) -> FamilyKind {
+        match self {
+            QueryFamily::Seeded(f) => FamilyKind::Seeded(f.alg()),
+            QueryFamily::OneShot(_) => FamilyKind::OneShot,
+        }
+    }
+
+    /// Hash `item` with the `index`-th member (one-off call sites; hot
+    /// loops should [`prepare`](Self::prepare) once instead).
+    #[inline]
+    pub fn hash(&self, index: usize, item: &[u8]) -> u64 {
+        match self {
+            QueryFamily::Seeded(f) => f.hash(index, item),
+            QueryFamily::OneShot(f) => f.digest(item).select(index),
+        }
+    }
+
+    /// Prepares one key for repeated index derivation. For the seeded
+    /// family this is free and subsequent [`PreparedKey::index`] calls each
+    /// run the base hash (preserving lazy short-circuit cost accounting);
+    /// for the one-shot family the single digest happens here and every
+    /// index afterwards is a few arithmetic ops.
+    #[inline]
+    pub fn prepare<'a>(&'a self, item: &'a [u8]) -> PreparedKey<'a> {
+        match self {
+            QueryFamily::Seeded(f) => PreparedKey::Seeded { family: f, item },
+            QueryFamily::OneShot(f) => PreparedKey::OneShot(f.digest(item)),
+        }
+    }
+
+    /// Cost in the paper's "hash computations" unit of evaluating `count`
+    /// member functions on one key.
+    pub fn computations_for(&self, count: usize) -> usize {
+        match self {
+            QueryFamily::Seeded(f) => f.computations_for(count),
+            QueryFamily::OneShot(f) => f.computations_for(count),
+        }
+    }
+
+    /// Marginal hash-computation cost of the next member evaluation, given
+    /// `already` evaluations happened on this key. Profiled query paths use
+    /// this so per-probe accounting stays honest for both constructions.
+    #[inline]
+    pub fn probe_cost(&self, already: usize) -> u64 {
+        match self {
+            QueryFamily::Seeded(_) => 1,
+            QueryFamily::OneShot(_) => u64::from(already == 0),
+        }
+    }
+
+    /// Algorithm name for reports.
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+impl HashFamily for QueryFamily {
+    #[inline]
+    fn hash(&self, index: usize, item: &[u8]) -> u64 {
+        QueryFamily::hash(self, index, item)
+    }
+
+    fn computations_for(&self, count: usize) -> usize {
+        QueryFamily::computations_for(self, count)
+    }
+
+    fn name(&self) -> &'static str {
+        QueryFamily::name(self)
+    }
+}
+
+/// One key, prepared for index derivation against a [`QueryFamily`].
+#[derive(Debug, Clone, Copy)]
+pub enum PreparedKey<'a> {
+    /// Seeded: indexes hash the key lazily, one base pass each.
+    Seeded {
+        /// The owning family.
+        family: &'a SeededFamily,
+        /// The key bytes.
+        item: &'a [u8],
+    },
+    /// One-shot: the digest was computed at prepare time.
+    OneShot(Digest128),
+}
+
+impl PreparedKey<'_> {
+    /// The `index`-th member value for this key.
+    #[inline]
+    pub fn index(&self, index: usize) -> u64 {
+        match self {
+            PreparedKey::Seeded { family, item } => family.hash(index, item),
+            PreparedKey::OneShot(d) => d.select(index),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,11 +407,58 @@ mod tests {
 
     #[test]
     fn double_hashing_costs_one_computation() {
+        // `base_pair` derives both halves from a single murmur3_x64_128
+        // invocation, so any number of members costs exactly one
+        // computation — the trait doc, impl, and this test must agree.
         let fam = DoubleHashFamily::new(5);
         assert_eq!(fam.computations_for(8), 1);
+        assert_eq!(fam.computations_for(2), 1);
+        assert_eq!(fam.computations_for(1), 1);
         assert_eq!(fam.computations_for(0), 0);
         let seeded = SeededFamily::new(HashAlg::Murmur3, 5, 8);
         assert_eq!(seeded.computations_for(8), 8);
+    }
+
+    #[test]
+    fn family_kind_tags_roundtrip_and_preserve_seeded_blobs() {
+        for alg in HashAlg::ALL {
+            let kind = FamilyKind::Seeded(alg);
+            // Seeded kinds reuse the bare HashAlg tag byte, so blobs written
+            // before FamilyKind existed decode unchanged.
+            assert_eq!(kind.tag(), alg.tag());
+            assert_eq!(FamilyKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(
+            FamilyKind::from_tag(FamilyKind::ONE_SHOT_TAG),
+            Some(FamilyKind::OneShot)
+        );
+        assert_eq!(FamilyKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn query_family_prepare_matches_direct_hash() {
+        let items: &[&[u8]] = &[b"a", b"13-byte flowid", b"longer key material here"];
+        for kind in [FamilyKind::Seeded(HashAlg::Murmur3), FamilyKind::OneShot] {
+            let fam = QueryFamily::new(kind, 77, 9);
+            for item in items {
+                let key = fam.prepare(item);
+                for i in 0..9 {
+                    assert_eq!(key.index(i), fam.hash(i, item), "{kind:?} index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_family_cost_accounting() {
+        let seeded = QueryFamily::new(FamilyKind::Seeded(HashAlg::Murmur3), 1, 8);
+        assert_eq!(seeded.computations_for(5), 5);
+        assert_eq!(seeded.probe_cost(0), 1);
+        assert_eq!(seeded.probe_cost(3), 1);
+        let one_shot = QueryFamily::new(FamilyKind::OneShot, 1, 8);
+        assert_eq!(one_shot.computations_for(5), 1);
+        assert_eq!(one_shot.probe_cost(0), 1);
+        assert_eq!(one_shot.probe_cost(3), 0);
     }
 
     #[test]

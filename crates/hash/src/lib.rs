@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod family;
 pub mod fnv;
 pub mod jenkins;
@@ -40,7 +41,10 @@ pub mod randomness;
 pub mod siphash;
 pub mod xxhash;
 
-pub use family::{DoubleHashFamily, HashAlg, HashFamily, SeededFamily};
+pub use digest::{Digest128, OneShotFamily};
+pub use family::{
+    DoubleHashFamily, FamilyKind, HashAlg, HashFamily, PreparedKey, QueryFamily, SeededFamily,
+};
 pub use mix::{fmix64, range_reduce, splitmix64};
 
 /// A seeded 64-bit hash function over byte strings.

@@ -28,6 +28,33 @@ pub struct Engine {
     registry: Registry,
 }
 
+/// Per-connection scratch for the batch query path: the `MQUERY` verdict
+/// buffer and the shard-grouping buffers. A connection handler owns one and
+/// threads it through [`Engine::dispatch_with`]; after encoding a reply it
+/// calls [`QueryScratch::reclaim`] so the verdict buffer cycles back instead
+/// of being reallocated per request line.
+#[derive(Default)]
+pub struct QueryScratch {
+    verdicts: Vec<bool>,
+    shard: shbf_concurrent::BatchScratch,
+}
+
+impl QueryScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// Takes the verdict buffer back from an encoded [`Response::Verdicts`]
+    /// reply (no-op for other reply shapes).
+    pub fn reclaim(&mut self, response: Response) {
+        if let Response::Verdicts(mut verdicts) = response {
+            verdicts.clear();
+            self.verdicts = verdicts;
+        }
+    }
+}
+
 fn wire_set(set: WireSet) -> SetId {
     match set {
         WireSet::S1 => SetId::S1,
@@ -63,7 +90,14 @@ impl Engine {
     /// Executes one command. Never panics on bad input — protocol and
     /// registry errors come back as [`Response::Error`].
     pub fn dispatch(&self, cmd: &Command) -> (Response, Control) {
-        let response = self.eval(cmd);
+        self.dispatch_with(cmd, &mut QueryScratch::default())
+    }
+
+    /// [`Self::dispatch`] with caller-owned scratch: `MQUERY` fills the
+    /// scratch's recycled verdict buffer instead of allocating a reply
+    /// vector per request. Transports keep one scratch per connection.
+    pub fn dispatch_with(&self, cmd: &Command, scratch: &mut QueryScratch) -> (Response, Control) {
+        let response = self.eval(cmd, scratch);
         let control = match cmd {
             Command::Quit => Control::CloseConnection,
             // Only a successfully evaluated SHUTDOWN stops the server.
@@ -73,7 +107,7 @@ impl Engine {
         (response, control)
     }
 
-    fn eval(&self, cmd: &Command) -> Response {
+    fn eval(&self, cmd: &Command, scratch: &mut QueryScratch) -> Response {
         match cmd {
             Command::Ping => Response::Simple("PONG".into()),
             Command::Quit | Command::Shutdown => Response::Simple("BYE".into()),
@@ -113,7 +147,7 @@ impl Engine {
             Command::Insert { ns, key, set } => self.with_ns(ns, |n| insert(n, key, *set)),
             Command::Delete { ns, key, set } => self.with_ns(ns, |n| delete(n, key, *set)),
             Command::Query { ns, key } => self.with_ns(ns, |n| query(n, key)),
-            Command::MQuery { ns, keys } => self.with_ns(ns, |n| mquery(n, keys)),
+            Command::MQuery { ns, keys } => self.with_ns(ns, |n| mquery(n, keys, scratch)),
             Command::Count { ns, key } => self.with_ns(ns, |n| count(n, key)),
             Command::Assoc { ns, key } => self.with_ns(ns, |n| assoc(n, key)),
             Command::Stats { ns } => self.with_ns(ns, stats),
@@ -206,27 +240,20 @@ fn query(n: &Namespace, key: &[u8]) -> Response {
     Response::bool(hit)
 }
 
-fn mquery(n: &Namespace, keys: &[Vec<u8>]) -> Response {
-    let answers: Vec<bool> = match &n.backend {
-        // Sharded fast path: group keys by shard, one lock per shard.
-        Backend::Membership(f) => f.contains_batch(keys),
-        // Sequential backends: hold one read lock across the whole batch
-        // instead of re-acquiring per key.
-        Backend::Multiplicity(f) => {
-            let guard = f.read();
-            keys.iter().map(|k| guard.query(k).reported > 0).collect()
-        }
-        Backend::Association(f) => {
-            let guard = f.read();
-            keys.iter()
-                .map(|k| !matches!(guard.query(k), shbf_core::AssociationAnswer::NotInUnion))
-                .collect()
-        }
-    };
+fn mquery(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Response {
+    // All three backends run their prefetched two-stage batch pipeline into
+    // the recycled verdict buffer; one lock acquisition per touched shard
+    // (membership) or per batch (multiplicity/association).
+    let mut answers = std::mem::take(&mut scratch.verdicts);
+    match &n.backend {
+        Backend::Membership(f) => f.contains_batch_with(keys, &mut answers, &mut scratch.shard),
+        Backend::Multiplicity(f) => f.read().contains_batch_into(keys, &mut answers),
+        Backend::Association(f) => f.read().contains_batch_into(keys, &mut answers),
+    }
     for &hit in &answers {
         n.stats.record_query(hit);
     }
-    Response::Array(answers.into_iter().map(Response::bool).collect())
+    Response::Verdicts(answers)
 }
 
 fn count(n: &Namespace, key: &[u8]) -> Response {
@@ -347,11 +374,56 @@ mod tests {
         // MQUERY answers in order.
         let r = e.eval_line("MQUERY flows key-1 key-2 definitely-never-inserted-a-b-c");
         match r {
-            Response::Array(items) => {
-                assert_eq!(items[0], Response::Int(1));
-                assert_eq!(items[1], Response::Int(1));
+            Response::Verdicts(v) => {
+                assert!(v[0]);
+                assert!(v[1]);
             }
-            other => panic!("expected array, got {other:?}"),
+            other => panic!("expected verdicts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mquery_scratch_recycles_the_verdict_buffer() {
+        let e = engine();
+        e.eval_line("CREATE ns shbf-m 80000 8");
+        for i in 0..100 {
+            e.eval_line(&format!("INSERT ns k-{i}"));
+        }
+        let mut scratch = QueryScratch::new();
+        for round in 0..5 {
+            let cmd = crate::protocol::parse_command("MQUERY ns k-1 k-2 nope-xyzzy").unwrap();
+            let (r, _) = e.dispatch_with(&cmd, &mut scratch);
+            match &r {
+                Response::Verdicts(v) => {
+                    assert_eq!(v.len(), 3, "round {round}");
+                    assert!(v[0] && v[1]);
+                    assert!(!v[2], "nope-xyzzy should miss (round {round})");
+                }
+                other => panic!("expected verdicts, got {other:?}"),
+            }
+            scratch.reclaim(r);
+        }
+        // The buffer really came back: capacity survived the round trips.
+        assert!(scratch.verdicts.capacity() >= 3);
+        assert!(scratch.verdicts.is_empty());
+    }
+
+    #[test]
+    fn mquery_batches_multiplicity_and_association_backends() {
+        let e = engine();
+        e.eval_line("CREATE sizes shbf-x 8192 6 30 3");
+        e.eval_line("INSERT sizes flow-a");
+        e.eval_line("INSERT sizes flow-b");
+        match e.eval_line("MQUERY sizes flow-a flow-b never-seen-key") {
+            Response::Verdicts(v) => assert_eq!(v, vec![true, true, false]),
+            other => panic!("expected verdicts, got {other:?}"),
+        }
+        e.eval_line("CREATE gw shbf-a 8192 6");
+        e.eval_line("INSERT gw file-1 1");
+        e.eval_line("INSERT gw file-2 2");
+        match e.eval_line("MQUERY gw file-1 file-2 never-seen-key") {
+            Response::Verdicts(v) => assert_eq!(v, vec![true, true, false]),
+            other => panic!("expected verdicts, got {other:?}"),
         }
     }
 

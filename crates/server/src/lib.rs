@@ -72,7 +72,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use client::Client;
-pub use engine::{Control, Engine};
+pub use engine::{Control, Engine, QueryScratch};
 pub use protocol::{parse_command, Command, KindSpec, Response};
 pub use registry::{Namespace, Registry, RegistryError};
 pub use server::{Server, ServerConfig, ServerHandle};

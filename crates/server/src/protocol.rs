@@ -368,6 +368,12 @@ pub enum Response {
     Int(i64),
     /// `*<n>` array of nested replies.
     Array(Vec<Response>),
+    /// `*<n>` array of `:1`/`:0` — `MQUERY`'s reply, held as a flat
+    /// `Vec<bool>` instead of `n` boxed [`Response::Int`]s so the batch
+    /// path's reply buffer can be recycled across requests (see
+    /// `Engine::dispatch_with`). Wire encoding is identical to the
+    /// equivalent [`Response::Array`].
+    Verdicts(Vec<bool>),
 }
 
 impl Response {
@@ -405,6 +411,14 @@ impl Response {
                 out.extend_from_slice(b"\r\n");
                 for item in items {
                     item.encode(out);
+                }
+            }
+            Response::Verdicts(verdicts) => {
+                out.push(b'*');
+                out.extend_from_slice(verdicts.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for &v in verdicts {
+                    out.extend_from_slice(if v { b":1\r\n" } else { b":0\r\n" });
                 }
             }
         }
@@ -533,5 +547,11 @@ mod tests {
             Response::Array(vec![Response::bool(true), Response::bool(false)]).encode_to_string(),
             "*2\r\n:1\r\n:0\r\n"
         );
+        // Verdicts encode byte-identically to the equivalent Array.
+        assert_eq!(
+            Response::Verdicts(vec![true, false]).encode_to_string(),
+            Response::Array(vec![Response::bool(true), Response::bool(false)]).encode_to_string(),
+        );
+        assert_eq!(Response::Verdicts(vec![]).encode_to_string(), "*0\r\n");
     }
 }

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::engine::{Control, Engine};
+use crate::engine::{Control, Engine, QueryScratch};
 use crate::protocol::{parse_command, Response};
 
 /// Tunables for [`Server::bind`].
@@ -209,6 +209,9 @@ fn handle_connection(
     let mut writer = stream;
     let mut line = String::new();
     let mut out = Vec::with_capacity(256);
+    // Batch-query scratch: MQUERY verdicts and shard-grouping buffers are
+    // recycled across this connection's requests instead of reallocated.
+    let mut scratch = QueryScratch::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
@@ -250,12 +253,13 @@ fn handle_connection(
             continue;
         }
         let (response, control) = match parse_command(trimmed) {
-            Ok(cmd) => engine.dispatch(&cmd),
+            Ok(cmd) => engine.dispatch_with(&cmd, &mut scratch),
             Err(e) => (Response::Error(e.to_string()), Control::Continue),
         };
         line.clear();
         out.clear();
         response.encode(&mut out);
+        scratch.reclaim(response);
         writer.write_all(&out)?;
         writer.flush()?;
         match control {
