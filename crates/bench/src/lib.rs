@@ -19,6 +19,7 @@
 pub mod batch;
 pub mod figs;
 pub mod harness;
+pub mod server_bench;
 pub mod speed;
 
 pub use harness::{RunConfig, Table};

@@ -1,0 +1,339 @@
+//! Real-socket server throughput — the `BENCH_server.json` emitter.
+//!
+//! Measures the set-query daemon end to end over loopback TCP: N client
+//! threads, each keeping `depth` pipelined `QUERY` commands in flight
+//! against the same live server, once per transport
+//! ([`TransportKind::Threaded`] vs [`TransportKind::Evented`]). The
+//! workload and verification are identical across transports:
+//!
+//! * one `shbf-m` namespace (one-shot family, so hashing is off the
+//!   critical path and the transport dominates), bulk-loaded via
+//!   `MINSERT` (the shard-grouped prefetched insert pipeline);
+//! * a fixed probe list (half members, half misses) whose expected
+//!   verdicts are precomputed through `MQUERY`; every client round
+//!   asserts its reply bytes equal the expectation **exactly**, so a
+//!   transport that corrupted, reordered, or dropped one reply fails the
+//!   run instead of posting a number;
+//! * clients write one prebuilt request block per round and
+//!   `read_exact` the expected reply block — minimal client-side CPU, the
+//!   same for both transports.
+//!
+//! What the comparison isolates: per-reply `write`+`flush` syscalls and
+//! per-connection threads (threaded) vs. one coalesced write per turn,
+//! batch-formed queries, and a few event loops (evented).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shbf_hash::splitmix64;
+use shbf_server::{Client, Engine, Server, ServerConfig, ServerHandle, TransportKind};
+
+/// Configuration for [`run`].
+#[derive(Debug, Clone)]
+pub struct ServerBenchConfig {
+    /// Concurrent client connections (one thread each).
+    pub clients: usize,
+    /// Pipelined `QUERY` commands per round-trip.
+    pub depth: usize,
+    /// Logical filter bits (split over `shards`).
+    pub m_bits: usize,
+    /// Shards of the membership namespace.
+    pub shards: usize,
+    /// Member keys bulk-loaded at setup.
+    pub keys: usize,
+    /// Probe list length (half members, half misses).
+    pub probes: usize,
+    /// Measurement window per transport, in milliseconds.
+    pub measure_ms: u64,
+    /// Master seed for keys and the filter.
+    pub seed: u64,
+}
+
+impl Default for ServerBenchConfig {
+    fn default() -> Self {
+        ServerBenchConfig {
+            clients: 64,
+            depth: 32,
+            m_bits: 1 << 22,
+            shards: 8,
+            keys: 1 << 17,
+            probes: 1 << 13,
+            measure_ms: 1500,
+            seed: 0x5E3_4E3,
+        }
+    }
+}
+
+/// One transport's measurement.
+#[derive(Debug, Clone)]
+pub struct TransportPoint {
+    /// `threaded` / `evented`.
+    pub name: &'static str,
+    /// Total queries answered per second across all clients.
+    pub ops_per_sec: f64,
+    /// Total queries answered inside the window.
+    pub ops: u64,
+    /// Positive verdicts in one probe-list pass (behavioural
+    /// fingerprint; must agree across transports).
+    pub positives: u64,
+}
+
+/// The whole run.
+#[derive(Debug, Clone)]
+pub struct ServerBenchResult {
+    /// Threaded then evented.
+    pub transports: Vec<TransportPoint>,
+    /// Evented ops/s over threaded ops/s — the headline number (the
+    /// acceptance gate asks ≥ 1.5× at 64 pipelined clients).
+    pub speedup_evented_vs_threaded: f64,
+}
+
+fn key_token(i: u64, seed: u64) -> String {
+    format!("k{:016x}", splitmix64(seed ^ i))
+}
+
+/// One prebuilt client round: the request bytes and the exact reply
+/// bytes the server must produce for them.
+struct Block {
+    request: Vec<u8>,
+    expected: Vec<u8>,
+}
+
+fn start_server(cfg: &ServerBenchConfig, transport: TransportKind) -> (ServerHandle, SocketAddr) {
+    let engine = Arc::new(Engine::new());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            max_connections: cfg.clients + 8,
+            transport,
+            evented_workers: 0,
+        },
+    )
+    .expect("bind loopback");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// Creates + bulk-loads the namespace, precomputes expected verdicts,
+/// and builds the per-round request/reply blocks.
+fn setup(cfg: &ServerBenchConfig, addr: SocketAddr) -> (Vec<Block>, u64) {
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let create = format!(
+        "CREATE bench shbf-m {} 8 {} {} family=one-shot",
+        cfg.m_bits, cfg.shards, cfg.seed
+    );
+    let reply = admin.send_expect_one(&create).expect("CREATE");
+    assert_eq!(reply, "+OK", "CREATE failed: {reply}");
+
+    // Bulk load through MINSERT — the shard-grouped insert_batch path.
+    let members: Vec<String> = (0..cfg.keys as u64)
+        .map(|i| key_token(i, cfg.seed))
+        .collect();
+    for chunk in members.chunks(512) {
+        let line = format!("MINSERT bench {}", chunk.join(" "));
+        let reply = admin.send_expect_one(&line).expect("MINSERT");
+        assert_eq!(reply, format!(":{}", chunk.len()), "MINSERT failed");
+    }
+
+    // Probe list: members and misses interleaved.
+    let misses: Vec<String> = (0..cfg.probes as u64 / 2)
+        .map(|i| key_token(i, cfg.seed ^ 0x00FF_00FF_00FF_00FF))
+        .collect();
+    let mut probes = Vec::with_capacity(cfg.probes);
+    for i in 0..cfg.probes / 2 {
+        probes.push(members[i % members.len()].clone());
+        probes.push(misses[i].clone());
+    }
+
+    // Expected verdicts via MQUERY (covers false positives exactly).
+    let mut expected = Vec::with_capacity(probes.len());
+    for chunk in probes.chunks(256) {
+        let lines = admin
+            .send(&format!("MQUERY bench {}", chunk.join(" ")))
+            .expect("MQUERY");
+        assert_eq!(lines[0], format!("*{}", chunk.len()));
+        for line in &lines[1..] {
+            expected.push(match line.as_str() {
+                ":1" => true,
+                ":0" => false,
+                other => panic!("unexpected MQUERY reply line `{other}`"),
+            });
+        }
+    }
+    let positives = expected.iter().filter(|&&b| b).count() as u64;
+
+    // Prebuilt rounds: `depth` QUERYs per block, cycling the probe list.
+    let mut blocks = Vec::new();
+    let mut at = 0usize;
+    // One block per distinct starting offset at stride `depth` (the list
+    // length is not required to divide evenly; blocks wrap).
+    for _ in 0..probes.len().div_ceil(cfg.depth) {
+        let mut request = Vec::new();
+        let mut reply = Vec::new();
+        for j in 0..cfg.depth {
+            let idx = (at + j) % probes.len();
+            request.extend_from_slice(b"QUERY bench ");
+            request.extend_from_slice(probes[idx].as_bytes());
+            request.extend_from_slice(b"\r\n");
+            reply.extend_from_slice(if expected[idx] { b":1\r\n" } else { b":0\r\n" });
+        }
+        blocks.push(Block {
+            request,
+            expected: reply,
+        });
+        at = (at + cfg.depth) % probes.len();
+    }
+    (blocks, positives)
+}
+
+/// Runs the client fleet against a live server; returns total ops.
+fn drive_clients(cfg: &ServerBenchConfig, addr: SocketAddr, blocks: Arc<Vec<Block>>) -> (u64, f64) {
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(cfg.measure_ms);
+    let clients = cfg.clients.max(1);
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let blocks = Arc::clone(&blocks);
+            let total_ops = Arc::clone(&total_ops);
+            let depth = cfg.depth as u64;
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("client connect");
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                let mut buf = vec![0u8; blocks.iter().map(|b| b.expected.len()).max().unwrap()];
+                // Stagger starting offsets so clients touch different
+                // shards at any instant.
+                let mut idx = (c * blocks.len() / clients) % blocks.len();
+                let mut warmed = false;
+                let mut ops = 0u64;
+                loop {
+                    if warmed && Instant::now() >= deadline {
+                        break;
+                    }
+                    let block = &blocks[idx];
+                    idx = (idx + 1) % blocks.len();
+                    stream.write_all(&block.request).expect("client write");
+                    let want = block.expected.len();
+                    stream.read_exact(&mut buf[..want]).expect("client read");
+                    assert_eq!(
+                        &buf[..want],
+                        &block.expected[..],
+                        "reply bytes diverged from the precomputed expectation"
+                    );
+                    if warmed {
+                        ops += depth;
+                    } else {
+                        // First round is warm-up (connection + page-in).
+                        warmed = true;
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (total_ops.load(Ordering::Relaxed), elapsed)
+}
+
+fn measure(cfg: &ServerBenchConfig, transport: TransportKind) -> TransportPoint {
+    let (handle, addr) = start_server(cfg, transport);
+    let (blocks, positives) = setup(cfg, addr);
+    let blocks = Arc::new(blocks);
+    let (ops, elapsed) = drive_clients(cfg, addr, blocks);
+    handle.shutdown().expect("server shutdown");
+    TransportPoint {
+        name: match transport {
+            TransportKind::Threaded => "threaded",
+            TransportKind::Evented => "evented",
+        },
+        ops_per_sec: ops as f64 / elapsed,
+        ops,
+        positives,
+    }
+}
+
+/// Runs both transports and renders the `BENCH_server.json` document.
+pub fn run(cfg: &ServerBenchConfig) -> (ServerBenchResult, String) {
+    let threaded = measure(cfg, TransportKind::Threaded);
+    let evented = measure(cfg, TransportKind::Evented);
+    assert_eq!(
+        threaded.positives, evented.positives,
+        "transports disagree on probe verdicts"
+    );
+    let speedup = evented.ops_per_sec / threaded.ops_per_sec;
+    let result = ServerBenchResult {
+        transports: vec![threaded, evented],
+        speedup_evented_vs_threaded: speedup,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"server_throughput\",\n");
+    json.push_str("  \"unit\": \"queries per second over loopback TCP\",\n");
+    json.push_str(&format!("  \"clients\": {},\n", cfg.clients));
+    json.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.depth));
+    json.push_str(&format!("  \"m_bits\": {},\n", cfg.m_bits));
+    json.push_str(&format!("  \"shards\": {},\n", cfg.shards));
+    json.push_str(&format!("  \"keys\": {},\n", cfg.keys));
+    json.push_str(&format!("  \"probes\": {},\n", cfg.probes));
+    json.push_str(&format!("  \"measure_ms\": {},\n", cfg.measure_ms));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str("  \"family\": \"one-shot\",\n");
+    json.push_str("  \"transports\": {\n");
+    for (i, t) in result.transports.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"ops_per_sec\": {:.0}, \"ops\": {}, \"positives\": {} }}{}\n",
+            t.name,
+            t.ops_per_sec,
+            t.ops,
+            t.positives,
+            if i + 1 < result.transports.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_evented_vs_threaded\": {:.2}\n",
+        result.speedup_evented_vs_threaded
+    ));
+    json.push_str("}\n");
+    (result, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_measures_both_transports() {
+        let cfg = ServerBenchConfig {
+            clients: 4,
+            depth: 8,
+            m_bits: 1 << 14,
+            shards: 4,
+            keys: 1 << 10,
+            probes: 1 << 9,
+            measure_ms: 40,
+            ..ServerBenchConfig::default()
+        };
+        let (result, json) = run(&cfg);
+        assert_eq!(result.transports.len(), 2);
+        for t in &result.transports {
+            assert!(t.ops_per_sec > 0.0, "{} measured nothing", t.name);
+        }
+        assert!(json.contains("\"server_throughput\""));
+        assert!(json.contains("\"evented\""));
+    }
+}

@@ -1,0 +1,543 @@
+//! The event loop proper: slab of buffered connections driven by
+//! level-triggered epoll readiness. All code here is safe; syscalls are
+//! behind [`crate::sys::Epoll`].
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::{Action, Handler, ReactorConfig};
+
+/// Token of the listening socket (connection tokens encode slot + gen).
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Stack read chunk; also the granularity of the per-turn read budget.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Per-turn read budget per connection: after this many fresh bytes the
+/// loop moves on to other connections and lets level-triggered readiness
+/// re-arm — a single fast writer cannot starve the rest.
+const READ_BUDGET: usize = 4 * READ_CHUNK;
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Bytes received but not yet consumed by the handler (at most a
+    /// partial request once the handler has run).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// Interest set currently registered with epoll.
+    interest: u32,
+    /// Flush `wbuf` then close (peer EOF, handler `Close`/`Shutdown`).
+    closing: bool,
+    /// Peer half-closed its sending side; no more input will arrive.
+    eof: bool,
+    /// Backpressured: `wbuf` crossed the high-water mark, reading paused.
+    paused: bool,
+}
+
+/// Slot index ↔ token mapping with a generation stamp, so an event queued
+/// for a connection that closed earlier in the same batch can never be
+/// routed to a newly accepted connection reusing the slot.
+fn token_of(slot: usize, generation: u32) -> u64 {
+    ((generation as u64) << 32) | slot as u64
+}
+
+fn slot_of(token: u64) -> usize {
+    (token & 0xFFFF_FFFF) as usize
+}
+
+struct Reactor<'a, H: Handler> {
+    epoll: Epoll,
+    listener: TcpListener,
+    listener_parked: bool,
+    conns: Vec<Option<Conn>>,
+    generations: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    handler: &'a mut H,
+    shutdown: &'a AtomicBool,
+    config: &'a ReactorConfig,
+}
+
+pub(crate) fn run<H: Handler>(
+    listener: TcpListener,
+    handler: &mut H,
+    shutdown: &AtomicBool,
+    config: &ReactorConfig,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+    let mut r = Reactor {
+        epoll,
+        listener,
+        listener_parked: false,
+        conns: Vec::new(),
+        generations: Vec::new(),
+        free: Vec::new(),
+        live: 0,
+        handler,
+        shutdown,
+        config,
+    };
+    let mut events = vec![EpollEvent::default(); 256];
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let n = r.epoll.wait(&mut events, r.config.wait_timeout_ms)?;
+        if r.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        for ev in events.iter().copied().take(n) {
+            if ev.data == LISTENER_TOKEN {
+                r.accept_ready();
+            } else {
+                r.conn_ready(ev, &mut chunk);
+            }
+            if r.shutdown.load(Ordering::SeqCst) {
+                // A handler requested shutdown; its farewell reply was
+                // already flushed by `conn_ready`. Sibling reactors see
+                // the shared flag within one wait timeout.
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<H: Handler> Reactor<'_, H> {
+    fn accept_ready(&mut self) {
+        loop {
+            if self.live >= self.config.max_connections {
+                self.park_listener();
+                return;
+            }
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept error; keep serving
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.generations.push(0);
+                self.conns.len() - 1
+            });
+            let token = token_of(slot, self.generations[slot]);
+            if self.epoll.add(stream.as_raw_fd(), EPOLLIN, token).is_err() {
+                self.free.push(slot);
+                continue;
+            }
+            self.conns[slot] = Some(Conn {
+                stream,
+                token,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                interest: EPOLLIN,
+                closing: false,
+                eof: false,
+                paused: false,
+            });
+            self.live += 1;
+        }
+    }
+
+    fn park_listener(&mut self) {
+        if !self.listener_parked {
+            self.epoll.delete(self.listener.as_raw_fd()).ok();
+            self.listener_parked = true;
+        }
+    }
+
+    fn unpark_listener(&mut self) {
+        if self.listener_parked
+            && self.live < self.config.max_connections
+            && self
+                .epoll
+                .add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
+                .is_ok()
+        {
+            self.listener_parked = false;
+        }
+    }
+
+    fn conn_ready(&mut self, ev: EpollEvent, chunk: &mut [u8]) {
+        let slot = slot_of(ev.data);
+        // Stale event for a connection closed earlier in this batch (or a
+        // reused slot with a newer generation): ignore.
+        match self.conns.get(slot) {
+            Some(Some(conn)) if conn.token == ev.data => {}
+            _ => return,
+        }
+        if ev.events & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(slot);
+            return;
+        }
+        let mut ran_handler = false;
+        if ev.events & EPOLLIN != 0 {
+            if !self.fill_read_buffer(slot, chunk) {
+                return; // closed on read error
+            }
+            ran_handler = true;
+            if !self.drive_handler(slot) {
+                return; // closed while dispatching
+            }
+        }
+        // One coalesced write per turn: everything the handler just
+        // produced — plus anything still pending — goes out together.
+        if !self.try_flush(slot) {
+            return;
+        }
+        // Peer EOF with nothing buffered and no handler pass this turn
+        // (pure EPOLLOUT wake): nothing more can happen once drained.
+        let _ = ran_handler;
+        self.update_interest(slot);
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the per-turn budget. Returns
+    /// false if the connection was closed (read error).
+    fn fill_read_buffer(&mut self, slot: usize, chunk: &mut [u8]) -> bool {
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        let mut fresh = 0usize;
+        loop {
+            if fresh >= READ_BUDGET {
+                return true; // level-triggered readiness will re-fire
+            }
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    fresh += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Hands the buffered bytes to the handler and applies its verdict.
+    /// Returns false if the connection was closed.
+    fn drive_handler(&mut self, slot: usize) -> bool {
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        if conn.closing || (conn.rbuf.is_empty() && !conn.eof) {
+            return true;
+        }
+        let drained = self
+            .handler
+            .on_data(conn.token, &conn.rbuf, conn.eof, &mut conn.wbuf);
+        let consumed = drained.consumed.min(conn.rbuf.len());
+        conn.rbuf.drain(..consumed);
+        match drained.action {
+            Action::Continue => {
+                if conn.eof {
+                    // The final (possibly unterminated) input was just
+                    // handled; whatever remains can never complete.
+                    conn.closing = true;
+                }
+            }
+            Action::Close => conn.closing = true,
+            Action::Shutdown => {
+                conn.closing = true;
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+        }
+        true
+    }
+
+    /// Writes as much of `wbuf` as the socket accepts right now. Returns
+    /// false if the connection was closed.
+    fn try_flush(&mut self, slot: usize) -> bool {
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        let mut written = 0usize;
+        let result = loop {
+            if written == conn.wbuf.len() {
+                break true;
+            }
+            match conn.stream.write(&conn.wbuf[written..]) {
+                Ok(0) => break false,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break false,
+            }
+        };
+        if written > 0 {
+            conn.wbuf.drain(..written);
+        }
+        if !result {
+            self.close(slot);
+        }
+        result
+    }
+
+    /// Recomputes backpressure state and the epoll interest set; closes
+    /// the connection when it is `closing` (or at EOF) with nothing left
+    /// to write.
+    fn update_interest(&mut self, slot: usize) {
+        let high = self.config.high_water.max(1);
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        if conn.wbuf.is_empty() && (conn.closing || conn.eof) {
+            self.close(slot);
+            return;
+        }
+        if conn.wbuf.len() > high {
+            conn.paused = true;
+        } else if conn.wbuf.len() < high / 2 + 1 {
+            conn.paused = false;
+        }
+        let mut want = 0u32;
+        if !conn.closing && !conn.eof && !conn.paused {
+            want |= EPOLLIN;
+        }
+        if !conn.wbuf.is_empty() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            let token = conn.token;
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.modify(fd, want, token).is_err() {
+                self.close(slot);
+                return;
+            }
+            let conn = self.conns[slot].as_mut().expect("checked live");
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.epoll.delete(conn.stream.as_raw_fd()).ok();
+            self.handler.on_close(conn.token);
+            self.generations[slot] = self.generations[slot].wrapping_add(1);
+            self.free.push(slot);
+            self.live -= 1;
+            self.unpark_listener();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Drained;
+    use std::net::TcpStream;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Upper-cases complete LF-terminated lines; `STOP` shuts down.
+    struct UpcaseLines {
+        closed: Vec<u64>,
+    }
+
+    impl Handler for UpcaseLines {
+        fn on_data(&mut self, _token: u64, input: &[u8], eof: bool, out: &mut Vec<u8>) -> Drained {
+            let mut consumed = 0;
+            while let Some(nl) = input[consumed..].iter().position(|&b| b == b'\n') {
+                let line = &input[consumed..consumed + nl];
+                consumed += nl + 1;
+                if line == b"STOP" {
+                    out.extend_from_slice(b"BYE\n");
+                    return Drained {
+                        consumed,
+                        action: Action::Shutdown,
+                    };
+                }
+                if line == b"CLOSE" {
+                    out.extend_from_slice(b"BYE\n");
+                    return Drained {
+                        consumed,
+                        action: Action::Close,
+                    };
+                }
+                out.extend(line.iter().map(|b| b.to_ascii_uppercase()));
+                out.push(b'\n');
+            }
+            if eof && consumed < input.len() {
+                // Trailing unterminated line: serve it, like read_line.
+                out.extend(input[consumed..].iter().map(|b| b.to_ascii_uppercase()));
+                out.push(b'\n');
+                consumed = input.len();
+            }
+            Drained::consumed(consumed)
+        }
+
+        fn on_close(&mut self, token: u64) {
+            self.closed.push(token);
+        }
+    }
+
+    fn start(
+        config: ReactorConfig,
+    ) -> (
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            let mut handler = UpcaseLines { closed: Vec::new() };
+            run(listener, &mut handler, &flag, &config)
+        });
+        (addr, shutdown, t)
+    }
+
+    fn quick_config() -> ReactorConfig {
+        ReactorConfig {
+            wait_timeout_ms: 20,
+            ..ReactorConfig::default()
+        }
+    }
+
+    #[test]
+    fn echoes_lines_and_coalesces_pipelined_replies() {
+        let (addr, shutdown, t) = start(quick_config());
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Three pipelined requests in one write...
+        c.write_all(b"alpha\nbravo\ncharlie\n").unwrap();
+        let mut buf = [0u8; 64];
+        let mut got = Vec::new();
+        while got.len() < 20 {
+            let n = c.read(&mut buf).unwrap();
+            assert_ne!(n, 0, "server closed early");
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"ALPHA\nBRAVO\nCHARLIE\n");
+        shutdown.store(true, Ordering::SeqCst);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn partial_lines_wait_for_completion_and_eof_serves_the_tail() {
+        let (addr, shutdown, t) = start(quick_config());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"hel").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        c.write_all(b"lo\nwor").unwrap();
+        // Half-close: the unterminated "wor" must still be answered.
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut got = Vec::new();
+        c.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"HELLO\nWOR\n");
+        shutdown.store(true, Ordering::SeqCst);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn handler_shutdown_stops_the_loop_after_flushing() {
+        let (addr, _shutdown, t) = start(quick_config());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"ping\nSTOP\n").unwrap();
+        let mut got = Vec::new();
+        c.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"PING\nBYE\n");
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn close_action_ends_only_that_connection() {
+        let (addr, shutdown, t) = start(quick_config());
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        a.write_all(b"CLOSE\n").unwrap();
+        let mut got = Vec::new();
+        a.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"BYE\n");
+        // The sibling connection still works.
+        b.write_all(b"still-here\n").unwrap();
+        let mut buf = [0u8; 32];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"STILL-HERE\n");
+        shutdown.store(true, Ordering::SeqCst);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn max_connections_parks_the_listener_until_a_slot_frees() {
+        let config = ReactorConfig {
+            max_connections: 1,
+            wait_timeout_ms: 20,
+            ..ReactorConfig::default()
+        };
+        let (addr, shutdown, t) = start(config);
+        let mut first = TcpStream::connect(addr).unwrap();
+        first.write_all(b"a\n").unwrap();
+        let mut buf = [0u8; 8];
+        let n = first.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"A\n");
+
+        // Second connection connects (TCP backlog) but is not served.
+        let mut second = TcpStream::connect(addr).unwrap();
+        second.write_all(b"b\n").unwrap();
+        second
+            .set_read_timeout(Some(std::time::Duration::from_millis(120)))
+            .unwrap();
+        assert!(
+            second.read(&mut buf).is_err(),
+            "second connection served beyond max_connections"
+        );
+
+        // Freeing the slot unparks the listener and the queued peer is
+        // admitted (its buffered request is then answered).
+        drop(first);
+        second
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let n = second.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"B\n");
+        shutdown.store(true, Ordering::SeqCst);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn backpressure_pauses_reading_until_the_peer_drains() {
+        // Tiny high-water mark: one reply crosses it instantly.
+        let config = ReactorConfig {
+            high_water: 8,
+            wait_timeout_ms: 20,
+            ..ReactorConfig::default()
+        };
+        let (addr, shutdown, t) = start(config);
+        let mut c = TcpStream::connect(addr).unwrap();
+        // A burst of lines whose replies exceed both the high-water mark
+        // and the socket buffer would deadlock a naive loop; the reactor
+        // must pause reading, drain as the client reads, and finish.
+        let line = vec![b'x'; 4096];
+        let mut payload = Vec::new();
+        for _ in 0..256 {
+            payload.extend_from_slice(&line);
+            payload.push(b'\n');
+        }
+        let expected: Vec<u8> = payload.iter().map(|b| b.to_ascii_uppercase()).collect();
+        let writer = std::thread::spawn({
+            let mut w = c.try_clone().unwrap();
+            let payload = payload.clone();
+            move || {
+                w.write_all(&payload).unwrap();
+                w.shutdown(std::net::Shutdown::Write).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        c.read_to_end(&mut got).unwrap();
+        writer.join().unwrap();
+        assert_eq!(got.len(), expected.len());
+        assert_eq!(got, expected);
+        shutdown.store(true, Ordering::SeqCst);
+        t.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! # shbf-reactor — a std-only epoll event loop for line-protocol servers
+//!
+//! The thread-per-connection transport in `shbf-server` spends one
+//! `write`+`flush` syscall pair per reply and one scheduler slot per
+//! client; at ShBF query speeds (~1 memory access per hash pair) the
+//! transport, not the filter, is the bottleneck. This crate provides the
+//! evented alternative: a single-threaded (or N-threaded, one loop per
+//! thread) **epoll** reactor with
+//!
+//! * nonblocking accept off a shared listener,
+//! * per-connection growable read/write buffers,
+//! * level-triggered readiness,
+//! * **pipelined parsing** — each readable event hands the application
+//!   *all* buffered bytes at once, so batches form naturally from
+//!   pipelined clients,
+//! * **write coalescing** — replies accumulate in the connection's write
+//!   buffer and go out in one `write` per event-loop turn,
+//! * **backpressure** — a connection whose write buffer exceeds
+//!   [`ReactorConfig::high_water`] stops being read until the peer drains
+//!   it below half the mark.
+//!
+//! Following the `shbf-bits::prefetch` precedent, the build stays offline
+//! and dependency-free: the epoll interface is declared directly with
+//! `extern "C"` in [`sys`], the crate's **single unsafe module**. Sockets
+//! themselves are plain `std::net` types (std already wraps `fcntl`'s
+//! `O_NONBLOCK` as `set_nonblocking`), so the unsafe surface is exactly
+//! the four epoll/close calls.
+//!
+//! epoll is Linux-only; on other targets [`run`] returns
+//! `ErrorKind::Unsupported` and callers should fall back to a blocking
+//! transport (check [`SUPPORTED`] first).
+//!
+//! ## Driving a protocol
+//!
+//! The application implements [`Handler`]. On every readable event the
+//! reactor appends fresh bytes to the connection's read buffer and calls
+//! [`Handler::on_data`] with the *entire* unconsumed buffer; the handler
+//! consumes as many complete requests as it finds, appends encoded
+//! replies to `out`, and reports the consumed byte count — unconsumed
+//! bytes (a partial line) stay buffered for the next event. On EOF the
+//! handler is called once more with `eof = true` so trailing unterminated
+//! input can be served the way a blocking `read_line` loop would.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+#[cfg(target_os = "linux")]
+mod evloop;
+
+/// Whether the evented reactor is available on this target.
+pub const SUPPORTED: bool = cfg!(target_os = "linux");
+
+/// Tunables for [`run`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Backpressure mark in bytes: a connection whose write buffer exceeds
+    /// this stops being read (its socket stays readable in the kernel, so
+    /// TCP flow control eventually pushes back on the peer). Reading
+    /// resumes once the buffer drains below `high_water / 2`.
+    pub high_water: usize,
+    /// Maximum concurrent connections this reactor accepts; beyond it the
+    /// listener is parked until a slot frees (the TCP backlog absorbs the
+    /// burst, exactly like the threaded transport's semaphore).
+    pub max_connections: usize,
+    /// `epoll_wait` timeout in milliseconds — the latency bound on
+    /// observing an external shutdown flag flip.
+    pub wait_timeout_ms: i32,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            high_water: 1 << 20,
+            max_connections: 1024,
+            wait_timeout_ms: 100,
+        }
+    }
+}
+
+/// What the reactor should do with a connection after [`Handler::on_data`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep serving.
+    Continue,
+    /// Flush the write buffer, then close this connection.
+    Close,
+    /// Flush this connection's write buffer, then stop the whole reactor
+    /// (sets the shared shutdown flag, so sibling reactors stop too).
+    Shutdown,
+}
+
+/// Result of one [`Handler::on_data`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Drained {
+    /// How many leading bytes of `input` were consumed. The rest (at most
+    /// a partial request) stays buffered. Clamped to `input.len()`.
+    pub consumed: usize,
+    /// What to do with the connection next.
+    pub action: Action,
+}
+
+impl Drained {
+    /// Consumed `n` bytes, keep serving.
+    pub fn consumed(n: usize) -> Drained {
+        Drained {
+            consumed: n,
+            action: Action::Continue,
+        }
+    }
+}
+
+/// The application side of the reactor: a protocol parser + dispatcher.
+///
+/// Tokens identify live connections; they are reused after a connection
+/// closes ([`Handler::on_close`] marks the boundary), never across two
+/// *simultaneously* live connections.
+pub trait Handler {
+    /// Called with every byte buffered on `token` (not just the newest
+    /// read): consume complete requests, append encoded replies to `out`,
+    /// report the consumed prefix length. `eof` means the peer half-closed
+    /// — no more input will ever arrive, so an unterminated trailing
+    /// request should be handled now or never.
+    fn on_data(&mut self, token: u64, input: &[u8], eof: bool, out: &mut Vec<u8>) -> Drained;
+
+    /// The connection is gone (peer closed, error, or [`Action::Close`]);
+    /// drop any per-connection state held for `token`.
+    fn on_close(&mut self, _token: u64) {}
+}
+
+/// Runs the event loop on the calling thread until `shutdown` is observed
+/// true (checked every [`ReactorConfig::wait_timeout_ms`]) or a handler
+/// returns [`Action::Shutdown`] (which also sets the flag). The listener
+/// may be shared (`try_clone`) across several `run` calls on different
+/// threads: accepts are nonblocking, so whichever loop wakes first wins
+/// and the rest see `WouldBlock`.
+#[cfg(target_os = "linux")]
+pub fn run<H: Handler>(
+    listener: TcpListener,
+    handler: &mut H,
+    shutdown: &AtomicBool,
+    config: &ReactorConfig,
+) -> std::io::Result<()> {
+    evloop::run(listener, handler, shutdown, config)
+}
+
+/// Non-Linux stub: always `ErrorKind::Unsupported`.
+#[cfg(not(target_os = "linux"))]
+pub fn run<H: Handler>(
+    _listener: TcpListener,
+    _handler: &mut H,
+    _shutdown: &AtomicBool,
+    _config: &ReactorConfig,
+) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "shbf-reactor requires epoll (Linux); use the threaded transport",
+    ))
+}

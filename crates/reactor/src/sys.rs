@@ -1,0 +1,203 @@
+//! Direct epoll bindings — the crate's single unsafe module.
+//!
+//! Declared `extern "C"` against the platform libc the binary already
+//! links (std links it unconditionally), so no crates.io dependency is
+//! needed and offline builds keep working — the same reasoning as
+//! `shbf-bits::prefetch`'s intrinsic use. Only the four calls the event
+//! loop needs are declared: `epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! and `close` (for the epoll fd itself; sockets are owned and closed by
+//! `std::net` types).
+//!
+//! All unsafety is confined to [`Epoll`]'s methods; the exposed API is
+//! safe: the wrapped fd is private, created valid, closed exactly once on
+//! drop, and every syscall result is translated to `io::Result`.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness event, ABI-compatible with the kernel's
+/// `struct epoll_event` (packed on x86_64 only, by kernel definition).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Ready-state bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// The caller's token, echoed back verbatim.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // mapped to an error, so `fd` is valid when we keep it.
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` is a live, properly laid-out epoll_event for the
+        // duration of the call; the kernel copies it before returning.
+        // For EPOLL_CTL_DEL the kernel ignores the pointer (passing a
+        // valid one is also fine on pre-2.6.9 semantics).
+        check(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for level-triggered `events`, tagged with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the registered interest set of `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (−1 = forever) for events, filling the
+    /// front of `events`. Returns the number ready; `EINTR` is reported
+    /// as zero events rather than an error, so callers just re-loop.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let max = events.len().min(c_int::MAX as usize) as c_int;
+        if max == 0 {
+            return Ok(0);
+        }
+        // SAFETY: `events` points at `max` writable, properly laid-out
+        // entries; the kernel writes at most `max` of them.
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout_ms) };
+        match check(n) {
+            Ok(n) => Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is a valid epoll fd we own; closing it exactly once
+        // here ends its lifetime.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_observes_listener_readiness() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        epoll.add(listener.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent::default(); 8];
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        // A pending connection flips the listener readable.
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (data, ready) = {
+            let ev = events[0];
+            (ev.data, ev.events)
+        };
+        assert_eq!(data, 42);
+        assert_ne!(ready & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn modify_and_delete_change_interest() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (client, server) = {
+            let c = TcpStream::connect(addr).unwrap();
+            let (s, _) = listener.accept().unwrap();
+            (c, s)
+        };
+        epoll.add(server.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::default(); 8];
+        let mut c = client;
+        c.write_all(b"x").unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+        let data = {
+            let ev = events[0];
+            ev.data
+        };
+        assert_eq!(data, 7);
+
+        // Swap interest to write-only: the buffered byte no longer wakes
+        // us for EPOLLIN, but an empty socket buffer is instantly
+        // writable.
+        epoll.modify(server.as_raw_fd(), EPOLLOUT, 8).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (data, ready) = {
+            let ev = events[0];
+            (ev.data, ev.events)
+        };
+        assert_eq!(data, 8);
+        assert_ne!(ready & EPOLLOUT, 0);
+        assert_eq!(ready & EPOLLIN, 0);
+
+        // Deleted fds never report again.
+        epoll.delete(server.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+}

@@ -59,6 +59,31 @@ impl Client {
         Ok(())
     }
 
+    /// Pipelines a batch: writes **all** commands (one `write` + `flush`
+    /// for the whole batch), then reads one framed reply per command, in
+    /// order. Against the evented transport this is what makes the
+    /// server-side batch path engage — the adjacent `QUERY` lines arrive
+    /// in one readable event and ride the shard-grouped pipeline.
+    pub fn send_pipelined<S: AsRef<str>>(
+        &mut self,
+        commands: &[S],
+    ) -> std::io::Result<Vec<Vec<String>>> {
+        let mut batch = Vec::new();
+        for command in commands {
+            batch.extend_from_slice(command.as_ref().as_bytes());
+            batch.extend_from_slice(b"\r\n");
+        }
+        self.writer.write_all(&batch)?;
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(commands.len());
+        for _ in commands {
+            let mut lines = Vec::with_capacity(1);
+            self.read_reply(&mut lines)?;
+            replies.push(lines);
+        }
+        Ok(replies)
+    }
+
     /// Sends a command and asserts a single-line reply, returning it.
     pub fn send_expect_one(&mut self, command: &str) -> std::io::Result<String> {
         let mut lines = self.send(command)?;

@@ -118,6 +118,7 @@ impl Engine {
                 k,
                 extra,
                 seed,
+                family,
             } => {
                 let params = CreateParams {
                     kind: *kind,
@@ -125,6 +126,7 @@ impl Engine {
                     k: *k,
                     extra: *extra,
                     seed: *seed,
+                    family: *family,
                 };
                 match self.registry.create(ns, params) {
                     Ok(()) => Response::ok(),
@@ -148,6 +150,7 @@ impl Engine {
             Command::Delete { ns, key, set } => self.with_ns(ns, |n| delete(n, key, *set)),
             Command::Query { ns, key } => self.with_ns(ns, |n| query(n, key)),
             Command::MQuery { ns, keys } => self.with_ns(ns, |n| mquery(n, keys, scratch)),
+            Command::MInsert { ns, keys } => self.with_ns(ns, |n| minsert(n, keys, scratch)),
             Command::Count { ns, key } => self.with_ns(ns, |n| count(n, key)),
             Command::Assoc { ns, key } => self.with_ns(ns, |n| assoc(n, key)),
             Command::Stats { ns } => self.with_ns(ns, stats),
@@ -167,6 +170,20 @@ impl Engine {
             Ok(namespace) => f(&namespace),
             Err(e) => Response::Error(e.to_string()),
         }
+    }
+
+    /// Batched membership query without a [`Command`] envelope — the
+    /// evented transport's ride for groups of adjacent pipelined `QUERY`
+    /// lines. Returns exactly what `MQUERY ns keys...` would (including
+    /// the error shape), so per-key replies can be re-encoded as the
+    /// individual `QUERY` answers.
+    pub(crate) fn mquery_raw(
+        &self,
+        ns: &str,
+        keys: &[Vec<u8>],
+        scratch: &mut QueryScratch,
+    ) -> Response {
+        self.with_ns(ns, |n| mquery(n, keys, scratch))
     }
 
     /// Convenience for tests/benches: dispatch an already-parsed command
@@ -254,6 +271,25 @@ fn mquery(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respon
         n.stats.record_query(hit);
     }
     Response::Verdicts(answers)
+}
+
+fn minsert(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Response {
+    match &n.backend {
+        Backend::Membership(f) => {
+            // Shard-grouped bulk load: one write lock per touched shard,
+            // two-stage prefetched insert pipeline inside each.
+            f.insert_batch_with(keys, &mut scratch.shard);
+            n.stats
+                .inserts
+                .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            Response::Int(keys.len() as i64)
+        }
+        other => Response::Error(format!(
+            "MINSERT requires a shbf-m namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
 }
 
 fn count(n: &Namespace, key: &[u8]) -> Response {
@@ -424,6 +460,78 @@ mod tests {
         match e.eval_line("MQUERY gw file-1 file-2 never-seen-key") {
             Response::Verdicts(v) => assert_eq!(v, vec![true, true, false]),
             other => panic!("expected verdicts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minsert_bulk_loads_membership_namespaces() {
+        let e = engine();
+        e.eval_line("CREATE ns shbf-m 120000 8");
+        let keys: String = (0..200).map(|i| format!(" k-{i}")).collect();
+        assert_eq!(
+            e.eval_line(&format!("MINSERT ns{keys}")),
+            Response::Int(200)
+        );
+        for i in 0..200 {
+            assert_eq!(
+                e.eval_line(&format!("QUERY ns k-{i}")),
+                Response::Int(1),
+                "bulk-loaded k-{i} lost"
+            );
+        }
+        let stats = e.eval_line("STATS ns").encode_to_string();
+        assert!(stats.contains("inserts=200"), "{stats}");
+        // Bulk load is membership-only: a type error, not a panic.
+        e.eval_line("CREATE sizes shbf-x 8192 6");
+        assert!(matches!(e.eval_line("MINSERT sizes a"), Response::Error(_)));
+    }
+
+    #[test]
+    fn create_family_selector_reaches_every_backend() {
+        let e = engine();
+        assert_eq!(
+            e.eval_line("CREATE m shbf-m 120000 8 family=one-shot"),
+            Response::ok()
+        );
+        assert_eq!(
+            e.eval_line("CREATE x shbf-x 8192 6 30 3 family=one-shot"),
+            Response::ok()
+        );
+        assert_eq!(
+            e.eval_line("CREATE a shbf-a 8192 6 family=one-shot"),
+            Response::ok()
+        );
+        e.eval_line("INSERT m flow");
+        assert_eq!(e.eval_line("QUERY m flow"), Response::Int(1));
+        e.eval_line("INSERT x flow");
+        e.eval_line("INSERT x flow");
+        assert_eq!(e.eval_line("COUNT x flow"), Response::Int(2));
+        e.eval_line("INSERT a flow 2");
+        assert_eq!(e.eval_line("QUERY a flow"), Response::Int(1));
+        // Same seed, different family → different filter contents.
+        let seeded = Registry::build_backend(&CreateParams {
+            kind: crate::protocol::KindSpec::Membership,
+            m: 120_000,
+            k: 8,
+            extra: None,
+            seed: None,
+            family: Some(crate::protocol::FamilySpec::Seeded),
+        })
+        .unwrap();
+        let one_shot = Registry::build_backend(&CreateParams {
+            kind: crate::protocol::KindSpec::Membership,
+            m: 120_000,
+            k: 8,
+            extra: None,
+            seed: None,
+            family: Some(crate::protocol::FamilySpec::OneShot),
+        })
+        .unwrap();
+        match (seeded, one_shot) {
+            (Backend::Membership(s), Backend::Membership(o)) => {
+                assert_ne!(s.to_bytes(), o.to_bytes(), "family selector ignored");
+            }
+            _ => panic!("expected membership backends"),
         }
     }
 

@@ -1,0 +1,235 @@
+//! Evented transport: the `shbf-reactor` epoll loop speaking the line
+//! protocol, with **pipelined batch formation**.
+//!
+//! Where the threaded transport handles one request line per
+//! `read_line`/`write`/`flush` cycle, each readable event here drains
+//! *every* complete line buffered on the connection in one pass, and all
+//! replies leave in one coalesced `write` per event-loop turn. On top of
+//! that, runs of adjacent `QUERY` lines against the same namespace are
+//! grouped into a single [`Engine`] batch ride over the existing
+//! [`QueryScratch`] path — the same shard-grouped, prefetched pipeline
+//! `MQUERY` uses — so `MQUERY`-sized batches form naturally from
+//! pipelined clients without anyone hand-building an `MQUERY`.
+//!
+//! **Response streams are byte-identical to the threaded transport** for
+//! any request stream, however it is segmented: grouped `QUERY` verdicts
+//! are re-encoded as the individual `:1`/`:0` lines (batch == scalar
+//! verdicts are guaranteed by the `batch_equivalence` suite), errors are
+//! replicated per grouped query, and per-namespace hit/miss counters
+//! advance exactly as the scalar path would
+//! (`tests/protocol_segmentation.rs` asserts all of this byte-for-byte).
+//!
+//! Several reactor loops (one thread each) can share the listener; each
+//! owns its accepted connections outright, so no cross-thread connection
+//! state exists — the engine's registry is the only shared structure.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use shbf_reactor::{Action, Drained, Handler, ReactorConfig};
+
+use crate::engine::{Control, Engine, QueryScratch};
+use crate::protocol::{parse_command, Command, Response};
+use crate::server::MAX_REQUEST_LINE;
+
+/// Runs `workers` reactor loops over `listener` until shutdown. The
+/// calling thread runs one loop itself; the rest are spawned and joined
+/// before returning, so the caller's lifecycle matches the threaded
+/// transport's `run`.
+pub(crate) fn run(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    max_connections: usize,
+    workers: usize,
+) -> std::io::Result<()> {
+    // The connection cap is distributed exactly across loops (the first
+    // `rem` loops take one extra), so the configured total stays the
+    // global bound; loops beyond the cap would sit idle, so don't spawn
+    // them.
+    let max_connections = max_connections.max(1);
+    let workers = workers.clamp(1, max_connections);
+    let base = max_connections / workers;
+    let rem = max_connections % workers;
+    let config_for = |i: usize| ReactorConfig {
+        max_connections: base + usize::from(i < rem),
+        ..ReactorConfig::default()
+    };
+    let mut spawned = Vec::with_capacity(workers - 1);
+    for i in 1..workers {
+        let listener = listener.try_clone()?;
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        let config = config_for(i);
+        spawned.push(std::thread::spawn(move || {
+            let mut handler = EventedHandler::new(engine);
+            shbf_reactor::run(listener, &mut handler, &shutdown, &config)
+        }));
+    }
+    let mut handler = EventedHandler::new(engine);
+    let result = shbf_reactor::run(listener, &mut handler, &shutdown, &config_for(0));
+    for t in spawned {
+        let _ = t.join();
+    }
+    result
+}
+
+/// Per-connection protocol state: the recycled batch-query scratch plus
+/// the in-flight group of adjacent `QUERY` lines.
+#[derive(Default)]
+struct ConnState {
+    scratch: QueryScratch,
+    /// Namespace of the pending query group (meaningful when
+    /// `pending_keys` is nonempty).
+    pending_ns: String,
+    /// Keys of adjacent pipelined `QUERY` lines not yet answered; flushed
+    /// as one batch at the next non-QUERY line, namespace switch, or end
+    /// of the drained input. The buffer is recycled across flushes.
+    pending_keys: Vec<Vec<u8>>,
+}
+
+/// The protocol driver handed to the reactor.
+struct EventedHandler {
+    engine: Arc<Engine>,
+    conns: HashMap<u64, ConnState>,
+}
+
+impl EventedHandler {
+    fn new(engine: Arc<Engine>) -> Self {
+        EventedHandler {
+            engine,
+            conns: HashMap::new(),
+        }
+    }
+}
+
+/// Answers the pending query group: one engine batch ride, re-encoded as
+/// the individual `QUERY` replies (`:1`/`:0` lines, or the identical
+/// per-query error). No-op when the group is empty.
+fn flush_pending(engine: &Engine, state: &mut ConnState, out: &mut Vec<u8>) {
+    if state.pending_keys.is_empty() {
+        return;
+    }
+    let keys = std::mem::take(&mut state.pending_keys);
+    let response = engine.mquery_raw(&state.pending_ns, &keys, &mut state.scratch);
+    match &response {
+        Response::Verdicts(verdicts) => {
+            for &hit in verdicts {
+                out.extend_from_slice(if hit { b":1\r\n" } else { b":0\r\n" });
+            }
+        }
+        // Unknown namespace and friends: each scalar QUERY would have
+        // produced this very error, once per line.
+        other => {
+            for _ in &keys {
+                other.encode(out);
+            }
+        }
+    }
+    state.scratch.reclaim(response);
+    // Hand the (now empty) key buffer back for the next group.
+    state.pending_keys = keys;
+    state.pending_keys.clear();
+}
+
+fn oversized_error(out: &mut Vec<u8>) {
+    Response::Error(format!(
+        "protocol: request line exceeds {MAX_REQUEST_LINE} bytes"
+    ))
+    .encode(out);
+}
+
+impl Handler for EventedHandler {
+    fn on_data(&mut self, token: u64, input: &[u8], eof: bool, out: &mut Vec<u8>) -> Drained {
+        let engine = &self.engine;
+        let state = self.conns.entry(token).or_default();
+        let mut consumed = 0;
+        let action = loop {
+            let rest = &input[consumed..];
+            if rest.is_empty() {
+                break Action::Continue;
+            }
+            let (line, advance) = match rest.iter().position(|&b| b == b'\n') {
+                // `read_line` parity: the threaded oversize check counts
+                // the newline byte, so `advance` (not `line.len()`) is
+                // compared for terminated lines.
+                Some(i) if i + 1 > MAX_REQUEST_LINE => {
+                    flush_pending(engine, state, out);
+                    oversized_error(out);
+                    break Action::Close;
+                }
+                Some(i) => (&rest[..i], i + 1),
+                // Unterminated tail at EOF: served as a final line, the
+                // way a blocking read_line loop would.
+                None if eof => {
+                    if rest.len() > MAX_REQUEST_LINE {
+                        flush_pending(engine, state, out);
+                        oversized_error(out);
+                        break Action::Close;
+                    }
+                    (rest, rest.len())
+                }
+                // Partial line: wait for more bytes, but never buffer
+                // beyond the request-line cap.
+                None => {
+                    if rest.len() > MAX_REQUEST_LINE {
+                        flush_pending(engine, state, out);
+                        oversized_error(out);
+                        break Action::Close;
+                    }
+                    break Action::Continue;
+                }
+            };
+            consumed += advance;
+            let text = match std::str::from_utf8(line) {
+                Ok(text) => text,
+                Err(_) => {
+                    flush_pending(engine, state, out);
+                    Response::Error("protocol: request is not valid UTF-8".into()).encode(out);
+                    break Action::Close;
+                }
+            };
+            let trimmed = text.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            match parse_command(trimmed) {
+                Err(e) => {
+                    flush_pending(engine, state, out);
+                    Response::Error(e.to_string()).encode(out);
+                }
+                // Adjacent QUERYs on one namespace coalesce into a batch.
+                Ok(Command::Query { ns, key }) => {
+                    if state.pending_keys.is_empty() {
+                        state.pending_ns = ns;
+                    } else if state.pending_ns != ns {
+                        flush_pending(engine, state, out);
+                        state.pending_ns = ns;
+                    }
+                    state.pending_keys.push(key);
+                }
+                // Everything else is a batch boundary: answer the group
+                // first so replies stay in request order.
+                Ok(cmd) => {
+                    flush_pending(engine, state, out);
+                    let (response, control) = engine.dispatch_with(&cmd, &mut state.scratch);
+                    response.encode(out);
+                    state.scratch.reclaim(response);
+                    match control {
+                        Control::Continue => {}
+                        Control::CloseConnection => break Action::Close,
+                        Control::ShutdownServer => break Action::Shutdown,
+                    }
+                }
+            }
+        };
+        flush_pending(engine, state, out);
+        Drained { consumed, action }
+    }
+
+    fn on_close(&mut self, token: u64) {
+        self.conns.remove(&token);
+    }
+}

@@ -20,11 +20,12 @@
 //! | Request | Reply | Notes |
 //! |---|---|---|
 //! | `PING` | `+PONG` | liveness |
-//! | `CREATE ns kind m k [extra] [seed]` | `+OK` | kind ∈ `shbf-m`,`shbf-x`,`shbf-a`; `extra` = shards (m) / max count (x) |
+//! | `CREATE ns kind m k [extra] [seed] [family=seeded\|one-shot]` | `+OK` | kind ∈ `shbf-m`,`shbf-x`,`shbf-a`; `extra` = shards (m) / max count (x); `family=one-shot` → digest-once hashing |
 //! | `INSERT ns key [1\|2]` | `+OK` / `:count` | set id for `shbf-a`; `shbf-x` replies new count |
 //! | `DELETE ns key [1\|2]` | `+OK` / `:count` | provably-absent deletes are `-ERR` |
 //! | `QUERY ns key` | `:1` / `:0` | membership for any kind |
 //! | `MQUERY ns key...` | `*n` of `:1`/`:0` | batched; one lock per touched shard |
+//! | `MINSERT ns key...` | `:n` | bulk load (`shbf-m` only); one write lock per touched shard |
 //! | `COUNT ns key` | `:count` | `shbf-x` only |
 //! | `ASSOC ns key` | `+ONLY_S1` … | `shbf-a` only; paper's 8 outcomes |
 //! | `STATS ns` | `*n` of `+k=v` | kind, geometry, items, hit/miss/insert/delete, est. FPR |
@@ -45,12 +46,24 @@
 //! are capped at 1 MiB) and worker threads are capped by
 //! [`ServerConfig::max_connections`].
 //!
+//! ## Transports
+//!
+//! Two interchangeable transports serve the protocol with
+//! **byte-identical response streams** ([`ServerConfig::transport`]):
+//! the portable blocking thread-per-connection model, and (on Linux) an
+//! epoll reactor ([`TransportKind::Evented`], built on `shbf-reactor`)
+//! that drains all pipelined lines per readable event, batches adjacent
+//! `QUERY`s through the shard-grouped prefetched pipeline, and coalesces
+//! replies into one `write` per turn — so the `MQUERY` fast path engages
+//! automatically under pipelined load.
+//!
 //! ## Layers
 //!
 //! [`protocol`] (codec) → [`engine`] (dispatch) → [`registry`]
-//! (namespaces) → filter crates; [`server`] owns the TCP accept loop and
-//! the bounded worker pool, [`snapshot`] the persistence format, and
-//! [`client`] a minimal blocking client used by the CLI and tests.
+//! (namespaces) → filter crates; [`server`] owns the listener and the
+//! threaded accept loop, [`evented`](TransportKind::Evented) the reactor
+//! handler, [`snapshot`] the persistence format, and [`client`] a
+//! minimal blocking client (with pipelining) used by the CLI and tests.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -66,6 +79,7 @@
 
 pub mod client;
 pub mod engine;
+mod evented;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -73,7 +87,7 @@ pub mod snapshot;
 
 pub use client::Client;
 pub use engine::{Control, Engine, QueryScratch};
-pub use protocol::{parse_command, Command, KindSpec, Response};
+pub use protocol::{parse_command, Command, FamilySpec, KindSpec, Response};
 pub use registry::{Namespace, Registry, RegistryError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, TransportKind};
 pub use snapshot::SnapshotError;

@@ -52,13 +52,40 @@ impl fmt::Display for KindSpec {
     }
 }
 
+/// The hash-family construction a namespace is created with (wire form
+/// `family=seeded` / `family=one-shot`, trailing token of `CREATE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilySpec {
+    /// Paper-faithful seeded family: one full hash pass per position.
+    Seeded,
+    /// Digest-once family: one Murmur3 x64-128 pass per key.
+    OneShot,
+}
+
+impl FamilySpec {
+    /// Wire name of the family.
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilySpec::Seeded => "seeded",
+            FamilySpec::OneShot => "one-shot",
+        }
+    }
+}
+
+impl fmt::Display for FamilySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `PING` → `+PONG`.
     Ping,
-    /// `CREATE ns kind m k [extra] [seed]` — `extra` is shard count for
-    /// `shbf-m`, max count `c` for `shbf-x`, absent for `shbf-a`.
+    /// `CREATE ns kind m k [extra] [seed] [family=seeded|one-shot]` —
+    /// `extra` is shard count for `shbf-m`, max count `c` for `shbf-x`,
+    /// absent for `shbf-a`.
     Create {
         /// Namespace name.
         ns: String,
@@ -72,6 +99,8 @@ pub enum Command {
         extra: Option<usize>,
         /// Hash seed, if given.
         seed: Option<u64>,
+        /// Hash-family construction, if given (`None` → seeded default).
+        family: Option<FamilySpec>,
     },
     /// `INSERT ns key [1|2]` — set id only meaningful for `shbf-a`.
     Insert {
@@ -103,6 +132,14 @@ pub enum Command {
         /// Namespace name.
         ns: String,
         /// Element keys, answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// `MINSERT ns key...` → `:n` inserted — the bulk-load path (`shbf-m`
+    /// namespaces only; one write lock per touched shard).
+    MInsert {
+        /// Namespace name.
+        ns: String,
+        /// Element keys, inserted as one shard-grouped batch.
         keys: Vec<Vec<u8>>,
     },
     /// `COUNT ns key` → `:multiplicity` (shbf-x namespaces).
@@ -243,9 +280,27 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
     match verb.to_ascii_uppercase().as_str() {
         "PING" => Ok(Command::Ping),
         "CREATE" => {
+            let mut rest = rest;
+            // The optional `family=` selector is the trailing token so the
+            // positional grammar stays untouched for existing clients.
+            let family = match rest.last().and_then(|t| t.strip_prefix("family=")) {
+                Some(spec) => {
+                    rest.pop();
+                    Some(match spec {
+                        "seeded" => FamilySpec::Seeded,
+                        "one-shot" | "oneshot" => FamilySpec::OneShot,
+                        other => {
+                            return Err(err(format!(
+                                "unknown family `{other}` (seeded | one-shot)"
+                            )))
+                        }
+                    })
+                }
+                None => None,
+            };
             if !(4..=6).contains(&rest.len()) {
                 return Err(err(
-                    "usage: CREATE ns shbf-m|shbf-x|shbf-a m k [extra] [seed]",
+                    "usage: CREATE ns shbf-m|shbf-x|shbf-a m k [extra] [seed] [family=seeded|one-shot]",
                 ));
             }
             let ns = check_ns(rest[0])?;
@@ -270,6 +325,7 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 k,
                 extra,
                 seed,
+                family,
             })
         }
         "INSERT" | "DELETE" => {
@@ -292,16 +348,20 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 key: decode_key(rest[1])?,
             })
         }
-        "MQUERY" => {
+        "MQUERY" | "MINSERT" => {
             if rest.len() < 2 {
-                return Err(err("usage: MQUERY ns key [key...]"));
+                return Err(err(format!("usage: {verb} ns key [key...]")));
             }
             let ns = check_ns(rest[0])?;
             let keys = rest[1..]
                 .iter()
                 .map(|t| decode_key(t))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Command::MQuery { ns, keys })
+            if verb.eq_ignore_ascii_case("MQUERY") {
+                Ok(Command::MQuery { ns, keys })
+            } else {
+                Ok(Command::MInsert { ns, keys })
+            }
         }
         "COUNT" => {
             arity(2, "COUNT ns key")?;
@@ -449,6 +509,7 @@ mod tests {
                 k: 8,
                 extra: Some(4),
                 seed: Some(99),
+                family: None,
             }
         );
         assert_eq!(
@@ -460,6 +521,7 @@ mod tests {
                 k: 6,
                 extra: None,
                 seed: None,
+                family: None,
             }
         );
         assert_eq!(
@@ -486,6 +548,13 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_command("MINSERT ns a b 0x0aff").unwrap(),
+            Command::MInsert {
+                ns: "ns".into(),
+                keys: vec![b"a".to_vec(), b"b".to_vec(), vec![0x0a, 0xff]],
+            }
+        );
+        assert_eq!(
             parse_command("SNAPSHOT /tmp/s.snap").unwrap(),
             Command::Snapshot {
                 path: "/tmp/s.snap".into()
@@ -504,16 +573,50 @@ mod tests {
             "CREATE ns shbf-m",
             "CREATE ns nope 100 8",
             "CREATE b@d shbf-m 100 8",
+            "CREATE ns shbf-m 100 8 family=nope",
+            "CREATE ns shbf-m family=one-shot",
             "INSERT ns",
             "INSERT ns k 3",
             "QUERY ns",
             "MQUERY ns",
+            "MINSERT ns",
             "COUNT ns k extra",
             "STATS",
             "SHUTDOWN now",
         ] {
             assert!(parse_command(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn create_takes_a_trailing_family_selector() {
+        for (line, family) in [
+            ("CREATE ns shbf-m 100000 8", None),
+            (
+                "CREATE ns shbf-m 100000 8 family=seeded",
+                Some(FamilySpec::Seeded),
+            ),
+            (
+                "CREATE ns shbf-m 100000 8 family=one-shot",
+                Some(FamilySpec::OneShot),
+            ),
+            (
+                "CREATE ns shbf-m 100000 8 4 family=one-shot",
+                Some(FamilySpec::OneShot),
+            ),
+            (
+                "CREATE ns shbf-m 100000 8 4 99 family=one-shot",
+                Some(FamilySpec::OneShot),
+            ),
+        ] {
+            match parse_command(line).unwrap() {
+                Command::Create { family: f, .. } => assert_eq!(f, family, "{line}"),
+                other => panic!("{line} parsed to {other:?}"),
+            }
+        }
+        // The selector is strictly trailing: mid-position is a parse error
+        // (it would land in a numeric slot).
+        assert!(parse_command("CREATE ns shbf-m 100000 family=one-shot 8").is_err());
     }
 
     #[test]

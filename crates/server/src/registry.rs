@@ -15,9 +15,10 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use shbf_concurrent::ShardedCShbfM;
-use shbf_core::{CShbfA, CShbfX, ShbfError};
+use shbf_core::{CShbfA, CShbfX, ShbfError, UpdatePolicy};
+use shbf_hash::{FamilyKind, HashAlg};
 
-use crate::protocol::KindSpec;
+use crate::protocol::{FamilySpec, KindSpec};
 
 /// Default shard count for `shbf-m` namespaces.
 pub const DEFAULT_SHARDS: usize = 8;
@@ -112,6 +113,17 @@ pub struct CreateParams {
     pub extra: Option<usize>,
     /// Hash seed; `None` → [`DEFAULT_SEED`].
     pub seed: Option<u64>,
+    /// Hash-family construction; `None` → seeded Murmur3 (the paper's
+    /// cost model and the pre-`family=` wire default).
+    pub family: Option<FamilySpec>,
+}
+
+/// Maps the wire family selector onto the hash crate's construction tag.
+fn family_kind(family: Option<FamilySpec>) -> FamilyKind {
+    match family {
+        None | Some(FamilySpec::Seeded) => FamilyKind::Seeded(HashAlg::Murmur3),
+        Some(FamilySpec::OneShot) => FamilyKind::OneShot,
+    }
 }
 
 /// Errors from registry operations, reported as `-ERR` to clients.
@@ -159,14 +171,26 @@ impl Registry {
     /// Builds the backend for `params` (shared by `CREATE` and tests).
     pub fn build_backend(params: &CreateParams) -> Result<Backend, RegistryError> {
         let seed = params.seed.unwrap_or(DEFAULT_SEED);
+        let family = family_kind(params.family);
         Ok(match params.kind {
             KindSpec::Membership => {
                 let shards = params.extra.unwrap_or(DEFAULT_SHARDS);
-                Backend::Membership(ShardedCShbfM::new(params.m, params.k, shards, seed)?)
+                Backend::Membership(ShardedCShbfM::with_family(
+                    params.m, params.k, shards, family, seed,
+                )?)
             }
             KindSpec::Multiplicity => {
                 let c = params.extra.unwrap_or(DEFAULT_MAX_COUNT);
-                Backend::Multiplicity(RwLock::new(CShbfX::new(params.m, params.k, c, seed)?))
+                // Policy and counter width match `CShbfX::new`'s defaults.
+                Backend::Multiplicity(RwLock::new(CShbfX::with_family(
+                    params.m,
+                    params.k,
+                    c,
+                    UpdatePolicy::ExactTable,
+                    8,
+                    family,
+                    seed,
+                )?))
             }
             KindSpec::Association => {
                 // `shbf-a` has no extra parameter, so a bare 5th CREATE
@@ -181,7 +205,15 @@ impl Registry {
                         (Some(e), None) => e as u64,
                         (None, s) => s.unwrap_or(DEFAULT_SEED),
                     };
-                Backend::Association(RwLock::new(CShbfA::new(params.m, params.k, seed)?))
+                // Window and counter width match `CShbfA::new`'s defaults.
+                Backend::Association(RwLock::new(CShbfA::with_family(
+                    params.m,
+                    params.k,
+                    shbf_bits::MemoryModel::default().max_window(),
+                    4,
+                    family,
+                    seed,
+                )?))
             }
         })
     }
@@ -251,6 +283,7 @@ mod tests {
             k: 8,
             extra: None,
             seed: None,
+            family: None,
         }
     }
 
@@ -282,6 +315,7 @@ mod tests {
             k: 7, // ShBF_M needs even k
             extra: None,
             seed: None,
+            family: None,
         };
         assert!(matches!(
             r.create("x", bad),
@@ -299,6 +333,7 @@ mod tests {
             k: 6,
             extra: Some(7),
             seed: None,
+            family: None,
         })
         .unwrap();
         let with_seed = Registry::build_backend(&CreateParams {
@@ -307,6 +342,7 @@ mod tests {
             k: 6,
             extra: None,
             seed: Some(7),
+            family: None,
         })
         .unwrap();
         // Same seed → identical serialized filters.
@@ -324,6 +360,7 @@ mod tests {
                 k: 6,
                 extra: Some(1),
                 seed: Some(2),
+                family: None,
             }),
             Err(RegistryError::BadParams(_))
         ));

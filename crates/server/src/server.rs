@@ -1,19 +1,31 @@
-//! TCP transport: std-only listener with a bounded thread-per-connection
-//! worker model.
+//! TCP transport: the bound listener, the transport selector, and the
+//! thread-per-connection worker model.
+//!
+//! Two transports serve the same engine behind the same wire protocol —
+//! selected by [`ServerConfig::transport`], with **byte-identical
+//! response streams** for any request stream:
+//!
+//! * [`TransportKind::Threaded`] (default): one blocking handler thread
+//!   per connection, at most `max_connections` live, one request line per
+//!   `read_line`/`write`/`flush` cycle. Simple, portable, and fine when
+//!   clients wait for each reply.
+//! * [`TransportKind::Evented`]: the `shbf-reactor` epoll loop (see
+//!   [`crate::evented`]): all buffered lines drained per readable event,
+//!   adjacent `QUERY`s batched through the shard-grouped pipeline,
+//!   replies coalesced into one `write` per turn, backpressure past a
+//!   write-buffer high-water mark. Linux-only — elsewhere it falls back
+//!   to the threaded transport (epoll is the only evented backend).
 //!
 //! Tokio is deliberately not used — the offline registry bakes in no async
-//! runtime, and the std model is sufficient for the current scale target.
-//! The accept loop admits at most `max_connections` concurrent handler
-//! threads; beyond that, accepts block until a slot frees (TCP backlog
-//! absorbs the burst). Every handler shares one [`Engine`] behind an
-//! `Arc`, so all synchronization lives in the registry/backends.
+//! runtime; the reactor crate declares epoll directly.
 //!
 //! Shutdown: `SHUTDOWN` (or [`ServerHandle::shutdown`]) sets a flag and
-//! pokes the listener with a loopback connection so the blocking `accept`
-//! observes it; in-flight connections finish their current command and
+//! pokes the listener with a loopback connection so a blocking `accept`
+//! observes it (the evented loops poll the flag on their epoll-wait
+//! timeout); in-flight connections finish their current command and
 //! close on the next read.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -22,18 +34,49 @@ use std::thread::JoinHandle;
 use crate::engine::{Control, Engine, QueryScratch};
 use crate::protocol::{parse_command, Response};
 
+/// Which connection-handling model a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Blocking thread-per-connection workers (portable default).
+    #[default]
+    Threaded,
+    /// epoll reactor loops with pipelined parsing and write coalescing.
+    /// Linux-only; other targets silently run [`Self::Threaded`].
+    Evented,
+}
+
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum concurrent connection-handler threads.
+    /// Maximum concurrent connections (handler threads for the threaded
+    /// transport; live sockets across all loops for the evented one).
     pub max_connections: usize,
+    /// Connection-handling model.
+    pub transport: TransportKind,
+    /// Evented transport only: how many reactor loops (one thread each)
+    /// share the listener. `0` → one per available CPU, capped at 8.
+    pub evented_workers: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_connections: 64,
+            transport: TransportKind::default(),
+            evented_workers: 0,
         }
+    }
+}
+
+impl ServerConfig {
+    fn effective_evented_workers(&self) -> usize {
+        if self.evented_workers > 0 {
+            return self.evented_workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
     }
 }
 
@@ -119,8 +162,26 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on this thread until shutdown.
+    /// Runs the server on this thread until shutdown, using the
+    /// configured transport.
     pub fn run(self) -> std::io::Result<()> {
+        match self.config.transport {
+            TransportKind::Threaded => self.run_threaded(),
+            TransportKind::Evented if shbf_reactor::SUPPORTED => crate::evented::run(
+                self.listener,
+                self.engine,
+                self.shutdown,
+                self.config.max_connections,
+                self.config.effective_evented_workers(),
+            ),
+            // Documented fallback: evented requested on a target without
+            // epoll — serve with the threaded model instead of failing.
+            TransportKind::Evented => self.run_threaded(),
+        }
+    }
+
+    /// The blocking accept loop of the threaded transport.
+    fn run_threaded(self) -> std::io::Result<()> {
         let addr = self.local_addr()?;
         let slots = Arc::new(ConnSlots::new(self.config.max_connections));
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
@@ -179,8 +240,9 @@ impl ServerHandle {
     }
 }
 
-/// Longest accepted request line (1 MiB) — bounds per-connection memory.
-const MAX_REQUEST_LINE: usize = 1 << 20;
+/// Longest accepted request line (1 MiB) — bounds per-connection memory
+/// on both transports.
+pub(crate) const MAX_REQUEST_LINE: usize = 1 << 20;
 
 fn reject_oversized(writer: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
     out.clear();
@@ -205,7 +267,12 @@ fn handle_connection(
     stream
         .set_read_timeout(Some(std::time::Duration::from_millis(200)))
         .ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // The reader is layered over `Take` so one request line can never
+    // pull more than its budget off the socket: without the limit, a
+    // peer streaming newline-free bytes would keep `read_line`
+    // accumulating unboundedly (data keeps arriving, so neither the
+    // newline nor the timeout path is ever reached).
+    let mut reader = BufReader::new(stream.try_clone()?.take(0));
     let mut writer = stream;
     let mut line = String::new();
     let mut out = Vec::with_capacity(256);
@@ -218,8 +285,14 @@ fn handle_connection(
         }
         // `line` deliberately accumulates across timeouts: a read timeout
         // mid-line must not discard the partial line already buffered.
-        // It is capped so a peer streaming newline-free bytes (or one
-        // enormous request) cannot grow the buffer without bound.
+        // The remaining budget lets it grow just past the cap, so the
+        // oversize checks below fire; `line.len() <= MAX` here (larger
+        // was rejected last iteration), hence the budget is >= 2 and a
+        // `read_line` -> `Ok(0)` can only mean peer EOF, never an
+        // exhausted limit.
+        reader
+            .get_mut()
+            .set_limit((MAX_REQUEST_LINE + 2 - line.len()) as u64);
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // peer closed
             Ok(_) => {}
@@ -306,6 +379,49 @@ mod tests {
         assert!(panicker.join().is_err());
         // The slot came back: this would deadlock if the panic leaked it.
         let _g = slots.acquire();
+    }
+
+    #[test]
+    fn evented_transport_serves_pipelined_clients() {
+        let engine = Arc::new(Engine::new());
+        let config = ServerConfig {
+            transport: TransportKind::Evented,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", engine, config).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        assert_eq!(client.send("PING").unwrap(), vec!["+PONG".to_string()]);
+        assert_eq!(
+            client.send("CREATE ns shbf-m 100000 8").unwrap(),
+            vec!["+OK".to_string()]
+        );
+        // One pipelined batch: inserts, grouped queries, an MQUERY, and a
+        // protocol error — replies must come back in order.
+        let replies = client
+            .send_pipelined(&[
+                "INSERT ns alpha",
+                "INSERT ns bravo",
+                "QUERY ns alpha",
+                "QUERY ns bravo",
+                "QUERY ns never-inserted-xyzzy",
+                "MQUERY ns alpha never-inserted-xyzzy",
+                "NONSENSE",
+            ])
+            .unwrap();
+        let flat: Vec<Vec<String>> = replies;
+        assert_eq!(flat[0], vec!["+OK"]);
+        assert_eq!(flat[1], vec!["+OK"]);
+        assert_eq!(flat[2], vec![":1"]);
+        assert_eq!(flat[3], vec![":1"]);
+        assert_eq!(flat[4], vec![":0"]);
+        assert_eq!(flat[5], vec!["*2", ":1", ":0"]);
+        assert!(flat[6][0].starts_with("-ERR"));
+        // QUIT closes only this connection; SHUTDOWN (below) the server.
+        assert_eq!(client.send("QUIT").unwrap(), vec!["+BYE".to_string()]);
+        let mut second = crate::client::Client::connect(handle.addr()).unwrap();
+        assert_eq!(second.send("SHUTDOWN").unwrap(), vec!["+BYE".to_string()]);
+        handle.shutdown().unwrap();
     }
 
     #[test]

@@ -197,4 +197,61 @@ mod tests {
 
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    #[test]
+    fn snapshot_roundtrips_the_hash_family_tag() {
+        let dir = std::env::temp_dir().join(format!("shbf-snap-fam-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fam.snap");
+
+        // One-shot namespaces of every kind: the FamilyKind tag rides in
+        // each backend blob, so LOAD must restore digest-once hashing
+        // bit-for-bit (not silently fall back to seeded).
+        let e = Engine::new();
+        e.eval_line("CREATE m shbf-m 120000 8 4 7 family=one-shot");
+        e.eval_line("CREATE x shbf-x 8192 6 30 3 family=one-shot");
+        e.eval_line("CREATE a shbf-a 8192 6 5 family=one-shot");
+        for i in 0..300 {
+            e.eval_line(&format!("INSERT m key-{i}"));
+        }
+        e.eval_line("INSERT x f");
+        e.eval_line("INSERT a f 2");
+        assert_eq!(save(e.registry(), &path).unwrap(), 3);
+
+        let e2 = Engine::new();
+        assert_eq!(load(e2.registry(), &path).unwrap(), 3);
+        for (ns, original) in [
+            ("m", e.registry()),
+            ("x", e.registry()),
+            ("a", e.registry()),
+        ] {
+            let a = original.get(ns).unwrap();
+            let b = e2.registry().get(ns).unwrap();
+            let (blob_a, blob_b) = match (&a.backend, &b.backend) {
+                (Backend::Membership(x), Backend::Membership(y)) => (x.to_bytes(), y.to_bytes()),
+                (Backend::Multiplicity(x), Backend::Multiplicity(y)) => {
+                    (x.read().to_bytes(), y.read().to_bytes())
+                }
+                (Backend::Association(x), Backend::Association(y)) => {
+                    (x.read().to_bytes(), y.read().to_bytes())
+                }
+                _ => panic!("backend kind changed across snapshot for `{ns}`"),
+            };
+            assert_eq!(blob_a, blob_b, "`{ns}` blob changed across snapshot");
+        }
+        // Restored one-shot namespaces keep answering: inserts from before
+        // the snapshot are found, and new updates route identically.
+        for i in 0..300 {
+            assert_eq!(
+                e2.eval_line(&format!("QUERY m key-{i}")),
+                Response::Int(1),
+                "restored one-shot membership lost key-{i}"
+            );
+        }
+        e2.eval_line("INSERT m fresh-key");
+        assert_eq!(e2.eval_line("QUERY m fresh-key"), Response::Int(1));
+        assert_eq!(e2.eval_line("COUNT x f"), Response::Int(1));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use shbf::analysis::{bf as bf_theory, shbf as shbf_theory};
 use shbf::baselines::Bf;
 use shbf::core::{ShbfM, ShbfX};
-use shbf::server::{Client, Engine, Server, ServerConfig};
+use shbf::server::{Client, Engine, Server, ServerConfig, TransportKind};
 use shbf::workloads::{SyntheticTrace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -67,13 +67,20 @@ COMMANDS
       Print a filter's parameters, fill ratio, and theoretical FPR.
 
   serve [--port P] [--bind ADDR] [--workers N] [--load SNAPSHOT]
+        [--evented] [--reactors N]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
-      --load restores namespaces from a snapshot file at startup.
+      --load restores namespaces from a snapshot file at startup;
+      --evented serves with the epoll reactor transport (pipelined
+      parsing + write coalescing; Linux, falls back to threaded
+      elsewhere), --reactors caps its event-loop threads.
 
-  client [--port P] [--host ADDR] [--send CMD]
+  client [--port P] [--host ADDR] [--send CMD] [--pipeline N]
       Talk to a running daemon: --send fires one command and prints the
-      reply; without it, an interactive line REPL reads from stdin."
+      reply; without it, a line REPL reads from stdin. --pipeline N
+      writes up to N commands before reading their replies (stdin mode;
+      with --send, split commands on `;`) — against an --evented server
+      this drives the batched query path."
     );
 }
 
@@ -84,12 +91,23 @@ struct Flags<'a> {
 
 impl<'a> Flags<'a> {
     fn parse(args: &'a [String]) -> Result<Self, String> {
+        Self::parse_with_bools(args, &[])
+    }
+
+    /// Like [`Self::parse`], but flags named in `bools` take no value
+    /// (they read as `"true"` when present).
+    fn parse_with_bools(args: &'a [String], bools: &[&str]) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let name = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+            if bools.contains(&name) {
+                pairs.push((name, "true"));
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{name} needs a value"))?;
@@ -302,10 +320,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
+    let flags = Flags::parse_with_bools(args, &["evented"])?;
     let bind = flags.get("bind").unwrap_or("127.0.0.1");
     let port: u16 = flags.get_parsed("port", 7878)?;
     let workers: usize = flags.get_parsed("workers", 64)?;
+    let evented = flags.get("evented").is_some();
+    let reactors: usize = flags.get_parsed("reactors", 0)?;
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
@@ -313,16 +333,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("loading {snapshot}: {e}"))?;
         println!("restored {n} namespaces from {snapshot}");
     }
+    let transport = if evented {
+        TransportKind::Evented
+    } else {
+        TransportKind::Threaded
+    };
     let server = Server::bind(
         (bind, port),
         engine,
         ServerConfig {
             max_connections: workers,
+            transport,
+            evented_workers: reactors,
         },
     )
     .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    println!("shbf-server listening on {addr} ({workers} workers); send SHUTDOWN to stop");
+    let mode = match transport {
+        TransportKind::Evented => "evented epoll transport",
+        TransportKind::Threaded => "threaded transport",
+    };
+    println!("shbf-server listening on {addr} ({mode}, {workers} max connections); send SHUTDOWN to stop");
     server.run().map_err(|e| format!("serving: {e}"))
 }
 
@@ -330,6 +361,10 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let host = flags.get("host").unwrap_or("127.0.0.1");
     let port: u16 = flags.get_parsed("port", 7878)?;
+    let pipeline: usize = flags.get_parsed("pipeline", 1)?;
+    if pipeline == 0 {
+        return Err("--pipeline must be >= 1".into());
+    }
     let mut client =
         Client::connect((host, port)).map_err(|e| format!("connecting {host}:{port}: {e}"))?;
 
@@ -340,9 +375,26 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     };
 
     if let Some(command) = flags.get("send") {
-        let lines = client.send(command).map_err(|e| e.to_string())?;
-        let failed = lines.first().is_some_and(|l| l.starts_with('-'));
-        print_reply(lines);
+        // With a pipeline depth, `;` splits --send into a batch that goes
+        // out in one write before any reply is read.
+        let commands: Vec<&str> = if pipeline > 1 {
+            command
+                .split(';')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .collect()
+        } else {
+            vec![command]
+        };
+        let replies = client
+            .send_pipelined(&commands)
+            .map_err(|e| e.to_string())?;
+        let failed = replies
+            .iter()
+            .any(|lines| lines.first().is_some_and(|l| l.starts_with('-')));
+        for lines in replies {
+            print_reply(lines);
+        }
         return if failed {
             Err("server returned an error".into())
         } else {
@@ -350,35 +402,52 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         };
     }
 
-    // Interactive REPL: one request line in, one framed reply out.
+    // Line REPL: with --pipeline N, up to N request lines are written
+    // before their replies are read (batches flush early on QUIT/SHUTDOWN
+    // and at EOF), demonstrating the server's pipelined path from stdin.
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
+    let mut batch: Vec<String> = Vec::new();
+    let mut closing = false;
     loop {
-        print!("shbf> ");
-        stdout.flush().ok();
-        let mut line = String::new();
-        if stdin
-            .lock()
-            .read_line(&mut line)
-            .map_err(|e| e.to_string())?
-            == 0
-        {
-            return Ok(()); // EOF
-        }
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        match client.send(line) {
-            Ok(lines) => {
-                let closing =
-                    line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("shutdown");
-                print_reply(lines);
-                if closing {
-                    return Ok(());
+        let mut flush_now = false;
+        let mut eof = false;
+        if !closing {
+            if pipeline == 1 {
+                print!("shbf> ");
+                stdout.flush().ok();
+            }
+            let mut line = String::new();
+            if stdin
+                .lock()
+                .read_line(&mut line)
+                .map_err(|e| e.to_string())?
+                == 0
+            {
+                eof = true;
+            } else {
+                let line = line.trim();
+                if !line.is_empty() {
+                    closing =
+                        line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("shutdown");
+                    batch.push(line.to_string());
                 }
             }
-            Err(e) => return Err(format!("connection lost: {e}")),
+            flush_now = closing || eof || batch.len() >= pipeline;
+        }
+        if flush_now && !batch.is_empty() {
+            match client.send_pipelined(&batch) {
+                Ok(replies) => {
+                    for lines in replies {
+                        print_reply(lines);
+                    }
+                }
+                Err(e) => return Err(format!("connection lost: {e}")),
+            }
+            batch.clear();
+        }
+        if closing || eof {
+            return Ok(());
         }
     }
 }

@@ -7,11 +7,19 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-use shbf::server::{Client, Engine, Server, ServerConfig};
+use shbf::server::{Client, Engine, Server, ServerConfig, TransportKind};
 
 fn start_server() -> (shbf::server::ServerHandle, SocketAddr) {
+    start_server_with(TransportKind::Threaded)
+}
+
+fn start_server_with(transport: TransportKind) -> (shbf::server::ServerHandle, SocketAddr) {
     let engine = Arc::new(Engine::new());
-    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let config = ServerConfig {
+        transport,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", engine, config).unwrap();
     let handle = server.spawn().unwrap();
     let addr = handle.addr();
     (handle, addr)
@@ -101,6 +109,81 @@ fn four_concurrent_clients_no_false_negatives() {
     assert!(stats.contains("+misses=0"), "stats:\n{stats}");
     assert!(stats.contains("+inserts=8000"), "stats:\n{stats}");
     assert!(stats.contains("+kind=shbf-m"), "stats:\n{stats}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn evented_concurrent_pipelined_clients_no_false_negatives() {
+    let (handle, addr) = start_server_with(TransportKind::Evented);
+
+    let mut admin = Client::connect(addr).unwrap();
+    expect_ok(
+        &mut admin,
+        "CREATE flows shbf-m 400000 8 8 2016 family=one-shot",
+    );
+    // Bulk-load through MINSERT (the shard-grouped insert pipeline).
+    const TOTAL: u64 = 8_000;
+    for chunk_start in (0..TOTAL).step_by(500) {
+        let keys: Vec<String> = (chunk_start..chunk_start + 500)
+            .map(|i| format!("key-{i}"))
+            .collect();
+        let reply = admin
+            .send_expect_one(&format!("MINSERT flows {}", keys.join(" ")))
+            .unwrap();
+        assert_eq!(reply, ":500");
+    }
+
+    // Four clients verify the whole key space with pipelined QUERYs (the
+    // evented transport groups these into shard-batched rides) plus
+    // MQUERY batches, concurrently.
+    let verifiers: Vec<_> = (0..4u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for chunk_start in (0..TOTAL).step_by(64) {
+                    let queries: Vec<String> = (chunk_start..(chunk_start + 64).min(TOTAL))
+                        .map(|i| format!("QUERY flows key-{}", (i + c * 2000) % TOTAL))
+                        .collect();
+                    for (j, reply) in client
+                        .send_pipelined(&queries)
+                        .unwrap()
+                        .into_iter()
+                        .enumerate()
+                    {
+                        assert_eq!(
+                            reply,
+                            vec![":1".to_string()],
+                            "false negative (client {c}, chunk {chunk_start}, offset {j})"
+                        );
+                    }
+                }
+                for chunk_start in (0..TOTAL).step_by(64) {
+                    let keys: Vec<String> = (chunk_start..(chunk_start + 64).min(TOTAL))
+                        .map(|i| format!("key-{i}"))
+                        .collect();
+                    let lines = client
+                        .send(&format!("MQUERY flows {}", keys.join(" ")))
+                        .unwrap();
+                    assert_eq!(lines[0], format!("*{}", keys.len()));
+                    assert!(
+                        lines[1..].iter().all(|l| l == ":1"),
+                        "MQUERY false negative"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in verifiers {
+        t.join().unwrap();
+    }
+
+    // Counters: MINSERT recorded 8000 inserts; the pipelined QUERYs and
+    // MQUERYs recorded 4 × (8000 + 8000) hits.
+    let stats = admin.send("STATS flows").unwrap().join("\n");
+    assert!(stats.contains("+inserts=8000"), "stats:\n{stats}");
+    assert!(stats.contains("+hits=64000"), "stats:\n{stats}");
+    assert!(stats.contains("+misses=0"), "stats:\n{stats}");
 
     handle.shutdown().unwrap();
 }
