@@ -52,15 +52,28 @@ fn main() {
     );
     let (result, json) = run(&cfg);
     println!(
-        "{:>10} {:>16} {:>14}",
+        "{:>16} {:>16} {:>14}",
         "transport", "queries/sec", "queries"
     );
     for t in &result.transports {
-        println!("{:>10} {:>16.0} {:>14}", t.name, t.ops_per_sec, t.ops);
+        println!("{:>16} {:>16.0} {:>14}", t.name, t.ops_per_sec, t.ops);
     }
     println!(
-        "{:>10} {:>15.2}x",
+        "{:>16} {:>15.2}x",
         "speedup", result.speedup_evented_vs_threaded
+    );
+    println!("mixed workload (4 namespaces, MQUERY + QUERY + INSERT/DELETE churn):");
+    for p in &result.mixed {
+        println!(
+            "{:>16} {:>16.0} {:>14}",
+            format!("{}/{}", p.transport, p.socket),
+            p.ops_per_sec,
+            p.ops
+        );
+    }
+    println!(
+        "{:>16} {:>15.2}x",
+        "mixed speedup", result.mixed_speedup_evented_vs_threaded
     );
     if let Some(path) = &out {
         std::fs::write(path, &json).unwrap_or_else(|e| {

@@ -1,42 +1,145 @@
 //! The event loop proper: slab of buffered connections driven by
-//! level-triggered epoll readiness. All code here is safe; syscalls are
-//! behind [`crate::sys::Epoll`].
+//! **edge-triggered** epoll readiness, flushed with vectored writes, and
+//! woken through an eventfd. All code here is safe; syscalls are behind
+//! [`crate::sys`].
+//!
+//! Edge-triggered discipline: every fd (listener, waker, connections) is
+//! registered exactly once with `EPOLLET` and never `epoll_ctl`-modified
+//! again. Readiness the kernel reports is remembered in userspace
+//! (`accept_pending`, per-conn `read_ready`) and re-driven through a run
+//! queue until the fd is drained to `WouldBlock` — so a budget-limited
+//! read or a paused (backpressured) connection never loses an edge, and
+//! the hot path pays zero `epoll_ctl` syscalls.
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::io::AsRawFd;
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
-use crate::{Action, Handler, ReactorConfig};
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::{Action, Handler, Listener, ReactorConfig, Stream, TransportMetrics, Waker};
 
 /// Token of the listening socket (connection tokens encode slot + gen).
 const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Token of the eventfd wakeup channel.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
 
 /// Stack read chunk; also the granularity of the per-turn read budget.
 const READ_CHUNK: usize = 64 * 1024;
 
 /// Per-turn read budget per connection: after this many fresh bytes the
-/// loop moves on to other connections and lets level-triggered readiness
-/// re-arm — a single fast writer cannot starve the rest.
+/// loop re-queues the connection and serves the others first — a single
+/// fast writer cannot starve the rest (the leftover readiness is
+/// remembered, as edge-triggering requires).
 const READ_BUDGET: usize = 4 * READ_CHUNK;
 
+/// Most iovec slices per `writev` call (IOV_MAX is 1024 on Linux; 64
+/// already amortizes the syscall completely).
+const MAX_IOV: usize = 64;
+
+/// Per-connection outgoing data as a queue of owned reply buffers.
+///
+/// Each event-loop turn's replies are encoded into their own buffer and
+/// appended whole; flushing stitches the front `MAX_IOV` buffers into one
+/// `writev`. Compared to one coalesced `Vec`, a backlogged connection
+/// pays neither the copy of new replies onto the tail nor the
+/// `drain(..written)` memmove after partial writes — `head` just advances
+/// through the front buffer. Fully-written buffers are recycled.
+#[derive(Default)]
+struct WriteQueue {
+    bufs: VecDeque<Vec<u8>>,
+    /// Bytes of `bufs[0]` already written.
+    head: usize,
+    /// Total unwritten bytes across all buffers.
+    len: usize,
+    /// Drained buffers kept for reuse.
+    spare: Vec<Vec<u8>>,
+}
+
+/// Keep at most this many spare buffers, and none above this capacity —
+/// one giant reply must not pin its allocation forever.
+const SPARE_BUFS: usize = 4;
+const SPARE_CAP: usize = 1 << 20;
+
+impl WriteQueue {
+    fn take_buf(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.spare.len() < SPARE_BUFS && buf.capacity() <= SPARE_CAP {
+            buf.clear();
+            self.spare.push(buf);
+        }
+    }
+
+    fn push(&mut self, buf: Vec<u8>) {
+        if buf.is_empty() {
+            self.recycle(buf);
+        } else {
+            self.len += buf.len();
+            self.bufs.push_back(buf);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fills `out` (a stack array — `IoSlice` is `Copy`, so no heap
+    /// traffic on the flush path) with up to [`MAX_IOV`] slices of
+    /// unwritten data; returns how many were written.
+    fn fill_slices<'a>(&'a self, out: &mut [IoSlice<'a>; MAX_IOV]) -> usize {
+        let mut n = 0;
+        for (i, buf) in self.bufs.iter().take(MAX_IOV).enumerate() {
+            let slice = if i == 0 { &buf[self.head..] } else { &buf[..] };
+            out[i] = IoSlice::new(slice);
+            n = i + 1;
+        }
+        n
+    }
+
+    /// Marks `n` bytes written, recycling fully-drained buffers.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len);
+        self.len -= n;
+        while n > 0 {
+            let front_left = self.bufs[0].len() - self.head;
+            if n >= front_left {
+                n -= front_left;
+                let drained = self.bufs.pop_front().expect("nonempty queue");
+                self.recycle(drained);
+                self.head = 0;
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+    }
+}
+
 struct Conn {
-    stream: TcpStream,
+    stream: Stream,
     token: u64,
     /// Bytes received but not yet consumed by the handler (at most a
     /// partial request once the handler has run).
     rbuf: Vec<u8>,
     /// Encoded replies not yet written to the socket.
-    wbuf: Vec<u8>,
-    /// Interest set currently registered with epoll.
-    interest: u32,
-    /// Flush `wbuf` then close (peer EOF, handler `Close`/`Shutdown`).
+    wq: WriteQueue,
+    /// Flush `wq` then close (peer EOF, handler `Close`/`Shutdown`).
     closing: bool,
     /// Peer half-closed its sending side; no more input will arrive.
     eof: bool,
-    /// Backpressured: `wbuf` crossed the high-water mark, reading paused.
+    /// Backpressured: `wq` crossed the high-water mark, reading paused.
     paused: bool,
+    /// An unconsumed readable edge: the socket may hold more data.
+    read_ready: bool,
+    /// Already sitting in the run queue (dedup flag).
+    queued: bool,
 }
 
 /// Slot index ↔ token mapping with a generation stamp, so an event queued
@@ -50,10 +153,20 @@ fn slot_of(token: u64) -> usize {
     (token & 0xFFFF_FFFF) as usize
 }
 
+enum ReadStatus {
+    /// Connection closed (read error).
+    Closed,
+    /// Socket drained to `WouldBlock` (or EOF) — edge consumed.
+    Drained,
+    /// Budget exhausted; the socket may hold more (stays `read_ready`).
+    Budget,
+}
+
 struct Reactor<'a, H: Handler> {
     epoll: Epoll,
-    listener: TcpListener,
-    listener_parked: bool,
+    listener: Listener,
+    /// An unconsumed listener edge: the backlog may hold connections.
+    accept_pending: bool,
     conns: Vec<Option<Conn>>,
     generations: Vec<u32>,
     free: Vec<usize>,
@@ -61,21 +174,27 @@ struct Reactor<'a, H: Handler> {
     handler: &'a mut H,
     shutdown: &'a AtomicBool,
     config: &'a ReactorConfig,
+    waker: &'a Waker,
+    metrics: &'a TransportMetrics,
 }
 
 pub(crate) fn run<H: Handler>(
-    listener: TcpListener,
+    listener: Listener,
     handler: &mut H,
     shutdown: &AtomicBool,
     config: &ReactorConfig,
+    waker: &Waker,
+    metrics: &TransportMetrics,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let epoll = Epoll::new()?;
-    epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+    epoll.add(listener.raw_fd(), EPOLLIN | EPOLLET, LISTENER_TOKEN)?;
+    epoll.add(waker.eventfd().raw_fd(), EPOLLIN | EPOLLET, WAKER_TOKEN)?;
     let mut r = Reactor {
         epoll,
         listener,
-        listener_parked: false,
+        // Catch connections that raced in before registration.
+        accept_pending: true,
         conns: Vec::new(),
         generations: Vec::new(),
         free: Vec::new(),
@@ -83,42 +202,86 @@ pub(crate) fn run<H: Handler>(
         handler,
         shutdown,
         config,
+        waker,
+        metrics,
     };
     let mut events = vec![EpollEvent::default(); 256];
     let mut chunk = vec![0u8; READ_CHUNK];
+    // Run queue of connection tokens with work left this turn; `next`
+    // collects re-queues (budget leftovers) for the following turn.
+    let mut queue: Vec<u64> = Vec::new();
+    let mut next: Vec<u64> = Vec::new();
     loop {
-        let n = r.epoll.wait(&mut events, r.config.wait_timeout_ms)?;
+        // Block forever unless userspace still holds unconsumed
+        // readiness; shutdown arrives as an eventfd wakeup, never as a
+        // timeout.
+        let can_accept = r.accept_pending && r.live < r.config.max_connections;
+        let timeout = if can_accept || !queue.is_empty() {
+            0
+        } else {
+            -1
+        };
+        let n = r.epoll.wait(&mut events, timeout)?;
+        for ev in events.iter().copied().take(n) {
+            match ev.data {
+                LISTENER_TOKEN => r.accept_pending = true,
+                WAKER_TOKEN => {
+                    r.waker.eventfd().drain();
+                    r.metrics.on_wakeup();
+                }
+                _ => r.conn_event(ev, &mut queue),
+            }
+        }
         if r.shutdown.load(Ordering::SeqCst) {
+            r.final_flush();
             return Ok(());
         }
-        for ev in events.iter().copied().take(n) {
-            if ev.data == LISTENER_TOKEN {
-                r.accept_ready();
-            } else {
-                r.conn_ready(ev, &mut chunk);
-            }
+        if r.accept_pending && r.live < r.config.max_connections {
+            r.accept_ready(&mut queue);
+        }
+        for token in queue.drain(..) {
+            r.drive(token, &mut chunk, &mut next);
             if r.shutdown.load(Ordering::SeqCst) {
                 // A handler requested shutdown; its farewell reply was
-                // already flushed by `conn_ready`. Sibling reactors see
-                // the shared flag within one wait timeout.
+                // already flushed by `drive`, and the waker has nudged
+                // sibling loops.
+                r.final_flush();
                 return Ok(());
             }
         }
+        std::mem::swap(&mut queue, &mut next);
     }
 }
 
 impl<H: Handler> Reactor<'_, H> {
-    fn accept_ready(&mut self) {
+    fn accept_ready(&mut self, queue: &mut Vec<u64>) {
         loop {
             if self.live >= self.config.max_connections {
-                self.park_listener();
+                // Leave `accept_pending` set: the backlog keeps the
+                // overflow, and a freed slot re-enters here without
+                // needing a fresh kernel edge.
                 return;
             }
             let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Ok(stream) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.accept_pending = false;
+                    return;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return, // transient accept error; keep serving
+                // The pending peer reset before accept (ECONNABORTED &
+                // co.): that connection was dequeued, but siblings from
+                // the same coalesced edge may still sit in the backlog —
+                // keep draining to WouldBlock, as edge-triggering
+                // requires.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                // Non-dequeuing accept error (e.g. EMFILE): nothing was
+                // consumed, so retrying now would spin. Park the edge;
+                // the next arrival re-fires it.
+                Err(_) => {
+                    self.accept_pending = false;
+                    return;
+                }
             };
             if stream.set_nonblocking(true).is_err() {
                 continue;
@@ -130,7 +293,11 @@ impl<H: Handler> Reactor<'_, H> {
                 self.conns.len() - 1
             });
             let token = token_of(slot, self.generations[slot]);
-            if self.epoll.add(stream.as_raw_fd(), EPOLLIN, token).is_err() {
+            if self
+                .epoll
+                .add(stream.raw_fd(), EPOLLIN | EPOLLOUT | EPOLLET, token)
+                .is_err()
+            {
                 self.free.push(slot);
                 continue;
             }
@@ -138,36 +305,22 @@ impl<H: Handler> Reactor<'_, H> {
                 stream,
                 token,
                 rbuf: Vec::new(),
-                wbuf: Vec::new(),
-                interest: EPOLLIN,
+                wq: WriteQueue::default(),
                 closing: false,
                 eof: false,
                 paused: false,
+                // Data may have raced in before registration; one drive
+                // pass settles it (reads to WouldBlock if not).
+                read_ready: true,
+                queued: true,
             });
             self.live += 1;
+            self.metrics.on_accept();
+            queue.push(token);
         }
     }
 
-    fn park_listener(&mut self) {
-        if !self.listener_parked {
-            self.epoll.delete(self.listener.as_raw_fd()).ok();
-            self.listener_parked = true;
-        }
-    }
-
-    fn unpark_listener(&mut self) {
-        if self.listener_parked
-            && self.live < self.config.max_connections
-            && self
-                .epoll
-                .add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
-                .is_ok()
-        {
-            self.listener_parked = false;
-        }
-    }
-
-    fn conn_ready(&mut self, ev: EpollEvent, chunk: &mut [u8]) {
+    fn conn_event(&mut self, ev: EpollEvent, queue: &mut Vec<u64>) {
         let slot = slot_of(ev.data);
         // Stale event for a connection closed earlier in this batch (or a
         // reused slot with a newer generation): ignore.
@@ -179,53 +332,81 @@ impl<H: Handler> Reactor<'_, H> {
             self.close(slot);
             return;
         }
-        let mut ran_handler = false;
+        let conn = self.conns[slot].as_mut().expect("checked live");
         if ev.events & EPOLLIN != 0 {
-            if !self.fill_read_buffer(slot, chunk) {
-                return; // closed on read error
-            }
-            ran_handler = true;
-            if !self.drive_handler(slot) {
-                return; // closed while dispatching
+            conn.read_ready = true;
+        }
+        // Readable and writable edges both funnel into one drive pass
+        // (read → handle → flush → bookkeeping).
+        if !conn.queued {
+            conn.queued = true;
+            queue.push(ev.data);
+        }
+    }
+
+    /// One full service pass over a connection: read (unless paused),
+    /// run the handler, flush, recompute backpressure/close state, and
+    /// re-queue if budget-limited reading left data behind.
+    fn drive(&mut self, token: u64, chunk: &mut [u8], next: &mut Vec<u64>) {
+        let slot = slot_of(token);
+        match self.conns.get_mut(slot) {
+            Some(Some(conn)) if conn.token == token => conn.queued = false,
+            _ => return, // closed earlier this turn
+        }
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        if conn.read_ready && !conn.paused && !conn.closing && !conn.eof {
+            if let ReadStatus::Closed = self.fill_read_buffer(slot, chunk) {
+                return;
             }
         }
-        // One coalesced write per turn: everything the handler just
-        // produced — plus anything still pending — goes out together.
+        if !self.drive_handler(slot) {
+            return;
+        }
         if !self.try_flush(slot) {
             return;
         }
-        // Peer EOF with nothing buffered and no handler pass this turn
-        // (pure EPOLLOUT wake): nothing more can happen once drained.
-        let _ = ran_handler;
-        self.update_interest(slot);
+        if !self.after_io(slot) {
+            return;
+        }
+        let conn = self.conns[slot].as_mut().expect("checked live");
+        if conn.read_ready && !conn.paused && !conn.closing && !conn.eof && !conn.queued {
+            conn.queued = true;
+            next.push(token);
+        }
     }
 
-    /// Reads until `WouldBlock`, EOF, or the per-turn budget. Returns
-    /// false if the connection was closed (read error).
-    fn fill_read_buffer(&mut self, slot: usize, chunk: &mut [u8]) -> bool {
+    /// Reads until `WouldBlock`, EOF, or the per-turn budget.
+    fn fill_read_buffer(&mut self, slot: usize, chunk: &mut [u8]) -> ReadStatus {
         let conn = self.conns[slot].as_mut().expect("checked live");
         let mut fresh = 0usize;
-        loop {
+        let status = loop {
             if fresh >= READ_BUDGET {
-                return true; // level-triggered readiness will re-fire
+                break ReadStatus::Budget; // stays read_ready; re-queued
             }
             match conn.stream.read(chunk) {
                 Ok(0) => {
                     conn.eof = true;
-                    return true;
+                    conn.read_ready = false;
+                    break ReadStatus::Drained;
                 }
                 Ok(n) => {
                     conn.rbuf.extend_from_slice(&chunk[..n]);
                     fresh += n;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.read_ready = false;
+                    break ReadStatus::Drained;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
+                    self.metrics.add_bytes_in(fresh as u64);
                     self.close(slot);
-                    return false;
+                    return ReadStatus::Closed;
                 }
             }
-        }
+        };
+        self.metrics.add_bytes_in(fresh as u64);
+        status
     }
 
     /// Hands the buffered bytes to the handler and applies its verdict.
@@ -235,9 +416,14 @@ impl<H: Handler> Reactor<'_, H> {
         if conn.closing || (conn.rbuf.is_empty() && !conn.eof) {
             return true;
         }
+        // This turn's replies get their own buffer (recycled from the
+        // queue) — queued turns are stitched together by writev, never
+        // copied into one another.
+        let mut out = conn.wq.take_buf();
         let drained = self
             .handler
-            .on_data(conn.token, &conn.rbuf, conn.eof, &mut conn.wbuf);
+            .on_data(conn.token, &conn.rbuf, conn.eof, &mut out);
+        conn.wq.push(out);
         let consumed = drained.consumed.min(conn.rbuf.len());
         conn.rbuf.drain(..consumed);
         match drained.action {
@@ -252,79 +438,88 @@ impl<H: Handler> Reactor<'_, H> {
             Action::Shutdown => {
                 conn.closing = true;
                 self.shutdown.store(true, Ordering::SeqCst);
+                // Nudge sibling loops sharing this waker; they observe
+                // the flag on their next (immediate) wakeup.
+                self.waker.wake().ok();
             }
         }
         true
     }
 
-    /// Writes as much of `wbuf` as the socket accepts right now. Returns
-    /// false if the connection was closed.
+    /// Writes as much of the queue as the socket accepts right now, one
+    /// `writev` over up to [`MAX_IOV`] reply buffers per syscall; partial
+    /// writes re-slice and continue. Returns false if the connection was
+    /// closed.
     fn try_flush(&mut self, slot: usize) -> bool {
         let conn = self.conns[slot].as_mut().expect("checked live");
+        let (stream, wq) = (&mut conn.stream, &mut conn.wq);
         let mut written = 0usize;
         let result = loop {
-            if written == conn.wbuf.len() {
+            if wq.is_empty() {
                 break true;
             }
-            match conn.stream.write(&conn.wbuf[written..]) {
+            let mut iov = [IoSlice::new(&[]); MAX_IOV];
+            let filled = wq.fill_slices(&mut iov);
+            let outcome = stream.write_vectored(&iov[..filled]);
+            match outcome {
                 Ok(0) => break false,
-                Ok(n) => written += n,
+                Ok(n) => {
+                    wq.advance(n);
+                    written += n;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break true,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => break false,
             }
         };
-        if written > 0 {
-            conn.wbuf.drain(..written);
-        }
+        self.metrics.add_bytes_out(written as u64);
         if !result {
             self.close(slot);
         }
         result
     }
 
-    /// Recomputes backpressure state and the epoll interest set; closes
-    /// the connection when it is `closing` (or at EOF) with nothing left
-    /// to write.
-    fn update_interest(&mut self, slot: usize) {
+    /// Recomputes backpressure state; closes the connection when it is
+    /// `closing` (or at EOF) with nothing left to write. Returns false if
+    /// it closed.
+    fn after_io(&mut self, slot: usize) -> bool {
         let high = self.config.high_water.max(1);
         let conn = self.conns[slot].as_mut().expect("checked live");
-        if conn.wbuf.is_empty() && (conn.closing || conn.eof) {
+        if conn.wq.is_empty() && (conn.closing || conn.eof) {
             self.close(slot);
-            return;
+            return false;
         }
-        if conn.wbuf.len() > high {
+        let depth = conn.wq.len();
+        self.metrics.observe_queue_depth(depth as u64);
+        if !conn.paused && depth > high {
             conn.paused = true;
-        } else if conn.wbuf.len() < high / 2 + 1 {
+            self.metrics.on_backpressure_enter();
+        } else if conn.paused && depth < high / 2 + 1 {
             conn.paused = false;
+            self.metrics.on_backpressure_exit();
         }
-        let mut want = 0u32;
-        if !conn.closing && !conn.eof && !conn.paused {
-            want |= EPOLLIN;
-        }
-        if !conn.wbuf.is_empty() {
-            want |= EPOLLOUT;
-        }
-        if want != conn.interest {
-            let token = conn.token;
-            let fd = conn.stream.as_raw_fd();
-            if self.epoll.modify(fd, want, token).is_err() {
-                self.close(slot);
-                return;
-            }
-            let conn = self.conns[slot].as_mut().expect("checked live");
-            conn.interest = want;
-        }
+        true
     }
 
     fn close(&mut self, slot: usize) {
         if let Some(conn) = self.conns[slot].take() {
-            self.epoll.delete(conn.stream.as_raw_fd()).ok();
+            self.epoll.delete(conn.stream.raw_fd()).ok();
             self.handler.on_close(conn.token);
+            self.metrics.on_close();
             self.generations[slot] = self.generations[slot].wrapping_add(1);
             self.free.push(slot);
             self.live -= 1;
-            self.unpark_listener();
+        }
+    }
+
+    /// Best-effort last flush of every live connection's queued replies
+    /// before the loop returns on shutdown (nonblocking — a peer that
+    /// stopped reading forfeits its tail).
+    fn final_flush(&mut self) {
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.try_flush(slot);
+            }
         }
     }
 }
@@ -333,7 +528,7 @@ impl<H: Handler> Reactor<'_, H> {
 mod tests {
     use super::*;
     use crate::Drained;
-    use std::net::TcpStream;
+    use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
@@ -379,34 +574,51 @@ mod tests {
         }
     }
 
-    fn start(
-        config: ReactorConfig,
-    ) -> (
-        std::net::SocketAddr,
-        Arc<AtomicBool>,
-        std::thread::JoinHandle<std::io::Result<()>>,
-    ) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let t = std::thread::spawn(move || {
-            let mut handler = UpcaseLines { closed: Vec::new() };
-            run(listener, &mut handler, &flag, &config)
-        });
-        (addr, shutdown, t)
+    struct Running {
+        shutdown: Arc<AtomicBool>,
+        waker: Waker,
+        metrics: Arc<TransportMetrics>,
+        thread: std::thread::JoinHandle<std::io::Result<()>>,
     }
 
-    fn quick_config() -> ReactorConfig {
-        ReactorConfig {
-            wait_timeout_ms: 20,
-            ..ReactorConfig::default()
+    impl Running {
+        fn stop(self) {
+            self.shutdown.store(true, Ordering::SeqCst);
+            self.waker.wake().unwrap();
+            self.thread.join().unwrap().unwrap();
         }
     }
 
+    fn start_on(listener: Listener, config: ReactorConfig) -> Running {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let waker = Waker::new().unwrap();
+        let metrics = Arc::new(TransportMetrics::new());
+        let thread = std::thread::spawn({
+            let shutdown = Arc::clone(&shutdown);
+            let waker = waker.clone();
+            let metrics = Arc::clone(&metrics);
+            move || {
+                let mut handler = UpcaseLines { closed: Vec::new() };
+                run(listener, &mut handler, &shutdown, &config, &waker, &metrics)
+            }
+        });
+        Running {
+            shutdown,
+            waker,
+            metrics,
+            thread,
+        }
+    }
+
+    fn start(config: ReactorConfig) -> (std::net::SocketAddr, Running) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        (addr, start_on(listener.into(), config))
+    }
+
     #[test]
-    fn echoes_lines_and_coalesces_pipelined_replies() {
-        let (addr, shutdown, t) = start(quick_config());
+    fn echoes_lines_and_pipelines_replies() {
+        let (addr, running) = start(ReactorConfig::default());
         let mut c = TcpStream::connect(addr).unwrap();
         // Three pipelined requests in one write...
         c.write_all(b"alpha\nbravo\ncharlie\n").unwrap();
@@ -418,13 +630,12 @@ mod tests {
             got.extend_from_slice(&buf[..n]);
         }
         assert_eq!(got, b"ALPHA\nBRAVO\nCHARLIE\n");
-        shutdown.store(true, Ordering::SeqCst);
-        t.join().unwrap().unwrap();
+        running.stop();
     }
 
     #[test]
     fn partial_lines_wait_for_completion_and_eof_serves_the_tail() {
-        let (addr, shutdown, t) = start(quick_config());
+        let (addr, running) = start(ReactorConfig::default());
         let mut c = TcpStream::connect(addr).unwrap();
         c.write_all(b"hel").unwrap();
         std::thread::sleep(std::time::Duration::from_millis(60));
@@ -434,24 +645,23 @@ mod tests {
         let mut got = Vec::new();
         c.read_to_end(&mut got).unwrap();
         assert_eq!(got, b"HELLO\nWOR\n");
-        shutdown.store(true, Ordering::SeqCst);
-        t.join().unwrap().unwrap();
+        running.stop();
     }
 
     #[test]
     fn handler_shutdown_stops_the_loop_after_flushing() {
-        let (addr, _shutdown, t) = start(quick_config());
+        let (addr, running) = start(ReactorConfig::default());
         let mut c = TcpStream::connect(addr).unwrap();
         c.write_all(b"ping\nSTOP\n").unwrap();
         let mut got = Vec::new();
         c.read_to_end(&mut got).unwrap();
         assert_eq!(got, b"PING\nBYE\n");
-        t.join().unwrap().unwrap();
+        running.thread.join().unwrap().unwrap();
     }
 
     #[test]
     fn close_action_ends_only_that_connection() {
-        let (addr, shutdown, t) = start(quick_config());
+        let (addr, running) = start(ReactorConfig::default());
         let mut a = TcpStream::connect(addr).unwrap();
         let mut b = TcpStream::connect(addr).unwrap();
         a.write_all(b"CLOSE\n").unwrap();
@@ -463,18 +673,79 @@ mod tests {
         let mut buf = [0u8; 32];
         let n = b.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"STILL-HERE\n");
-        shutdown.store(true, Ordering::SeqCst);
-        t.join().unwrap().unwrap();
+        running.stop();
     }
 
     #[test]
-    fn max_connections_parks_the_listener_until_a_slot_frees() {
+    fn unix_socket_transport_speaks_the_same_protocol() {
+        use std::os::unix::net::{UnixListener, UnixStream};
+        let path = std::env::temp_dir().join(format!(
+            "shbf-reactor-test-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let running = start_on(listener.into(), ReactorConfig::default());
+        let mut c = UnixStream::connect(&path).unwrap();
+        c.write_all(b"over\nunix\n").unwrap();
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut got = Vec::new();
+        c.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"OVER\nUNIX\n");
+        running.stop();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn waker_shutdown_is_prompt_even_with_idle_connections() {
+        let (addr, running) = start(ReactorConfig::default());
+        // An idle connection parks the loop in a timeout-less epoll_wait;
+        // without the eventfd wakeup this join would hang forever.
+        let _idle = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        running.stop();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "shutdown stalled {:?} — waker not waking the loop",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn metrics_track_connections_and_bytes() {
+        let (addr, running) = start(ReactorConfig::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"count-me\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"COUNT-ME\n");
+        drop(c);
+        // Close is observed asynchronously; poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let s = running.metrics.snapshot();
+            if s.closed >= 1 || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let s = running.metrics.snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.closed, 1);
+        assert_eq!(s.bytes_in, 9);
+        assert_eq!(s.bytes_out, 9);
+        running.stop();
+    }
+
+    #[test]
+    fn max_connections_leaves_overflow_in_the_backlog_until_a_slot_frees() {
         let config = ReactorConfig {
             max_connections: 1,
-            wait_timeout_ms: 20,
             ..ReactorConfig::default()
         };
-        let (addr, shutdown, t) = start(config);
+        let (addr, running) = start(config);
         let mut first = TcpStream::connect(addr).unwrap();
         first.write_all(b"a\n").unwrap();
         let mut buf = [0u8; 8];
@@ -492,16 +763,15 @@ mod tests {
             "second connection served beyond max_connections"
         );
 
-        // Freeing the slot unparks the listener and the queued peer is
-        // admitted (its buffered request is then answered).
+        // Freeing the slot admits the queued peer (its buffered request
+        // is then answered).
         drop(first);
         second
             .set_read_timeout(Some(std::time::Duration::from_secs(5)))
             .unwrap();
         let n = second.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"B\n");
-        shutdown.store(true, Ordering::SeqCst);
-        t.join().unwrap().unwrap();
+        running.stop();
     }
 
     #[test]
@@ -509,17 +779,17 @@ mod tests {
         // Tiny high-water mark: one reply crosses it instantly.
         let config = ReactorConfig {
             high_water: 8,
-            wait_timeout_ms: 20,
             ..ReactorConfig::default()
         };
-        let (addr, shutdown, t) = start(config);
+        let (addr, running) = start(config);
         let mut c = TcpStream::connect(addr).unwrap();
         // A burst of lines whose replies exceed both the high-water mark
         // and the socket buffer would deadlock a naive loop; the reactor
-        // must pause reading, drain as the client reads, and finish.
+        // must pause reading, drain as the client reads, and finish —
+        // with the writev path preserving order across queued buffers.
         let line = vec![b'x'; 4096];
         let mut payload = Vec::new();
-        for _ in 0..256 {
+        for _ in 0..4096 {
             payload.extend_from_slice(&line);
             payload.push(b'\n');
         }
@@ -532,12 +802,45 @@ mod tests {
                 w.shutdown(std::net::Shutdown::Write).unwrap();
             }
         });
+        // Deliberately slow reader: give the server time to fill the
+        // socket buffer and trip the high-water mark before draining.
+        std::thread::sleep(std::time::Duration::from_millis(200));
         let mut got = Vec::new();
         c.read_to_end(&mut got).unwrap();
         writer.join().unwrap();
         assert_eq!(got.len(), expected.len());
         assert_eq!(got, expected);
-        shutdown.store(true, Ordering::SeqCst);
-        t.join().unwrap().unwrap();
+        let s = running.metrics.snapshot();
+        assert!(s.backpressure_enter >= 1, "pause never recorded: {s:?}");
+        assert!(s.backpressure_exit >= 1, "resume never recorded: {s:?}");
+        assert!(s.queue_high_water > 8, "high water not observed: {s:?}");
+        running.stop();
+    }
+
+    #[test]
+    fn write_queue_advances_across_buffer_boundaries() {
+        let mut q = WriteQueue::default();
+        q.push(b"hello ".to_vec());
+        q.push(b"world".to_vec());
+        q.push(b"!".to_vec());
+        assert_eq!(q.len(), 12);
+        let mut iov = [IoSlice::new(&[]); MAX_IOV];
+        assert_eq!(q.fill_slices(&mut iov), 3);
+        // Partial write ending mid-second-buffer.
+        q.advance(8);
+        assert_eq!(q.len(), 4);
+        let mut iov = [IoSlice::new(&[]); MAX_IOV];
+        let filled = q.fill_slices(&mut iov);
+        let flat: Vec<u8> = iov[..filled]
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        assert_eq!(flat, b"rld!");
+        q.advance(4);
+        assert!(q.is_empty());
+        // Drained buffers were recycled.
+        assert!(!q.spare.is_empty());
+        let reused = q.take_buf();
+        assert!(reused.is_empty() && reused.capacity() > 0);
     }
 }

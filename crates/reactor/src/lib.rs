@@ -7,24 +7,35 @@
 //! evented alternative: a single-threaded (or N-threaded, one loop per
 //! thread) **epoll** reactor with
 //!
-//! * nonblocking accept off a shared listener,
-//! * per-connection growable read/write buffers,
-//! * level-triggered readiness,
+//! * nonblocking accept off a shared [`Listener`] — TCP or UNIX-domain,
+//! * per-connection growable read buffers and a per-connection
+//!   [write queue of reply buffers](Handler::on_data),
+//! * **edge-triggered readiness** (`EPOLLET`): interest is registered
+//!   once per connection and never modified again — no `epoll_ctl`
+//!   traffic on the hot path; leftover readiness is remembered in
+//!   userspace and re-driven fairly under a per-turn read budget,
+//! * an **eventfd wakeup channel** ([`Waker`]): loops block in
+//!   `epoll_wait` with *no timeout* and are nudged explicitly for
+//!   shutdown, so stopping a reactor costs microseconds instead of a
+//!   poll interval,
 //! * **pipelined parsing** — each readable event hands the application
 //!   *all* buffered bytes at once, so batches form naturally from
 //!   pipelined clients,
-//! * **write coalescing** — replies accumulate in the connection's write
-//!   buffer and go out in one `write` per event-loop turn,
-//! * **backpressure** — a connection whose write buffer exceeds
-//!   [`ReactorConfig::high_water`] stops being read until the peer drains
-//!   it below half the mark.
+//! * **vectored writes** — each event-loop turn's replies land in their
+//!   own buffer and the queue is flushed with `writev`
+//!   (`Write::write_vectored`), so a backlogged connection never pays a
+//!   coalescing copy or a drain memmove; partial writes just re-slice
+//!   the iovec,
+//! * **backpressure** — a connection whose write queue exceeds
+//!   [`ReactorConfig::high_water`] stops being read until the peer
+//!   drains it below half the mark (entries/exits are counted in
+//!   [`TransportMetrics`]).
 //!
 //! Following the `shbf-bits::prefetch` precedent, the build stays offline
-//! and dependency-free: the epoll interface is declared directly with
-//! `extern "C"` in [`sys`], the crate's **single unsafe module**. Sockets
-//! themselves are plain `std::net` types (std already wraps `fcntl`'s
-//! `O_NONBLOCK` as `set_nonblocking`), so the unsafe surface is exactly
-//! the four epoll/close calls.
+//! and dependency-free: the epoll/eventfd interface is declared directly
+//! with `extern "C"` in [`sys`], the crate's **single unsafe module**.
+//! Sockets themselves are plain `std::net` / `std::os::unix::net` types,
+//! so the unsafe surface is exactly the epoll/eventfd/close calls.
 //!
 //! epoll is Linux-only; on other targets [`run`] returns
 //! `ErrorKind::Unsupported` and callers should fall back to a blocking
@@ -44,8 +55,9 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::net::TcpListener;
-use std::sync::atomic::AtomicBool;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 #[cfg(target_os = "linux")]
 pub mod sys;
@@ -56,21 +68,328 @@ mod evloop;
 /// Whether the evented reactor is available on this target.
 pub const SUPPORTED: bool = cfg!(target_os = "linux");
 
+/// A bound listening socket the reactor (or a blocking accept loop) can
+/// serve: loopback/remote TCP or a UNIX-domain socket path. UNIX sockets
+/// skip TCP/IP framing entirely — for same-host clients they cut both
+/// syscall cost and latency.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listening socket.
+    Tcp(TcpListener),
+    /// A UNIX-domain listening socket.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl From<TcpListener> for Listener {
+    fn from(l: TcpListener) -> Listener {
+        Listener::Tcp(l)
+    }
+}
+
+#[cfg(unix)]
+impl From<std::os::unix::net::UnixListener> for Listener {
+    fn from(l: std::os::unix::net::UnixListener) -> Listener {
+        Listener::Unix(l)
+    }
+}
+
+impl Listener {
+    /// Accepts one connection (blocking or not per `set_nonblocking`).
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    /// Switches accept (and accepted sockets' initial mode) blocking/not.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Clones the handle (both clones accept from the same queue), so one
+    /// bound socket can feed several reactor loops.
+    pub fn try_clone(&self) -> std::io::Result<Listener> {
+        match self {
+            Listener::Tcp(l) => l.try_clone().map(Listener::Tcp),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.try_clone().map(Listener::Unix),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+/// One accepted connection, TCP or UNIX-domain. Implements `Read`/`Write`
+/// (vectored writes included) so protocol code is transport-agnostic.
+#[derive(Debug)]
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A UNIX-domain connection.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Stream {
+    /// Clones the handle (shared file description, independent handle).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Switches blocking mode.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Bounds blocking reads (used by the threaded transport's poll loop).
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Disables Nagle on TCP; a no-op on UNIX sockets (no such batching).
+    pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nodelay(nodelay),
+            #[cfg(unix)]
+            Stream::Unix(_) => Ok(()),
+        }
+    }
+
+    /// Shuts down one or both directions.
+    pub fn shutdown(&self, how: std::net::Shutdown) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(how),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(how),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A cloneable handle that wakes reactor loops blocked in `epoll_wait`.
+///
+/// One waker (its eventfd) may be registered with *several* loops: a
+/// single [`wake`](Waker::wake) delivers a readable edge to every epoll
+/// instance watching it, so "set the shutdown flag, wake once" stops a
+/// whole fleet of sibling loops with no poll-timeout stall. On non-Linux
+/// targets the type exists but wakes nothing (the reactor is unsupported
+/// there anyway).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    #[cfg(target_os = "linux")]
+    fd: std::sync::Arc<sys::EventFd>,
+}
+
+impl Waker {
+    /// Creates a waker with a fresh eventfd.
+    #[cfg(target_os = "linux")]
+    pub fn new() -> std::io::Result<Waker> {
+        Ok(Waker {
+            fd: std::sync::Arc::new(sys::EventFd::new()?),
+        })
+    }
+
+    /// Non-Linux stub: a waker that wakes nothing.
+    #[cfg(not(target_os = "linux"))]
+    pub fn new() -> std::io::Result<Waker> {
+        Ok(Waker {})
+    }
+
+    /// Nudges every loop whose epoll watches this waker.
+    pub fn wake(&self) -> std::io::Result<()> {
+        #[cfg(target_os = "linux")]
+        return self.fd.notify();
+        #[cfg(not(target_os = "linux"))]
+        Ok(())
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn eventfd(&self) -> &sys::EventFd {
+        &self.fd
+    }
+}
+
+/// Shared, lock-free connection-level counters, updated by reactor loops
+/// (and, for the portable counters, by blocking transports) and read by
+/// whatever surfaces them — `shbf-server` reports them as the
+/// `STATS transport` section.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    backpressure_enter: AtomicU64,
+    backpressure_exit: AtomicU64,
+    queue_high_water: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+/// A point-in-time copy of [`TransportMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections closed since start (any cause).
+    pub closed: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Reply bytes written to sockets.
+    pub bytes_out: u64,
+    /// Times a connection's write queue crossed the high-water mark and
+    /// paused reading.
+    pub backpressure_enter: u64,
+    /// Times a paused connection drained below the half-mark and resumed.
+    pub backpressure_exit: u64,
+    /// Largest write-queue depth (bytes) any connection ever reached.
+    pub queue_high_water: u64,
+    /// Eventfd wakeups observed by reactor loops.
+    pub wakeups: u64,
+}
+
+impl TransportMetrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn on_close(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds request bytes read.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds reply bytes written.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a connection entering backpressure (reading paused).
+    pub fn on_backpressure_enter(&self) {
+        self.backpressure_enter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving backpressure (reading resumed).
+    pub fn on_backpressure_exit(&self) {
+        self.backpressure_exit.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the write-queue high-water mark to `depth` if larger.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one eventfd wakeup.
+    pub fn on_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies all counters out.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            backpressure_enter: self.backpressure_enter.load(Ordering::Relaxed),
+            backpressure_exit: self.backpressure_exit.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Tunables for [`run`].
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
-    /// Backpressure mark in bytes: a connection whose write buffer exceeds
+    /// Backpressure mark in bytes: a connection whose write queue exceeds
     /// this stops being read (its socket stays readable in the kernel, so
     /// TCP flow control eventually pushes back on the peer). Reading
-    /// resumes once the buffer drains below `high_water / 2`.
+    /// resumes once the queue drains below `high_water / 2`.
     pub high_water: usize,
-    /// Maximum concurrent connections this reactor accepts; beyond it the
-    /// listener is parked until a slot frees (the TCP backlog absorbs the
-    /// burst, exactly like the threaded transport's semaphore).
+    /// Maximum concurrent connections this reactor accepts; beyond it,
+    /// pending connections wait in the listen backlog until a slot frees
+    /// (exactly like the threaded transport's semaphore).
     pub max_connections: usize,
-    /// `epoll_wait` timeout in milliseconds — the latency bound on
-    /// observing an external shutdown flag flip.
-    pub wait_timeout_ms: i32,
 }
 
 impl Default for ReactorConfig {
@@ -78,7 +397,6 @@ impl Default for ReactorConfig {
         ReactorConfig {
             high_water: 1 << 20,
             max_connections: 1024,
-            wait_timeout_ms: 100,
         }
     }
 }
@@ -88,10 +406,11 @@ impl Default for ReactorConfig {
 pub enum Action {
     /// Keep serving.
     Continue,
-    /// Flush the write buffer, then close this connection.
+    /// Flush the write queue, then close this connection.
     Close,
-    /// Flush this connection's write buffer, then stop the whole reactor
-    /// (sets the shared shutdown flag, so sibling reactors stop too).
+    /// Flush this connection's write queue, then stop the whole reactor
+    /// (sets the shared shutdown flag and wakes sibling loops through the
+    /// waker, so they stop too).
     Shutdown,
 }
 
@@ -126,6 +445,11 @@ pub trait Handler {
     /// report the consumed prefix length. `eof` means the peer half-closed
     /// — no more input will ever arrive, so an unterminated trailing
     /// request should be handled now or never.
+    ///
+    /// `out` is this turn's reply buffer: it joins the connection's write
+    /// queue as its own iovec slice, so replies are never copied into a
+    /// coalesced buffer — `writev` stitches queued turns together at the
+    /// syscall.
     fn on_data(&mut self, token: u64, input: &[u8], eof: bool, out: &mut Vec<u8>) -> Drained;
 
     /// The connection is gone (peer closed, error, or [`Action::Close`]);
@@ -134,28 +458,34 @@ pub trait Handler {
 }
 
 /// Runs the event loop on the calling thread until `shutdown` is observed
-/// true (checked every [`ReactorConfig::wait_timeout_ms`]) or a handler
-/// returns [`Action::Shutdown`] (which also sets the flag). The listener
-/// may be shared (`try_clone`) across several `run` calls on different
-/// threads: accepts are nonblocking, so whichever loop wakes first wins
-/// and the rest see `WouldBlock`.
+/// true or a handler returns [`Action::Shutdown`] (which also sets the
+/// flag). The loop blocks in `epoll_wait` with **no timeout**; after
+/// setting `shutdown`, call [`Waker::wake`] on the waker passed here (it
+/// may be shared by several loops — one wake stops them all). The
+/// listener may also be shared (`try_clone`) across several `run` calls
+/// on different threads: accepts are nonblocking, so whichever loop wakes
+/// first wins and the rest see `WouldBlock`.
 #[cfg(target_os = "linux")]
 pub fn run<H: Handler>(
-    listener: TcpListener,
+    listener: Listener,
     handler: &mut H,
     shutdown: &AtomicBool,
     config: &ReactorConfig,
+    waker: &Waker,
+    metrics: &TransportMetrics,
 ) -> std::io::Result<()> {
-    evloop::run(listener, handler, shutdown, config)
+    evloop::run(listener, handler, shutdown, config, waker, metrics)
 }
 
 /// Non-Linux stub: always `ErrorKind::Unsupported`.
 #[cfg(not(target_os = "linux"))]
 pub fn run<H: Handler>(
-    _listener: TcpListener,
+    _listener: Listener,
     _handler: &mut H,
     _shutdown: &AtomicBool,
     _config: &ReactorConfig,
+    _waker: &Waker,
+    _metrics: &TransportMetrics,
 ) -> std::io::Result<()> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,

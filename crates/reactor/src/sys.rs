@@ -1,21 +1,24 @@
-//! Direct epoll bindings — the crate's single unsafe module.
+//! Direct epoll + eventfd bindings — the crate's single unsafe module.
 //!
 //! Declared `extern "C"` against the platform libc the binary already
 //! links (std links it unconditionally), so no crates.io dependency is
 //! needed and offline builds keep working — the same reasoning as
-//! `shbf-bits::prefetch`'s intrinsic use. Only the four calls the event
-//! loop needs are declared: `epoll_create1`, `epoll_ctl`, `epoll_wait`,
-//! and `close` (for the epoll fd itself; sockets are owned and closed by
-//! `std::net` types).
+//! `shbf-bits::prefetch`'s intrinsic use. Only the calls the event loop
+//! needs are declared: `epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd` plus its 8-byte `read`/`write`, and `close` (for the fds we
+//! own; sockets are owned and closed by `std::net` types). Vectored
+//! socket writes go through std's `Write::write_vectored`, which is
+//! `writev` on Linux — no extra declaration needed.
 //!
-//! All unsafety is confined to [`Epoll`]'s methods; the exposed API is
-//! safe: the wrapped fd is private, created valid, closed exactly once on
-//! drop, and every syscall result is translated to `io::Result`.
+//! All unsafety is confined to [`Epoll`]'s and [`EventFd`]'s methods; the
+//! exposed API is safe: wrapped fds are private, created valid, closed
+//! exactly once on drop, and every syscall result is translated to
+//! `io::Result`.
 
 #![allow(unsafe_code)]
 
 use std::io;
-use std::os::raw::c_int;
+use std::os::raw::{c_int, c_uint};
 use std::os::unix::io::RawFd;
 
 /// Readable readiness.
@@ -26,6 +29,10 @@ pub const EPOLLOUT: u32 = 0x004;
 pub const EPOLLERR: u32 = 0x008;
 /// Hang-up (always reported, no need to register).
 pub const EPOLLHUP: u32 = 0x010;
+/// Edge-triggered readiness: events fire on state *transitions*, so the
+/// consumer must drain to `WouldBlock` (or remember leftover readiness)
+/// before waiting again.
+pub const EPOLLET: u32 = 1 << 31;
 
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
@@ -44,10 +51,16 @@ pub struct EpollEvent {
     pub data: u64,
 }
 
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
 }
 
@@ -131,6 +144,70 @@ impl Drop for Epoll {
     }
 }
 
+/// An owned, nonblocking eventfd — the wakeup channel that lets another
+/// thread nudge a loop blocked in [`Epoll::wait`] without any poll
+/// timeout. A [`notify`](EventFd::notify) adds to the kernel counter
+/// (readable-edge for every epoll instance watching the fd);
+/// [`drain`](EventFd::drain) zeroes it again.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a close-on-exec, nonblocking eventfd with a zero counter.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: eventfd takes no pointers; a negative return is mapped
+        // to an error, so `fd` is valid when we keep it.
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for registering with an epoll instance.
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking every waiter. A full counter
+    /// (`WouldBlock`) already guarantees pending wakeups, so it is
+    /// reported as success; `EINTR` is retried — waiters block with no
+    /// timeout, so a wakeup must never be silently dropped.
+    pub fn notify(&self) -> io::Result<()> {
+        let one = 1u64.to_ne_bytes();
+        loop {
+            // SAFETY: `one` is 8 valid bytes for the duration of the call.
+            let n = unsafe { write(self.fd, one.as_ptr(), one.len()) };
+            if n == 8 {
+                return Ok(());
+            }
+            let e = io::Error::last_os_error();
+            match e.kind() {
+                io::ErrorKind::WouldBlock => return Ok(()),
+                io::ErrorKind::Interrupted => continue,
+                _ => return Err(e),
+            }
+        }
+    }
+
+    /// Zeroes the counter (nonblocking; an already-empty counter is fine).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: `buf` is 8 writable bytes for the duration of the call.
+        unsafe {
+            read(self.fd, buf.as_mut_ptr(), buf.len());
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is a valid eventfd we own; closed exactly once.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +276,34 @@ mod tests {
         // Deleted fds never report again.
         epoll.delete(server.as_raw_fd()).unwrap();
         assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn eventfd_wakes_a_blocked_wait_without_a_timeout() {
+        let epoll = Epoll::new().unwrap();
+        let efd = std::sync::Arc::new(EventFd::new().unwrap());
+        epoll.add(efd.raw_fd(), EPOLLIN | EPOLLET, 99).unwrap();
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "spurious wake");
+
+        let notifier = std::sync::Arc::clone(&efd);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            notifier.notify().unwrap();
+        });
+        // Infinite timeout: only the notify can end this wait.
+        let n = epoll.wait(&mut events, -1).unwrap();
+        t.join().unwrap();
+        assert_eq!(n, 1);
+        let data = {
+            let ev = events[0];
+            ev.data
+        };
+        assert_eq!(data, 99);
+        efd.drain();
+        // Drained and edge-triggered: no further events until re-notified.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        efd.notify().unwrap();
+        assert_eq!(epoll.wait(&mut events, 200).unwrap(), 1);
     }
 }

@@ -8,16 +8,34 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// A blocking connection to a running `shbf-server`.
+use shbf_reactor::Stream;
+
+use crate::server::Endpoint;
+
+/// A blocking connection to a running `shbf-server` — TCP or UNIX-domain.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<Stream>,
+    writer: Stream,
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects over TCP to `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(Stream::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects over a UNIX-domain socket at `path`.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Client> {
+        Self::from_stream(Stream::Unix(std::os::unix::net::UnixStream::connect(path)?))
+    }
+
+    /// Connects to wherever a [`crate::ServerHandle`] reports it listens.
+    pub fn connect_endpoint(endpoint: &Endpoint) -> std::io::Result<Client> {
+        Self::from_stream(endpoint.connect()?)
+    }
+
+    fn from_stream(stream: Stream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),

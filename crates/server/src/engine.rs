@@ -6,10 +6,16 @@
 use std::sync::Arc;
 
 use shbf_core::SetId;
+use shbf_reactor::TransportMetrics;
 
 use crate::protocol::{Command, Response, WireSet};
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
 use crate::snapshot;
+
+/// Reserved `STATS` subject reporting connection-level transport
+/// counters instead of a namespace ([`Registry`] refuses to create a
+/// namespace with this name).
+pub const TRANSPORT_STATS: &str = "transport";
 
 /// What the transport should do after a reply is sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +32,10 @@ pub enum Control {
 #[derive(Default)]
 pub struct Engine {
     registry: Registry,
+    /// Connection-level counters every transport records into (the
+    /// reactor loops directly, the threaded handlers through the same
+    /// hooks); surfaced as `STATS transport`.
+    transport: Arc<TransportMetrics>,
 }
 
 /// Per-connection scratch for the batch query path: the `MQUERY` verdict
@@ -85,6 +95,12 @@ impl Engine {
     /// The namespace registry (snapshot code and tests reach through this).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The shared transport counters (transports record, `STATS
+    /// transport` reports).
+    pub fn transport_metrics(&self) -> &Arc<TransportMetrics> {
+        &self.transport
     }
 
     /// Executes one command. Never panics on bad input — protocol and
@@ -153,6 +169,9 @@ impl Engine {
             Command::MInsert { ns, keys } => self.with_ns(ns, |n| minsert(n, keys, scratch)),
             Command::Count { ns, key } => self.with_ns(ns, |n| count(n, key)),
             Command::Assoc { ns, key } => self.with_ns(ns, |n| assoc(n, key)),
+            Command::Stats { ns } if ns.as_str() == TRANSPORT_STATS => {
+                transport_stats(&self.transport)
+            }
             Command::Stats { ns } => self.with_ns(ns, stats),
             Command::Snapshot { path } => match snapshot::save(&self.registry, path.as_ref()) {
                 Ok(count) => Response::Simple(format!("OK {count} namespaces")),
@@ -321,6 +340,30 @@ fn assoc(n: &Namespace, key: &[u8]) -> Response {
             other.kind()
         )),
     }
+}
+
+/// `STATS transport`: the connection-level counter section, shaped like
+/// a namespace `STATS` reply (`+field=value` lines) so existing clients
+/// parse it unchanged.
+fn transport_stats(metrics: &TransportMetrics) -> Response {
+    let s = metrics.snapshot();
+    let fields: [(&str, u64); 9] = [
+        ("accepted", s.accepted),
+        ("closed", s.closed),
+        ("live", s.accepted.saturating_sub(s.closed)),
+        ("bytes_in", s.bytes_in),
+        ("bytes_out", s.bytes_out),
+        ("backpressure_enter", s.backpressure_enter),
+        ("backpressure_exit", s.backpressure_exit),
+        ("write_queue_high_water", s.queue_high_water),
+        ("wakeups", s.wakeups),
+    ];
+    Response::Array(
+        fields
+            .into_iter()
+            .map(|(k, v)| Response::Simple(format!("{k}={v}")))
+            .collect(),
+    )
 }
 
 fn stats(n: &Namespace) -> Response {
@@ -589,6 +632,33 @@ mod tests {
             fields.iter().any(|f| f.starts_with("est_fpr=")),
             "{fields:?}"
         );
+    }
+
+    #[test]
+    fn stats_transport_reports_connection_counters() {
+        let e = engine();
+        e.transport_metrics().on_accept();
+        e.transport_metrics().add_bytes_in(17);
+        e.transport_metrics().on_backpressure_enter();
+        let fields = e.eval_line("STATS transport").encode_to_string();
+        for expect in [
+            "accepted=1",
+            "closed=0",
+            "live=1",
+            "bytes_in=17",
+            "bytes_out=0",
+            "backpressure_enter=1",
+            "backpressure_exit=0",
+            "write_queue_high_water=0",
+            "wakeups=0",
+        ] {
+            assert!(fields.contains(expect), "missing {expect} in {fields}");
+        }
+        // The subject is reserved: it can never shadow a real namespace.
+        assert!(matches!(
+            e.eval_line("CREATE transport shbf-m 8192 8"),
+            Response::Error(_)
+        ));
     }
 
     #[test]

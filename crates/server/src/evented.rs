@@ -3,13 +3,17 @@
 //!
 //! Where the threaded transport handles one request line per
 //! `read_line`/`write`/`flush` cycle, each readable event here drains
-//! *every* complete line buffered on the connection in one pass, and all
-//! replies leave in one coalesced `write` per event-loop turn. On top of
-//! that, runs of adjacent `QUERY` lines against the same namespace are
-//! grouped into a single [`Engine`] batch ride over the existing
-//! [`QueryScratch`] path — the same shard-grouped, prefetched pipeline
-//! `MQUERY` uses — so `MQUERY`-sized batches form naturally from
-//! pipelined clients without anyone hand-building an `MQUERY`.
+//! *every* complete line buffered on the connection in one pass
+//! (edge-triggered — the reactor re-drives leftover readiness from
+//! userspace), and each turn's replies leave as one buffer on the
+//! connection's write queue, flushed with `writev` — no coalescing copy.
+//! On top of that, runs of adjacent `QUERY` lines against the same
+//! namespace are grouped into a single [`Engine`] batch ride over the
+//! existing [`QueryScratch`] path — the same shard-grouped, prefetched
+//! pipeline `MQUERY` uses — so `MQUERY`-sized batches form naturally
+//! from pipelined clients without anyone hand-building an `MQUERY`.
+//! Line framing itself is [`scan_line`], shared with the proptest suite
+//! that replays arbitrary chunkings against single-shot parsing.
 //!
 //! **Response streams are byte-identical to the threaded transport** for
 //! any request stream, however it is segmented: grouped `QUERY` verdicts
@@ -24,52 +28,69 @@
 //! state exists — the engine's registry is the only shared structure.
 
 use std::collections::HashMap;
-use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use shbf_reactor::{Action, Drained, Handler, ReactorConfig};
+use shbf_reactor::{Action, Drained, Handler, Listener, ReactorConfig, Waker};
 
 use crate::engine::{Control, Engine, QueryScratch};
-use crate::protocol::{parse_command, Command, Response};
-use crate::server::MAX_REQUEST_LINE;
+use crate::protocol::{parse_command, scan_line, Command, Response, Scan};
+use crate::server::{ServerConfig, MAX_REQUEST_LINE};
 
-/// Runs `workers` reactor loops over `listener` until shutdown. The
-/// calling thread runs one loop itself; the rest are spawned and joined
-/// before returning, so the caller's lifecycle matches the threaded
-/// transport's `run`.
+/// Runs the configured number of reactor loops over `listener` until
+/// shutdown. The calling thread runs one loop itself; the rest are
+/// spawned and joined before returning, so the caller's lifecycle matches
+/// the threaded transport's `run`. All loops share `waker` (one eventfd):
+/// a single wake — from [`crate::ServerHandle::shutdown`] or from a
+/// handler's `Action::Shutdown` — stops the whole fleet with no
+/// poll-timeout stall. They also share the engine's
+/// [`shbf_reactor::TransportMetrics`], which `STATS transport` reports.
 pub(crate) fn run(
-    listener: TcpListener,
+    listener: Listener,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
-    max_connections: usize,
-    workers: usize,
+    waker: Waker,
+    config: &ServerConfig,
 ) -> std::io::Result<()> {
     // The connection cap is distributed exactly across loops (the first
     // `rem` loops take one extra), so the configured total stays the
     // global bound; loops beyond the cap would sit idle, so don't spawn
     // them.
-    let max_connections = max_connections.max(1);
-    let workers = workers.clamp(1, max_connections);
+    let max_connections = config.max_connections.max(1);
+    let workers = config.effective_evented_workers().clamp(1, max_connections);
     let base = max_connections / workers;
     let rem = max_connections % workers;
-    let config_for = |i: usize| ReactorConfig {
+    let high_water = config.write_high_water;
+    let config_for = move |i: usize| ReactorConfig {
         max_connections: base + usize::from(i < rem),
-        ..ReactorConfig::default()
+        high_water,
     };
     let mut spawned = Vec::with_capacity(workers - 1);
     for i in 1..workers {
         let listener = listener.try_clone()?;
         let engine = Arc::clone(&engine);
         let shutdown = Arc::clone(&shutdown);
+        let waker = waker.clone();
         let config = config_for(i);
         spawned.push(std::thread::spawn(move || {
+            let metrics = Arc::clone(engine.transport_metrics());
             let mut handler = EventedHandler::new(engine);
-            shbf_reactor::run(listener, &mut handler, &shutdown, &config)
+            shbf_reactor::run(listener, &mut handler, &shutdown, &config, &waker, &metrics)
         }));
     }
+    let metrics = Arc::clone(engine.transport_metrics());
     let mut handler = EventedHandler::new(engine);
-    let result = shbf_reactor::run(listener, &mut handler, &shutdown, &config_for(0));
+    let result = shbf_reactor::run(
+        listener,
+        &mut handler,
+        &shutdown,
+        &config_for(0),
+        &waker,
+        &metrics,
+    );
+    // A loop that returned on shutdown may have observed the flag before
+    // its siblings were woken; re-wake so every join below completes.
+    let _ = waker.wake();
     for t in spawned {
         let _ = t.join();
     }
@@ -151,35 +172,15 @@ impl Handler for EventedHandler {
             if rest.is_empty() {
                 break Action::Continue;
             }
-            let (line, advance) = match rest.iter().position(|&b| b == b'\n') {
-                // `read_line` parity: the threaded oversize check counts
-                // the newline byte, so `advance` (not `line.len()`) is
-                // compared for terminated lines.
-                Some(i) if i + 1 > MAX_REQUEST_LINE => {
+            let (line, advance) = match scan_line(rest, eof, MAX_REQUEST_LINE) {
+                Scan::Line { line, advance } => (line, advance),
+                // Partial line: wait for more bytes (the scanner already
+                // enforced the request-line cap on the buffered prefix).
+                Scan::Incomplete => break Action::Continue,
+                Scan::Oversize => {
                     flush_pending(engine, state, out);
                     oversized_error(out);
                     break Action::Close;
-                }
-                Some(i) => (&rest[..i], i + 1),
-                // Unterminated tail at EOF: served as a final line, the
-                // way a blocking read_line loop would.
-                None if eof => {
-                    if rest.len() > MAX_REQUEST_LINE {
-                        flush_pending(engine, state, out);
-                        oversized_error(out);
-                        break Action::Close;
-                    }
-                    (rest, rest.len())
-                }
-                // Partial line: wait for more bytes, but never buffer
-                // beyond the request-line cap.
-                None => {
-                    if rest.len() > MAX_REQUEST_LINE {
-                        flush_pending(engine, state, out);
-                        oversized_error(out);
-                        break Action::Close;
-                    }
-                    break Action::Continue;
                 }
             };
             consumed += advance;

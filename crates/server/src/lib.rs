@@ -51,11 +51,16 @@
 //! Two interchangeable transports serve the protocol with
 //! **byte-identical response streams** ([`ServerConfig::transport`]):
 //! the portable blocking thread-per-connection model, and (on Linux) an
-//! epoll reactor ([`TransportKind::Evented`], built on `shbf-reactor`)
-//! that drains all pipelined lines per readable event, batches adjacent
-//! `QUERY`s through the shard-grouped prefetched pipeline, and coalesces
-//! replies into one `write` per turn — so the `MQUERY` fast path engages
-//! automatically under pipelined load.
+//! edge-triggered epoll reactor ([`TransportKind::Evented`], built on
+//! `shbf-reactor`) that drains all pipelined lines per readable event,
+//! batches adjacent `QUERY`s through the shard-grouped prefetched
+//! pipeline, and flushes replies with vectored writes — so the `MQUERY`
+//! fast path engages automatically under pipelined load. Both transports
+//! listen on TCP ([`Server::bind`]) or a UNIX-domain socket
+//! ([`Server::bind_unix`]); reactor shutdown is eventfd-woken (no poll
+//! timeout), and connection-level counters (accepted/closed, bytes
+//! in/out, backpressure events, write-queue high-water) are reported by
+//! the reserved `STATS transport` command.
 //!
 //! ## Layers
 //!
@@ -86,8 +91,12 @@ pub mod server;
 pub mod snapshot;
 
 pub use client::Client;
-pub use engine::{Control, Engine, QueryScratch};
-pub use protocol::{parse_command, Command, FamilySpec, KindSpec, Response};
+pub use engine::{Control, Engine, QueryScratch, TRANSPORT_STATS};
+pub use protocol::{parse_command, scan_line, Command, FamilySpec, KindSpec, Response, Scan};
 pub use registry::{Namespace, Registry, RegistryError};
-pub use server::{Server, ServerConfig, ServerHandle, TransportKind};
+pub use server::{Endpoint, Server, ServerConfig, ServerHandle, TransportKind};
 pub use snapshot::SnapshotError;
+
+// Raw client-side socket (TCP or UNIX) — benches and conformance tests
+// drive servers at the byte level through this.
+pub use shbf_reactor::{Stream as NetStream, TransportMetrics, TransportSnapshot};

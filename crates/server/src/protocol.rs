@@ -184,6 +184,54 @@ pub enum Command {
     Quit,
 }
 
+/// One step of incremental line framing over buffered bytes — the shared
+/// scanner behind the evented transport's pipelined parsing.
+///
+/// Framing is a pure function of `(buffered bytes, eof)`, so any
+/// chunking of a request stream yields the same sequence of events as
+/// single-shot scanning (the `protocol_parser_proptest` suite replays
+/// arbitrary chunkings to prove it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scan<'a> {
+    /// A complete request line (terminator stripped is the caller's job —
+    /// `line` excludes the `\n`, but may end in `\r`): consume `advance`
+    /// bytes and process `line`.
+    Line {
+        /// The line's bytes, without the trailing `\n`.
+        line: &'a [u8],
+        /// Bytes of input this line accounts for (including the `\n`, or
+        /// the bare tail length at EOF).
+        advance: usize,
+    },
+    /// No complete line yet and the buffer is under the cap: wait for
+    /// more input.
+    Incomplete,
+    /// The (possibly unterminated) line exceeds `max_line`: reject and
+    /// close.
+    Oversize,
+}
+
+/// Scans the front of `buf` for the next request line. `eof` means no
+/// more input will ever arrive, so an unterminated trailing line is
+/// served as-is (the way a blocking `read_line` loop would). The oversize
+/// check counts the newline byte for terminated lines, matching the
+/// threaded transport's `read_line` budget exactly.
+pub fn scan_line(buf: &[u8], eof: bool, max_line: usize) -> Scan<'_> {
+    match buf.iter().position(|&b| b == b'\n') {
+        Some(i) if i + 1 > max_line => Scan::Oversize,
+        Some(i) => Scan::Line {
+            line: &buf[..i],
+            advance: i + 1,
+        },
+        None if buf.len() > max_line => Scan::Oversize,
+        None if eof => Scan::Line {
+            line: buf,
+            advance: buf.len(),
+        },
+        None => Scan::Incomplete,
+    }
+}
+
 /// A parse failure, reported to the client as `-ERR ...`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -636,6 +684,39 @@ mod tests {
         }
         assert!(decode_key("0x1").is_err());
         assert!(decode_key("0xzz").is_err());
+    }
+
+    #[test]
+    fn scan_line_frames_terminated_tail_and_oversize_input() {
+        assert_eq!(
+            scan_line(b"PING\r\nQUERY", false, 64),
+            Scan::Line {
+                line: b"PING\r",
+                advance: 6
+            }
+        );
+        assert_eq!(scan_line(b"PIN", false, 64), Scan::Incomplete);
+        // Unterminated tail is served at EOF, never before.
+        assert_eq!(
+            scan_line(b"PIN", true, 64),
+            Scan::Line {
+                line: b"PIN",
+                advance: 3
+            }
+        );
+        // Oversize counts the newline for terminated lines (read_line
+        // parity): 4 content bytes + newline > 4.
+        assert_eq!(scan_line(b"abcd\n", false, 4), Scan::Oversize);
+        assert_eq!(
+            scan_line(b"abc\n", false, 4),
+            Scan::Line {
+                line: b"abc",
+                advance: 4
+            }
+        );
+        // A growing unterminated line trips the cap without a newline.
+        assert_eq!(scan_line(b"abcde", false, 4), Scan::Oversize);
+        assert_eq!(scan_line(b"abcd", false, 4), Scan::Incomplete);
     }
 
     #[test]

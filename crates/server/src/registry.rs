@@ -218,8 +218,14 @@ impl Registry {
         })
     }
 
-    /// Creates a namespace; errors if the name is taken.
+    /// Creates a namespace; errors if the name is taken or reserved.
     pub fn create(&self, name: &str, params: CreateParams) -> Result<(), RegistryError> {
+        if name == crate::engine::TRANSPORT_STATS {
+            return Err(RegistryError::BadParams(
+                "namespace name `transport` is reserved (STATS transport reports \
+                 connection-level counters)",
+            ));
+        }
         // Build outside the lock — construction allocates the whole filter.
         let backend = Self::build_backend(&params)?;
         let ns = Arc::new(Namespace {

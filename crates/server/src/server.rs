@@ -1,5 +1,5 @@
-//! TCP transport: the bound listener, the transport selector, and the
-//! thread-per-connection worker model.
+//! Socket transport: the bound listener (TCP or UNIX-domain), the
+//! transport selector, and the thread-per-connection worker model.
 //!
 //! Two transports serve the same engine behind the same wire protocol —
 //! selected by [`ServerConfig::transport`], with **byte-identical
@@ -10,26 +10,35 @@
 //!   `read_line`/`write`/`flush` cycle. Simple, portable, and fine when
 //!   clients wait for each reply.
 //! * [`TransportKind::Evented`]: the `shbf-reactor` epoll loop (see
-//!   [`crate::evented`]): all buffered lines drained per readable event,
-//!   adjacent `QUERY`s batched through the shard-grouped pipeline,
-//!   replies coalesced into one `write` per turn, backpressure past a
-//!   write-buffer high-water mark. Linux-only — elsewhere it falls back
-//!   to the threaded transport (epoll is the only evented backend).
+//!   [`crate::evented`]): edge-triggered readiness, all buffered lines
+//!   drained per readable event, adjacent `QUERY`s batched through the
+//!   shard-grouped pipeline, replies flushed with vectored writes, and
+//!   write-queue backpressure past [`ServerConfig::write_high_water`].
+//!   Linux-only — elsewhere it falls back to the threaded transport
+//!   (epoll is the only evented backend).
+//!
+//! Both transports serve either socket family: [`Server::bind`] for TCP,
+//! [`Server::bind_unix`] for a UNIX-domain socket path (same-host
+//! clients skip TCP/IP framing entirely). [`ServerHandle::endpoint`]
+//! carries whichever was bound.
 //!
 //! Tokio is deliberately not used — the offline registry bakes in no async
 //! runtime; the reactor crate declares epoll directly.
 //!
-//! Shutdown: `SHUTDOWN` (or [`ServerHandle::shutdown`]) sets a flag and
-//! pokes the listener with a loopback connection so a blocking `accept`
-//! observes it (the evented loops poll the flag on their epoll-wait
-//! timeout); in-flight connections finish their current command and
-//! close on the next read.
+//! Shutdown: `SHUTDOWN` (or [`ServerHandle::shutdown`]) sets a flag, then
+//! **wakes the reactor loops through their eventfd [`Waker`]** (no poll
+//! timeout to wait out) and pokes the blocking accept loop with a
+//! loopback connection; in-flight connections finish their current
+//! command, flush, and close.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use shbf_reactor::{Listener, Stream, Waker};
 
 use crate::engine::{Control, Engine, QueryScratch};
 use crate::protocol::{parse_command, Response};
@@ -40,12 +49,60 @@ pub enum TransportKind {
     /// Blocking thread-per-connection workers (portable default).
     #[default]
     Threaded,
-    /// epoll reactor loops with pipelined parsing and write coalescing.
-    /// Linux-only; other targets silently run [`Self::Threaded`].
+    /// Edge-triggered epoll reactor loops with pipelined parsing and
+    /// vectored writes. Linux-only; other targets silently run
+    /// [`Self::Threaded`].
     Evented,
 }
 
-/// Tunables for [`Server::bind`].
+/// Where a [`Server`] is listening — TCP address or UNIX-socket path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address.
+    Tcp(SocketAddr),
+    /// A UNIX-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// The TCP address, if this is a TCP endpoint.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Endpoint::Tcp(addr) => Some(*addr),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// Opens a blocking client connection to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Tcp(addr) => std::net::TcpStream::connect(addr).map(Stream::Tcp),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => std::os::unix::net::UnixStream::connect(path).map(Stream::Unix),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "UNIX-domain sockets are unavailable on this target",
+            )),
+        }
+    }
+
+    /// Connects and immediately drops — wakes a blocking accept loop.
+    fn poke(&self) {
+        let _ = self.connect();
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Tunables for [`Server::bind`] / [`Server::bind_unix`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum concurrent connections (handler threads for the threaded
@@ -56,6 +113,11 @@ pub struct ServerConfig {
     /// Evented transport only: how many reactor loops (one thread each)
     /// share the listener. `0` → one per available CPU, capped at 8.
     pub evented_workers: usize,
+    /// Evented transport only: write-queue backpressure mark in bytes —
+    /// a connection whose queued replies exceed this stops being read
+    /// until the peer drains half of it (`STATS transport` counts the
+    /// enters/exits).
+    pub write_high_water: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,12 +126,13 @@ impl Default for ServerConfig {
             max_connections: 64,
             transport: TransportKind::default(),
             evented_workers: 0,
+            write_high_water: 1 << 20,
         }
     }
 }
 
 impl ServerConfig {
-    fn effective_evented_workers(&self) -> usize {
+    pub(crate) fn effective_evented_workers(&self) -> usize {
         if self.evented_workers > 0 {
             return self.evented_workers;
         }
@@ -128,77 +191,136 @@ impl Drop for SlotGuard {
 
 /// A bound, not-yet-running server.
 pub struct Server {
-    listener: TcpListener,
+    listener: Listener,
+    endpoint: Endpoint,
     engine: Arc<Engine>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
 }
 
 /// Handle to a server running on a background thread.
 pub struct ServerHandle {
-    addr: SocketAddr,
+    endpoint: Endpoint,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
     thread: JoinHandle<std::io::Result<()>>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port) serving `engine`.
+    /// Binds a TCP listener on `addr` (use port 0 for an ephemeral port)
+    /// serving `engine`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let endpoint = Endpoint::Tcp(listener.local_addr()?);
+        Self::from_listener(listener.into(), endpoint, engine, config)
+    }
+
+    /// Binds a UNIX-domain listener on `path` serving `engine`. A stale
+    /// socket file left by a previous run is removed first (only a
+    /// socket — a regular file at that path is an error, not collateral).
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: impl Into<PathBuf>,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        use std::os::unix::fs::FileTypeExt;
+        let path = path.into();
+        if let Ok(meta) = std::fs::symlink_metadata(&path) {
+            if meta.file_type().is_socket() {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        let listener = std::os::unix::net::UnixListener::bind(&path)?;
+        Self::from_listener(listener.into(), Endpoint::Unix(path), engine, config)
+    }
+
+    fn from_listener(
+        listener: Listener,
+        endpoint: Endpoint,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener,
+            endpoint,
             engine,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            waker: Waker::new()?,
         })
     }
 
-    /// The bound address (resolves ephemeral ports).
+    /// Where the server is listening (resolves ephemeral TCP ports).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The bound TCP address; `Unsupported` for a UNIX-socket server
+    /// (use [`Self::endpoint`]).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+        self.endpoint.tcp_addr().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "UNIX-socket server has no TCP address; use endpoint()",
+            )
+        })
     }
 
     /// Runs the server on this thread until shutdown, using the
-    /// configured transport.
+    /// configured transport. A UNIX socket file is removed on return.
     pub fn run(self) -> std::io::Result<()> {
-        match self.config.transport {
+        let endpoint = self.endpoint.clone();
+        let result = match self.config.transport {
             TransportKind::Threaded => self.run_threaded(),
             TransportKind::Evented if shbf_reactor::SUPPORTED => crate::evented::run(
                 self.listener,
                 self.engine,
                 self.shutdown,
-                self.config.max_connections,
-                self.config.effective_evented_workers(),
+                self.waker,
+                &self.config,
             ),
             // Documented fallback: evented requested on a target without
             // epoll — serve with the threaded model instead of failing.
             TransportKind::Evented => self.run_threaded(),
+        };
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
         }
+        result
     }
 
     /// The blocking accept loop of the threaded transport.
     fn run_threaded(self) -> std::io::Result<()> {
-        let addr = self.local_addr()?;
+        let endpoint = self.endpoint.clone();
         let slots = Arc::new(ConnSlots::new(self.config.max_connections));
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
+        loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
+            let stream = match self.listener.accept() {
                 Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => continue, // transient accept error; keep serving
             };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
             let slot = slots.acquire();
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
+            let endpoint = endpoint.clone();
+            engine.transport_metrics().on_accept();
             handlers.push(std::thread::spawn(move || {
                 let _slot = slot; // held for the connection's lifetime
-                let _ = handle_connection(stream, &engine, &shutdown, addr);
+                let _ = handle_connection(stream, &engine, &shutdown, &endpoint);
+                engine.transport_metrics().on_close();
             }));
             handlers.retain(|h| !h.is_finished());
         }
@@ -210,33 +332,52 @@ impl Server {
 
     /// Runs the accept loop on a background thread, returning a handle.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
-        let addr = self.local_addr()?;
+        let endpoint = self.endpoint.clone();
         let shutdown = Arc::clone(&self.shutdown);
+        let waker = self.waker.clone();
         let thread = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
-            addr,
+            endpoint,
             shutdown,
+            waker,
             thread,
         })
     }
 }
 
 impl ServerHandle {
-    /// The address clients should connect to.
+    /// The TCP address clients should connect to.
+    ///
+    /// # Panics
+    /// For a UNIX-socket server — use [`Self::endpoint`] there.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.endpoint
+            .tcp_addr()
+            .expect("UNIX-socket server has no TCP address; use endpoint()")
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connections close after their current command.
+    /// Where the server is listening.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops the server and joins its thread. Reactor loops are woken
+    /// through the eventfd waker (bounded latency — no poll-timeout
+    /// stall); the blocking accept loop is poked with a throwaway
+    /// connection. In-flight connections close after their current
+    /// command; a UNIX socket file is removed.
     pub fn shutdown(self) -> std::io::Result<()> {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the blocking accept so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        match self.thread.join() {
+        let _ = self.waker.wake();
+        self.endpoint.poke();
+        let result = match self.thread.join() {
             Ok(result) => result,
             Err(_) => Err(std::io::Error::other("server thread panicked")),
+        };
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
         }
+        result
     }
 }
 
@@ -244,7 +385,7 @@ impl ServerHandle {
 /// on both transports.
 pub(crate) const MAX_REQUEST_LINE: usize = 1 << 20;
 
-fn reject_oversized(writer: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+fn reject_oversized(writer: &mut Stream, out: &mut Vec<u8>) -> std::io::Result<()> {
     out.clear();
     Response::Error(format!(
         "protocol: request line exceeds {MAX_REQUEST_LINE} bytes"
@@ -255,11 +396,12 @@ fn reject_oversized(writer: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Resul
 }
 
 fn handle_connection(
-    stream: TcpStream,
+    stream: Stream,
     engine: &Engine,
     shutdown: &AtomicBool,
-    server_addr: SocketAddr,
+    endpoint: &Endpoint,
 ) -> std::io::Result<()> {
+    let metrics = engine.transport_metrics();
     stream.set_nodelay(true).ok();
     // Bounded reads so a connection parked in `read_line` observes a
     // server shutdown within one poll interval instead of blocking the
@@ -295,7 +437,7 @@ fn handle_connection(
             .set_limit((MAX_REQUEST_LINE + 2 - line.len()) as u64);
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // peer closed
-            Ok(_) => {}
+            Ok(n) => metrics.add_bytes_in(n as u64),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -335,13 +477,14 @@ fn handle_connection(
         scratch.reclaim(response);
         writer.write_all(&out)?;
         writer.flush()?;
+        metrics.add_bytes_out(out.len() as u64);
         match control {
             Control::Continue => {}
             Control::CloseConnection => return Ok(()),
             Control::ShutdownServer => {
                 shutdown.store(true, Ordering::SeqCst);
                 // Wake the acceptor so the whole server exits.
-                let _ = TcpStream::connect(server_addr);
+                endpoint.poke();
                 return Ok(());
             }
         }
@@ -422,6 +565,51 @@ mod tests {
         let mut second = crate::client::Client::connect(handle.addr()).unwrap();
         assert_eq!(second.send("SHUTDOWN").unwrap(), vec!["+BYE".to_string()]);
         handle.shutdown().unwrap();
+    }
+
+    #[cfg(unix)]
+    fn temp_socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "shbf-server-test-{tag}-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_serves_both_transports() {
+        for transport in [TransportKind::Threaded, TransportKind::Evented] {
+            let engine = Arc::new(Engine::new());
+            let config = ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            };
+            let path = temp_socket_path(match transport {
+                TransportKind::Threaded => "threaded",
+                TransportKind::Evented => "evented",
+            });
+            let server = Server::bind_unix(&path, engine, config).unwrap();
+            let handle = server.spawn().unwrap();
+            assert_eq!(handle.endpoint(), &Endpoint::Unix(path.clone()));
+            let mut client = crate::client::Client::connect_unix(&path).unwrap();
+            assert_eq!(client.send("PING").unwrap(), vec!["+PONG".to_string()]);
+            assert_eq!(
+                client.send("CREATE u shbf-m 65536 8").unwrap(),
+                vec!["+OK".to_string()]
+            );
+            assert_eq!(
+                client.send("INSERT u key").unwrap(),
+                vec!["+OK".to_string()]
+            );
+            assert_eq!(client.send("QUERY u key").unwrap(), vec![":1".to_string()]);
+            drop(client);
+            handle.shutdown().unwrap();
+            assert!(
+                !path.exists(),
+                "{transport:?}: socket file not cleaned up on shutdown"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub fn load(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
         let name_bytes = r.bytes()?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CodecError::InvalidField("namespace name utf-8"))?;
+        // `install` bypasses `Registry::create`, so enforce the reserved
+        // name here too — a loaded `transport` namespace would be
+        // silently shadowed by `STATS transport`.
+        if name == crate::engine::TRANSPORT_STATS {
+            return Err(CodecError::InvalidField("reserved namespace name `transport`").into());
+        }
         let tag = r.u8()?;
         let payload = r.bytes()?;
         let backend = match tag {

@@ -66,21 +66,24 @@ COMMANDS
   stats --filter FILE
       Print a filter's parameters, fill ratio, and theoretical FPR.
 
-  serve [--port P] [--bind ADDR] [--workers N] [--load SNAPSHOT]
-        [--evented] [--reactors N]
+  serve [--port P] [--bind ADDR] [--unix PATH] [--workers N]
+        [--load SNAPSHOT] [--evented] [--reactors N]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
+      --unix listens on a UNIX-domain socket path instead of TCP;
       --load restores namespaces from a snapshot file at startup;
-      --evented serves with the epoll reactor transport (pipelined
-      parsing + write coalescing; Linux, falls back to threaded
-      elsewhere), --reactors caps its event-loop threads.
+      --evented serves with the edge-triggered epoll reactor transport
+      (pipelined parsing + vectored writes; Linux, falls back to
+      threaded elsewhere), --reactors caps its event-loop threads.
 
-  client [--port P] [--host ADDR] [--send CMD] [--pipeline N]
-      Talk to a running daemon: --send fires one command and prints the
-      reply; without it, a line REPL reads from stdin. --pipeline N
-      writes up to N commands before reading their replies (stdin mode;
-      with --send, split commands on `;`) — against an --evented server
-      this drives the batched query path."
+  client [--port P] [--host ADDR] [--unix PATH] [--send CMD]
+         [--pipeline N]
+      Talk to a running daemon (over TCP, or --unix for a UNIX-socket
+      server): --send fires one command and prints the reply; without
+      it, a line REPL reads from stdin. --pipeline N writes up to N
+      commands before reading their replies (stdin mode; with --send,
+      split commands on `;`) — against an --evented server this drives
+      the batched query path."
     );
 }
 
@@ -338,22 +341,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         TransportKind::Threaded
     };
-    let server = Server::bind(
-        (bind, port),
-        engine,
-        ServerConfig {
-            max_connections: workers,
-            transport,
-            evented_workers: reactors,
-        },
-    )
-    .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
-    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let config = ServerConfig {
+        max_connections: workers,
+        transport,
+        evented_workers: reactors,
+        ..ServerConfig::default()
+    };
+    let server = match flags.get("unix") {
+        #[cfg(unix)]
+        Some(path) => Server::bind_unix(path, engine, config)
+            .map_err(|e| format!("binding unix:{path}: {e}"))?,
+        #[cfg(not(unix))]
+        Some(_) => return Err("--unix needs a UNIX platform".into()),
+        None => Server::bind((bind, port), engine, config)
+            .map_err(|e| format!("binding {bind}:{port}: {e}"))?,
+    };
+    let endpoint = server.endpoint().clone();
     let mode = match transport {
         TransportKind::Evented => "evented epoll transport",
         TransportKind::Threaded => "threaded transport",
     };
-    println!("shbf-server listening on {addr} ({mode}, {workers} max connections); send SHUTDOWN to stop");
+    println!("shbf-server listening on {endpoint} ({mode}, {workers} max connections); send SHUTDOWN to stop");
     server.run().map_err(|e| format!("serving: {e}"))
 }
 
@@ -365,8 +373,17 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if pipeline == 0 {
         return Err("--pipeline must be >= 1".into());
     }
-    let mut client =
-        Client::connect((host, port)).map_err(|e| format!("connecting {host}:{port}: {e}"))?;
+    let mut client = match flags.get("unix") {
+        #[cfg(unix)]
+        Some(path) => {
+            Client::connect_unix(path).map_err(|e| format!("connecting unix:{path}: {e}"))?
+        }
+        #[cfg(not(unix))]
+        Some(_) => return Err("--unix needs a UNIX platform".into()),
+        None => {
+            Client::connect((host, port)).map_err(|e| format!("connecting {host}:{port}: {e}"))?
+        }
+    };
 
     let print_reply = |lines: Vec<String>| {
         for line in lines {

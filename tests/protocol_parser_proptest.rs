@@ -1,0 +1,197 @@
+//! Property suite for the wire-protocol parser and line framer.
+//!
+//! Two invariants keep the evented transport honest under adversarial
+//! TCP segmentation:
+//!
+//! 1. **Chunking-invariance**: feeding a request stream to
+//!    [`scan_line`] in arbitrary byte chunks produces exactly the same
+//!    sequence of parse events (lines, oversize rejections) as handing
+//!    it over in one shot — framing is a pure function of the buffered
+//!    bytes, never of packet boundaries.
+//! 2. **Total robustness**: [`parse_command`] never panics, for valid
+//!    commands, random token soup, or raw bytes smashed through lossy
+//!    UTF-8 — malformed input must come back as a parse error, not a
+//!    crash that drops the connection.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use shbf::server::{parse_command, scan_line, Scan};
+
+/// A parse event, as the evented transport would see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Line(Vec<u8>),
+    Oversize,
+}
+
+/// Runs the framing loop over `stream` delivered as `chunks` (byte
+/// counts; the tail past their sum arrives as one final chunk), with
+/// `eof` raised after the last byte — exactly the reactor's read/handle
+/// cycle. Stops at the first oversize, as the transport closes there.
+fn events_chunked(stream: &[u8], chunks: &[usize], max_line: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut delivered = 0usize;
+    let mut boundaries: Vec<usize> = Vec::new();
+    for &c in chunks {
+        let next = (delivered + c).min(stream.len());
+        if next > delivered {
+            boundaries.push(next);
+            delivered = next;
+        }
+    }
+    if delivered < stream.len() {
+        boundaries.push(stream.len());
+    }
+    if boundaries.is_empty() {
+        boundaries.push(0);
+    }
+    let mut at = 0usize;
+    for (i, &upto) in boundaries.iter().enumerate() {
+        buf.extend_from_slice(&stream[at..upto]);
+        at = upto;
+        let eof = i + 1 == boundaries.len();
+        loop {
+            if buf.is_empty() {
+                break;
+            }
+            match scan_line(&buf, eof, max_line) {
+                Scan::Line { line, advance } => {
+                    events.push(Event::Line(line.to_vec()));
+                    buf.drain(..advance);
+                }
+                Scan::Incomplete => break,
+                Scan::Oversize => {
+                    events.push(Event::Oversize);
+                    return events;
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Single-shot reference: the whole stream in one buffer with EOF.
+fn events_single_shot(stream: &[u8], max_line: usize) -> Vec<Event> {
+    events_chunked(stream, &[stream.len()], max_line)
+}
+
+/// Builds a request stream from fragments: a mix of plausible command
+/// lines, random bytes, and bare terminators.
+fn build_stream(fragments: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut s = Vec::new();
+    for (kind, bytes) in fragments {
+        match kind % 6 {
+            0 => s.extend_from_slice(b"PING\r\n"),
+            1 => {
+                s.extend_from_slice(b"QUERY ns ");
+                s.extend(bytes.iter().map(|b| b'a' + (b % 26)));
+                s.push(b'\n');
+            }
+            2 => {
+                s.extend_from_slice(b"MQUERY ns k1 k2 0x0aff");
+                s.push(b'\n');
+            }
+            3 => s.extend_from_slice(bytes),
+            4 => {
+                s.extend_from_slice(bytes);
+                s.push(b'\n');
+            }
+            _ => s.extend_from_slice(b"\r\n"),
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary chunkings of arbitrary byte streams yield the same
+    /// events as single-shot framing, for generous and tiny line caps.
+    #[test]
+    fn chunked_framing_equals_single_shot(
+        fragments in vec((any::<u8>(), vec(any::<u8>(), 0..24)), 0..12),
+        chunks in vec(1usize..40, 0..32),
+        cap_select in 0usize..3,
+    ) {
+        let stream = build_stream(&fragments);
+        // Small caps make Oversize reachable; the large cap never is.
+        let max_line = [16usize, 64, 1 << 20][cap_select];
+        let chunked = events_chunked(&stream, &chunks, max_line);
+        let single = events_single_shot(&stream, max_line);
+        prop_assert_eq!(
+            chunked, single,
+            "chunking changed parse events (cap {}, stream {:?})",
+            max_line, stream
+        );
+    }
+
+    /// Every framed line parses to the same result however the stream
+    /// was chunked, and parse_command never panics on any of it.
+    #[test]
+    fn parsed_commands_are_chunking_invariant(
+        fragments in vec((any::<u8>(), vec(any::<u8>(), 0..24)), 0..10),
+        chunks in vec(1usize..23, 0..24),
+    ) {
+        let stream = build_stream(&fragments);
+        let parse_all = |events: &[Event]| -> Vec<Option<String>> {
+            events
+                .iter()
+                .map(|e| match e {
+                    Event::Oversize => None,
+                    Event::Line(line) => {
+                        let text = String::from_utf8_lossy(line);
+                        let trimmed = text.trim_end_matches(['\r', '\n']);
+                        Some(match parse_command(trimmed) {
+                            Ok(cmd) => format!("{cmd:?}"),
+                            Err(e) => format!("ERR {e}"),
+                        })
+                    }
+                })
+                .collect()
+        };
+        let chunked = parse_all(&events_chunked(&stream, &chunks, 1 << 20));
+        let single = parse_all(&events_single_shot(&stream, 1 << 20));
+        prop_assert_eq!(chunked, single);
+    }
+
+    /// Raw byte soup through lossy UTF-8 never panics the parser.
+    #[test]
+    fn parse_command_is_total_on_arbitrary_bytes(
+        bytes in vec(any::<u8>(), 0..96),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_command(&text);
+    }
+
+    /// Structured-ish token soup (verbs, numbers, hex keys, family
+    /// selectors in random positions) never panics either — it parses
+    /// or errors.
+    #[test]
+    fn parse_command_is_total_on_token_soup(
+        picks in vec((0u8..12, any::<u32>()), 0..8),
+    ) {
+        let mut line = String::new();
+        for (i, (kind, n)) in picks.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            match kind {
+                0 => line.push_str("CREATE"),
+                1 => line.push_str("QUERY"),
+                2 => line.push_str("MINSERT"),
+                3 => line.push_str("ns"),
+                4 => line.push_str("shbf-m"),
+                5 => line.push_str(&n.to_string()),
+                6 => line.push_str("0xzz"),
+                7 => line.push_str(&format!("0x{n:08x}")),
+                8 => line.push_str("family=one-shot"),
+                9 => line.push_str("family=bogus"),
+                10 => line.push_str("  "),
+                _ => line.push_str("SHUTDOWN"),
+            }
+        }
+        let _ = parse_command(&line);
+    }
+}
