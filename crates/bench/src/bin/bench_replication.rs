@@ -1,0 +1,83 @@
+//! Emits `BENCH_replication.json`: replicated read-fanout throughput —
+//! one WAL-backed primary plus N read replicas on loopback TCP, the same
+//! pipelined-query fleet measured primary-only vs. spread over the fleet.
+//!
+//! ```console
+//! $ cargo run --release -p shbf-bench --bin bench_replication -- \
+//!       --replicas 2 --clients 64 --depth 32 --measure-ms 1500 \
+//!       --out BENCH_replication.json
+//! ```
+//!
+//! Replica replies are byte-compared against expectations precomputed on
+//! the primary, so the fanout number doubles as a consistency proof.
+
+use shbf_bench::replication_bench::{run, ReplicationBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_replication [--replicas N] [--clients N] [--depth N] \
+         [--m-bits BITS] [--shards N] [--keys N] [--probes N] \
+         [--measure-ms MS] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ReplicationBenchConfig::default();
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--replicas" => cfg.replicas = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.base.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--depth" => cfg.base.depth = value().parse().unwrap_or_else(|_| usage()),
+            "--m-bits" => cfg.base.m_bits = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.base.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--keys" => cfg.base.keys = value().parse().unwrap_or_else(|_| usage()),
+            "--probes" => cfg.base.probes = value().parse().unwrap_or_else(|_| usage()),
+            "--measure-ms" => cfg.base.measure_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.base.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(value()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    eprintln!(
+        "bench_replication: 1 primary + {} replicas, {} clients x depth {}, \
+         {} keys, {} probes, {} ms per placement",
+        cfg.replicas,
+        cfg.base.clients,
+        cfg.base.depth,
+        cfg.base.keys,
+        cfg.base.probes,
+        cfg.base.measure_ms
+    );
+    let (result, json) = run(&cfg);
+    eprintln!(
+        "bench_replication: {} replicas synced to seq {} in {} ms",
+        result.replicas, result.synced_seq, result.sync_ms
+    );
+    println!(
+        "{:>16} {:>10} {:>16} {:>14}",
+        "placement", "endpoints", "queries/sec", "queries"
+    );
+    for p in &result.points {
+        println!(
+            "{:>16} {:>10} {:>16.0} {:>14}",
+            p.name, p.endpoints, p.ops_per_sec, p.ops
+        );
+    }
+    println!("{:>16} {:>26.2}x", "fanout speedup", result.fanout_speedup);
+    if let Some(path) = &out {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_replication: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("bench_replication: wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

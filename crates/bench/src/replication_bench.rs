@@ -1,0 +1,259 @@
+//! Replicated read-fanout throughput — the `BENCH_replication.json`
+//! emitter.
+//!
+//! One WAL-backed primary plus `replicas` read replicas run in-process
+//! on loopback TCP. The primary is bulk-loaded, every replica converges
+//! to lag 0 (full-sync + op tailing through `SYNC`/`PULLOPS`), and then
+//! the same pipelined-`QUERY` client fleet from the server bench is
+//! measured twice:
+//!
+//! 1. **primary only** — all clients on the primary (the baseline a
+//!    single server sustains);
+//! 2. **fanout** — clients spread round-robin across primary + replicas.
+//!
+//! Every client round byte-compares replies against expectations that
+//! were precomputed on the primary, so the fanout number is only posted
+//! if every replica answered every probe **byte-identically** to the
+//! primary — the measurement doubles as a consistency check.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shbf_server::{Client, Endpoint, Engine, FsyncPolicy, Server, ServerConfig, ServerHandle};
+
+use crate::server_bench::{drive_clients_multi, setup_query, ServerBenchConfig};
+
+/// Configuration for [`run`].
+#[derive(Debug, Clone)]
+pub struct ReplicationBenchConfig {
+    /// The shared fleet/namespace shape (clients, depth, keys, probes…).
+    pub base: ServerBenchConfig,
+    /// Read replicas behind the primary.
+    pub replicas: usize,
+}
+
+impl Default for ReplicationBenchConfig {
+    fn default() -> Self {
+        ReplicationBenchConfig {
+            base: ServerBenchConfig::default(),
+            replicas: 2,
+        }
+    }
+}
+
+/// One fleet placement's measurement.
+#[derive(Debug, Clone)]
+pub struct FanoutPoint {
+    /// `primary_only` / `fanout`.
+    pub name: &'static str,
+    /// Endpoints the fleet was spread over.
+    pub endpoints: usize,
+    /// Total queries answered per second across all clients.
+    pub ops_per_sec: f64,
+    /// Total queries answered inside the window.
+    pub ops: u64,
+}
+
+/// The whole run.
+#[derive(Debug, Clone)]
+pub struct ReplicationBenchResult {
+    /// Replica count that converged and served.
+    pub replicas: usize,
+    /// Primary log position every replica had applied before measuring.
+    pub synced_seq: u64,
+    /// Milliseconds from replica start to every replica at lag 0.
+    pub sync_ms: u64,
+    /// `primary_only` then `fanout`.
+    pub points: Vec<FanoutPoint>,
+    /// Fanout ops/s over primary-only ops/s.
+    pub fanout_speedup: f64,
+}
+
+fn replication_field(client: &mut Client, key: &str) -> Option<String> {
+    let lines = client.send("STATS replication").ok()?;
+    lines.iter().find_map(|l| {
+        l.strip_prefix('+')?
+            .strip_prefix(key)?
+            .strip_prefix('=')
+            .map(str::to_string)
+    })
+}
+
+/// Runs the fanout scenario and renders the `BENCH_replication.json`
+/// document.
+pub fn run(cfg: &ReplicationBenchConfig) -> (ReplicationBenchResult, String) {
+    let wal_dir = std::env::temp_dir().join(format!("shbf-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("creating bench WAL dir");
+
+    let server_config = |wal: bool, primary: Option<&Endpoint>| ServerConfig {
+        max_connections: cfg.base.clients + 8,
+        wal_dir: wal.then(|| wal_dir.clone()),
+        // Durability is not under test here; `no` keeps fsync latency out
+        // of the replication numbers.
+        fsync: FsyncPolicy::No,
+        snapshot_every_ops: u64::MAX,
+        replica_of: primary.map(|e| e.to_string()),
+        ..ServerConfig::default()
+    };
+
+    let primary = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(Engine::new()),
+        server_config(true, None),
+    )
+    .expect("bind primary");
+    let primary_endpoint = primary.endpoint().clone();
+    let primary_handle = primary.spawn().expect("spawn primary");
+
+    // Bulk-load and precompute expected replies on the primary.
+    let (blocks, _positives) = setup_query(&cfg.base, &primary_endpoint);
+    let blocks = Arc::new(blocks);
+
+    // Start the replicas and wait for lag 0 against the loaded log.
+    let sync_start = Instant::now();
+    let replica_handles: Vec<ServerHandle> = (0..cfg.replicas)
+        .map(|i| {
+            Server::bind(
+                "127.0.0.1:0",
+                Arc::new(Engine::new()),
+                server_config(false, Some(&primary_endpoint)),
+            )
+            .unwrap_or_else(|e| panic!("bind replica {i}: {e}"))
+            .spawn()
+            .expect("spawn replica")
+        })
+        .collect();
+    let mut admin = Client::connect_endpoint(&primary_endpoint).expect("primary admin");
+    let synced_seq: u64 = replication_field(&mut admin, "last_seq")
+        .expect("primary last_seq")
+        .parse()
+        .expect("last_seq number");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for handle in &replica_handles {
+        let mut client = Client::connect_endpoint(handle.endpoint()).expect("replica admin");
+        loop {
+            let applied: u64 = replication_field(&mut client, "applied_seq")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            if applied >= synced_seq {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "replica stuck at applied_seq={applied} (want {synced_seq})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let sync_ms = sync_start.elapsed().as_millis() as u64;
+
+    // Measure: all clients on the primary, then spread over the fleet.
+    let fleet: Vec<Endpoint> = std::iter::once(primary_endpoint.clone())
+        .chain(replica_handles.iter().map(|h| h.endpoint().clone()))
+        .collect();
+    let (solo_ops, solo_elapsed) = drive_clients_multi(
+        &cfg.base,
+        std::slice::from_ref(&primary_endpoint),
+        Arc::clone(&blocks),
+    );
+    let (fan_ops, fan_elapsed) = drive_clients_multi(&cfg.base, &fleet, Arc::clone(&blocks));
+
+    for handle in replica_handles {
+        handle.shutdown().expect("replica shutdown");
+    }
+    primary_handle.shutdown().expect("primary shutdown");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let points = vec![
+        FanoutPoint {
+            name: "primary_only",
+            endpoints: 1,
+            ops_per_sec: solo_ops as f64 / solo_elapsed,
+            ops: solo_ops,
+        },
+        FanoutPoint {
+            name: "fanout",
+            endpoints: fleet.len(),
+            ops_per_sec: fan_ops as f64 / fan_elapsed,
+            ops: fan_ops,
+        },
+    ];
+    let fanout_speedup = points[1].ops_per_sec / points[0].ops_per_sec;
+    let result = ReplicationBenchResult {
+        replicas: cfg.replicas,
+        synced_seq,
+        sync_ms,
+        points,
+        fanout_speedup,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"replication_read_fanout\",\n");
+    json.push_str("  \"unit\": \"queries per second over real sockets\",\n");
+    json.push_str(&format!("  \"replicas\": {},\n", result.replicas));
+    json.push_str(&format!("  \"clients\": {},\n", cfg.base.clients));
+    json.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.base.depth));
+    json.push_str(&format!("  \"keys\": {},\n", cfg.base.keys));
+    json.push_str(&format!("  \"probes\": {},\n", cfg.base.probes));
+    json.push_str(&format!("  \"measure_ms\": {},\n", cfg.base.measure_ms));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.base.seed));
+    json.push_str(&format!("  \"synced_seq\": {},\n", result.synced_seq));
+    json.push_str(&format!("  \"sync_ms\": {},\n", result.sync_ms));
+    json.push_str(
+        "  \"verified\": \"every reply byte-compared against primary-computed expectations\",\n",
+    );
+    json.push_str("  \"placements\": {\n");
+    for (i, p) in result.points.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"endpoints\": {}, \"ops_per_sec\": {:.0}, \"ops\": {} }}{}\n",
+            p.name,
+            p.endpoints,
+            p.ops_per_sec,
+            p.ops,
+            if i + 1 < result.points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fanout_speedup\": {:.2}\n",
+        result.fanout_speedup
+    ));
+    json.push_str("}\n");
+    (result, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_converges_and_measures_both_placements() {
+        let cfg = ReplicationBenchConfig {
+            base: ServerBenchConfig {
+                clients: 4,
+                depth: 8,
+                m_bits: 1 << 14,
+                shards: 4,
+                keys: 1 << 10,
+                probes: 1 << 9,
+                measure_ms: 40,
+                ..ServerBenchConfig::default()
+            },
+            replicas: 2,
+        };
+        let (result, json) = run(&cfg);
+        assert_eq!(result.replicas, 2);
+        assert!(result.synced_seq > 0, "primary logged nothing");
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[1].endpoints, 3);
+        for p in &result.points {
+            assert!(p.ops_per_sec > 0.0, "{} measured nothing", p.name);
+        }
+        assert!(json.contains("\"replication_read_fanout\""));
+        assert!(json.contains("\"primary_only\""));
+        assert!(json.contains("\"fanout\""));
+        assert!(json.contains("\"fanout_speedup\""));
+    }
+}

@@ -131,17 +131,17 @@ pub struct ServerBenchResult {
     pub mixed_speedup_evented_vs_threaded: f64,
 }
 
-fn key_token(i: u64, seed: u64) -> String {
+pub(crate) fn key_token(i: u64, seed: u64) -> String {
     format!("k{:016x}", splitmix64(seed ^ i))
 }
 
 /// One prebuilt client round: the request bytes and the exact reply
 /// bytes the server must produce for them.
-struct Block {
-    request: Vec<u8>,
-    expected: Vec<u8>,
+pub(crate) struct Block {
+    pub(crate) request: Vec<u8>,
+    pub(crate) expected: Vec<u8>,
     /// Commands (replies) in this block.
-    ops: u64,
+    pub(crate) ops: u64,
 }
 
 static UNIX_SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -181,7 +181,7 @@ fn start_server(
 /// Creates + bulk-loads one namespace, returning its probe tokens and
 /// expected verdicts (computed through `MQUERY`, so false positives are
 /// covered exactly).
-fn load_namespace(
+pub(crate) fn load_namespace(
     admin: &mut Client,
     ns: &str,
     m_bits: usize,
@@ -230,7 +230,7 @@ fn load_namespace(
     (probe_list, expected)
 }
 
-fn verdict_bytes(v: bool) -> &'static [u8] {
+pub(crate) fn verdict_bytes(v: bool) -> &'static [u8] {
     if v {
         b":1\r\n"
     } else {
@@ -239,7 +239,7 @@ fn verdict_bytes(v: bool) -> &'static [u8] {
 }
 
 /// Pure-query setup: one namespace, `depth` pipelined QUERYs per block.
-fn setup_query(cfg: &ServerBenchConfig, endpoint: &Endpoint) -> (Vec<Block>, u64) {
+pub(crate) fn setup_query(cfg: &ServerBenchConfig, endpoint: &Endpoint) -> (Vec<Block>, u64) {
     let mut admin = Client::connect_endpoint(endpoint).expect("admin connect");
     let (probes, expected) = load_namespace(
         &mut admin, "bench", cfg.m_bits, cfg.shards, cfg.keys, cfg.probes, cfg.seed,
@@ -382,6 +382,19 @@ fn drive_clients(
     endpoint: &Endpoint,
     blocks: Arc<Vec<Block>>,
 ) -> (u64, f64) {
+    drive_clients_multi(cfg, std::slice::from_ref(endpoint), blocks)
+}
+
+/// [`drive_clients`] over a fleet of interchangeable endpoints: client
+/// `c` connects to `endpoints[c % len]`. With one endpoint this is the
+/// classic single-server measurement; with a primary + replicas it is
+/// the read-fanout measurement (every endpoint must answer the same
+/// blocks byte-identically, which the per-round compare enforces).
+pub(crate) fn drive_clients_multi(
+    cfg: &ServerBenchConfig,
+    endpoints: &[Endpoint],
+    blocks: Arc<Vec<Block>>,
+) -> (u64, f64) {
     let total_ops = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let deadline = start + Duration::from_millis(cfg.measure_ms);
@@ -390,7 +403,7 @@ fn drive_clients(
         .map(|c| {
             let blocks = Arc::clone(&blocks);
             let total_ops = Arc::clone(&total_ops);
-            let endpoint = endpoint.clone();
+            let endpoint = endpoints[c % endpoints.len()].clone();
             std::thread::spawn(move || {
                 let mut stream = endpoint.connect().expect("client connect");
                 stream.set_nodelay(true).ok();

@@ -5,7 +5,7 @@
 //! client. Replies come back as the raw RESP lines (`+OK`, `:1`, …) with
 //! array headers preserved, so callers can assert on exact frames.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use shbf_reactor::Stream;
@@ -43,6 +43,15 @@ impl Client {
         })
     }
 
+    /// Bounds every read on this connection (replication appliers use
+    /// this so a detach never blocks on a dead primary).
+    pub fn set_read_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     fn read_frame_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -55,24 +64,51 @@ impl Client {
     }
 
     /// Sends one command line, returns all reply lines (1 for scalars,
-    /// 1 + n for an `*n` array; arrays nest for future-proofing).
+    /// 1 + n for an `*n` array; arrays nest for future-proofing). A
+    /// `$<len>` bulk frame contributes only its header line here — use
+    /// [`Self::send_with_bulks`] when the payload bytes matter.
     pub fn send(&mut self, command: &str) -> std::io::Result<Vec<String>> {
+        Ok(self.send_with_bulks(command)?.0)
+    }
+
+    /// Sends one command line and returns `(reply lines, bulk payloads)`:
+    /// the framing lines as [`Self::send`] reports them, plus the raw
+    /// bytes of every `$`-framed bulk string in frame order (the
+    /// replication `SYNC` full-sync path ships snapshot blobs this way).
+    pub fn send_with_bulks(
+        &mut self,
+        command: &str,
+    ) -> std::io::Result<(Vec<String>, Vec<Vec<u8>>)> {
         self.writer.write_all(command.as_bytes())?;
         self.writer.write_all(b"\r\n")?;
         self.writer.flush()?;
         let mut lines = Vec::with_capacity(1);
-        self.read_reply(&mut lines)?;
-        Ok(lines)
+        let mut bulks = Vec::new();
+        self.read_reply(&mut lines, &mut bulks)?;
+        Ok((lines, bulks))
     }
 
-    fn read_reply(&mut self, lines: &mut Vec<String>) -> std::io::Result<()> {
+    fn read_reply(
+        &mut self,
+        lines: &mut Vec<String>,
+        bulks: &mut Vec<Vec<u8>>,
+    ) -> std::io::Result<()> {
         let head = self.read_frame_line()?;
         let nested = head.strip_prefix('*').and_then(|n| n.parse::<usize>().ok());
+        let bulk_len = head.strip_prefix('$').and_then(|n| n.parse::<usize>().ok());
         lines.push(head);
         if let Some(n) = nested {
             for _ in 0..n {
-                self.read_reply(lines)?;
+                self.read_reply(lines, bulks)?;
             }
+        } else if let Some(len) = bulk_len {
+            // `$<len>\r\n<len raw bytes>\r\n` — the payload may be binary,
+            // so it is consumed exactly, never line-framed.
+            let mut payload = vec![0u8; len];
+            self.reader.read_exact(&mut payload)?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            bulks.push(payload);
         }
         Ok(())
     }
@@ -94,9 +130,10 @@ impl Client {
         self.writer.write_all(&batch)?;
         self.writer.flush()?;
         let mut replies = Vec::with_capacity(commands.len());
+        let mut bulks = Vec::new();
         for _ in commands {
             let mut lines = Vec::with_capacity(1);
-            self.read_reply(&mut lines)?;
+            self.read_reply(&mut lines, &mut bulks)?;
             replies.push(lines);
         }
         Ok(replies)

@@ -3,19 +3,31 @@
 //! The engine is transport-agnostic — the TCP layer, the CLI's local mode,
 //! and the dispatch benchmarks all drive the same [`Engine::dispatch`].
 
-use std::sync::Arc;
+use std::path::{Component, Path, PathBuf};
+use std::sync::{Arc, OnceLock, Weak};
 
 use shbf_core::SetId;
 use shbf_reactor::TransportMetrics;
+use shbf_wal::FsyncPolicy;
 
+use crate::persistence::{self, Durability};
 use crate::protocol::{Command, Response, WireSet};
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
+use crate::replication::{self, ReplicationState};
 use crate::snapshot;
 
 /// Reserved `STATS` subject reporting connection-level transport
 /// counters instead of a namespace ([`Registry`] refuses to create a
 /// namespace with this name).
 pub const TRANSPORT_STATS: &str = "transport";
+
+/// Reserved `STATS` subject reporting replication role, replica count,
+/// and log-sequence lag (also not creatable as a namespace).
+pub const REPLICATION_STATS: &str = "replication";
+
+/// All reserved `STATS` subjects — names the registry and snapshot
+/// loader refuse as namespaces.
+pub const RESERVED_STATS: &[&str] = &[TRANSPORT_STATS, REPLICATION_STATS];
 
 /// What the transport should do after a reply is sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +48,18 @@ pub struct Engine {
     /// reactor loops directly, the threaded handlers through the same
     /// hooks); surfaced as `STATS transport`.
     transport: Arc<TransportMetrics>,
+    /// Durable op-log + snapshot state, set once by [`Self::enable_wal`].
+    /// The mutex serializes **mutations** (apply + append must be atomic
+    /// for snapshot consistency); queries never touch it.
+    durability: OnceLock<parking_lot::Mutex<Durability>>,
+    /// Replica link / replica tracking (both roles).
+    replication: ReplicationState,
+    /// Sandbox root for `SNAPSHOT`/`LOAD` paths, set once by
+    /// [`Self::set_data_dir`]. Unset → paths are used verbatim.
+    data_dir: OnceLock<PathBuf>,
+    /// Back-reference for verbs that spawn threads holding the engine
+    /// (`REPLICAOF`); set by [`Self::attach_self`].
+    weak_self: OnceLock<Weak<Engine>>,
 }
 
 /// Per-connection scratch for the batch query path: the `MQUERY` verdict
@@ -63,6 +87,21 @@ impl QueryScratch {
             self.verdicts = verdicts;
         }
     }
+}
+
+/// Commands that change registry state — the set a replica rejects and
+/// the WAL wrapper serializes. `LOAD` is here (it replaces the world)
+/// even though it is persisted via a forced snapshot, not an op record.
+fn is_mutation(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Create { .. }
+            | Command::Drop { .. }
+            | Command::Insert { .. }
+            | Command::Delete { .. }
+            | Command::MInsert { .. }
+            | Command::Load { .. }
+    )
 }
 
 fn wire_set(set: WireSet) -> SetId {
@@ -103,6 +142,92 @@ impl Engine {
         &self.transport
     }
 
+    /// Stores a weak back-reference to this engine's own `Arc` so verbs
+    /// that spawn engine-holding threads (`REPLICAOF`) can reach it.
+    /// Called by the server at bind time; idempotent.
+    pub fn attach_self(self: &Arc<Self>) {
+        let _ = self.weak_self.set(Arc::downgrade(self));
+    }
+
+    /// Restricts `SNAPSHOT`/`LOAD` to paths inside `dir` (created if
+    /// absent). Can only be set once.
+    pub fn set_data_dir(&self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.data_dir
+            .set(dir)
+            .map_err(|_| std::io::Error::other("data dir already configured"))
+    }
+
+    /// Enables the durable op-log in `dir`: recovers existing state
+    /// (newest snapshot + log-tail replay — see [`crate::persistence`]),
+    /// then logs every subsequent successful mutation. Can only be
+    /// enabled once, and not on a replica.
+    pub fn enable_wal(
+        &self,
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        snapshot_every_ops: u64,
+    ) -> std::io::Result<()> {
+        if self.replication.is_replica() {
+            return Err(std::io::Error::other(
+                "a replica cannot run a WAL (log sequence numbers belong to the primary)",
+            ));
+        }
+        let durability = Durability::open(
+            dir.as_ref(),
+            fsync,
+            snapshot_every_ops,
+            &self.registry,
+            |_seq, line| self.apply_replay_line(line),
+        )?;
+        self.durability
+            .set(parking_lot::Mutex::new(durability))
+            .map_err(|_| std::io::Error::other("wal already enabled"))
+    }
+
+    /// Whether a durable op-log is attached.
+    pub fn wal_enabled(&self) -> bool {
+        self.durability.get().is_some()
+    }
+
+    /// Replication state (verb handlers and the applier thread).
+    pub(crate) fn replication(&self) -> &ReplicationState {
+        &self.replication
+    }
+
+    /// Applies one logged op line, bypassing the replica-rejection and
+    /// logging wrappers — the WAL replay and replica-applier entry
+    /// point. An error reply is a replay divergence, returned as `Err`.
+    pub(crate) fn apply_replay_line(&self, line: &str) -> Result<(), String> {
+        let cmd = crate::protocol::parse_command(line).map_err(|e| e.to_string())?;
+        match self.eval_inner(&cmd, &mut QueryScratch::default()) {
+            Response::Error(e) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Resolves a client-supplied `SNAPSHOT`/`LOAD` path against the
+    /// sandbox: with a data dir set, only relative paths that cannot
+    /// escape it (no absolute, no `..`, no prefix components) are
+    /// allowed, and they resolve inside the data dir.
+    fn resolve_path(&self, path: &str) -> Result<PathBuf, Response> {
+        match self.data_dir.get() {
+            None => Ok(PathBuf::from(path)),
+            Some(root) => {
+                let p = Path::new(path);
+                let escapes = p.as_os_str().is_empty()
+                    || p.components()
+                        .any(|c| !matches!(c, Component::Normal(_) | Component::CurDir));
+                if escapes {
+                    Err(Response::Error("path outside data dir".into()))
+                } else {
+                    Ok(root.join(p))
+                }
+            }
+        }
+    }
+
     /// Executes one command. Never panics on bad input — protocol and
     /// registry errors come back as [`Response::Error`].
     pub fn dispatch(&self, cmd: &Command) -> (Response, Control) {
@@ -123,7 +248,171 @@ impl Engine {
         (response, control)
     }
 
+    /// Outer evaluation: replication verbs, the read-only-replica gate,
+    /// and the mutation → WAL-append wrapper around [`Self::eval_inner`].
     fn eval(&self, cmd: &Command, scratch: &mut QueryScratch) -> Response {
+        match cmd {
+            Command::ReplicaOf { target } => return self.replicaof(target.as_deref()),
+            Command::Sync { have } => return self.sync_handshake(*have),
+            Command::PullOps { id, from, max } => return self.pull_ops(id, *from, *max),
+            Command::Stats { ns } if ns.as_str() == REPLICATION_STATS => {
+                return self.replication_stats()
+            }
+            _ => {}
+        }
+        if !is_mutation(cmd) {
+            return self.eval_inner(cmd, scratch);
+        }
+        if self.replication.is_replica() {
+            return Response::Error(
+                "read only replica; send mutations to the primary \
+                 (REPLICAOF NO ONE detaches)"
+                    .into(),
+            );
+        }
+        let Some(durability) = self.durability.get() else {
+            return self.eval_inner(cmd, scratch);
+        };
+        // Apply + append under one lock: mutations serialize here so a
+        // snapshot (periodic or SYNC-shipped) is exact at a log position
+        // and replay never double-applies a non-idempotent op.
+        let mut durability = durability.lock();
+        let response = self.eval_inner(cmd, scratch);
+        if !matches!(response, Response::Error(_)) {
+            let logged = match persistence::encode_op(cmd) {
+                Some(line) => durability
+                    .append_op(&line)
+                    .and_then(|_| durability.maybe_snapshot(&self.registry)),
+                // LOAD replaces the world outside the op-log: force a
+                // state snapshot so recovery sees the post-LOAD state.
+                None if matches!(cmd, Command::Load { .. }) => {
+                    durability.snapshot_now(&self.registry).map(|_| ())
+                }
+                None => Ok(()),
+            };
+            if let Err(e) = logged {
+                // The mutation is applied in memory but not durable —
+                // tell the client instead of acknowledging a lie.
+                return Response::Error(format!("wal append failed after apply: {e}"));
+            }
+        }
+        response
+    }
+
+    /// `REPLICAOF host:port` / `REPLICAOF NO ONE`.
+    fn replicaof(&self, target: Option<&str>) -> Response {
+        let Some(target) = target else {
+            self.replication.detach();
+            return Response::ok();
+        };
+        let engine = self.weak_self.get().and_then(Weak::upgrade);
+        let Some(engine) = engine else {
+            return Response::Error(
+                "replication unavailable: engine is not attached to a server".into(),
+            );
+        };
+        match replication::attach(&engine, target) {
+            Ok(()) => Response::ok(),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// `SYNC have_seq` — primary side of the replication handshake.
+    fn sync_handshake(&self, have: u64) -> Response {
+        let Some(durability) = self.durability.get() else {
+            return Response::Error(
+                "replication requires a WAL on the primary (start with --wal-dir)".into(),
+            );
+        };
+        let durability = durability.lock();
+        // The log covers (oldest_seq-1, last_seq]; a replica at `have`
+        // needs ops from have+1. `have == 0` always full-syncs — a fresh
+        // replica's registry contents are not a trusted prefix.
+        if have > 0 && have + 1 >= durability.oldest_seq() {
+            Response::Simple(format!("TAIL {}", durability.last_seq()))
+        } else {
+            let (seq, blob) = durability.sync_blob(&self.registry);
+            Response::Array(vec![
+                Response::Simple(format!("FULL {seq}")),
+                Response::Bulk(blob),
+            ])
+        }
+    }
+
+    /// `PULLOPS id from max` — primary side of replication tailing.
+    fn pull_ops(&self, id: &str, from: u64, max: u64) -> Response {
+        let Some(durability) = self.durability.get() else {
+            return Response::Error(
+                "replication requires a WAL on the primary (start with --wal-dir)".into(),
+            );
+        };
+        let durability = durability.lock();
+        if from + 1 < durability.oldest_seq() {
+            // Truncated past the replica's position: it must full-sync.
+            return Response::Error("stale replica; resync".into());
+        }
+        self.replication.note_pull(id, from);
+        let max = max.clamp(1, 4096) as usize;
+        let mut items = vec![Response::Simple(format!("UPTO {}", durability.last_seq()))];
+        let scanned = durability.scan_after(from, max, |seq, payload| {
+            items.push(Response::Simple(format!(
+                "{seq} {}",
+                String::from_utf8_lossy(payload)
+            )));
+        });
+        match scanned {
+            Ok(_) => Response::Array(items),
+            Err(e) => Response::Error(format!("wal scan: {e}")),
+        }
+    }
+
+    /// `STATS replication` — role, progress, and lag for either side.
+    fn replication_stats(&self) -> Response {
+        let mut fields: Vec<(String, String)> = Vec::new();
+        if self.replication.is_replica() {
+            fields.push(("role".into(), "replica".into()));
+            if let Some(primary) = self.replication.primary() {
+                fields.push(("primary".into(), primary));
+            }
+            let (applied, primary_last) = self.replication.replica_progress();
+            fields.push(("applied_seq".into(), applied.to_string()));
+            fields.push(("primary_last_seq".into(), primary_last.to_string()));
+            fields.push((
+                "lag".into(),
+                primary_last.saturating_sub(applied).to_string(),
+            ));
+        } else {
+            fields.push(("role".into(), "primary".into()));
+            let last_seq = match self.durability.get() {
+                Some(durability) => {
+                    let durability = durability.lock();
+                    fields.push(("wal".into(), "enabled".into()));
+                    fields.push(("fsync".into(), durability.fsync.name().into()));
+                    fields.push(("last_seq".into(), durability.last_seq().to_string()));
+                    fields.push(("oldest_seq".into(), durability.oldest_seq().to_string()));
+                    durability.last_seq()
+                }
+                None => {
+                    fields.push(("wal".into(), "disabled".into()));
+                    0
+                }
+            };
+            let (count, min_acked) = self.replication.replica_summary();
+            fields.push(("replicas".into(), count.to_string()));
+            let lag = min_acked.map_or(0, |acked| last_seq.saturating_sub(acked));
+            fields.push(("lag".into(), lag.to_string()));
+        }
+        Response::Array(
+            fields
+                .into_iter()
+                .map(|(k, v)| Response::Simple(format!("{k}={v}")))
+                .collect(),
+        )
+    }
+
+    /// Inner evaluation: the per-verb dispatch, free of durability and
+    /// replication concerns (replay re-enters here).
+    fn eval_inner(&self, cmd: &Command, scratch: &mut QueryScratch) -> Response {
         match cmd {
             Command::Ping => Response::Simple("PONG".into()),
             Command::Quit | Command::Shutdown => Response::Simple("BYE".into()),
@@ -173,14 +462,25 @@ impl Engine {
                 transport_stats(&self.transport)
             }
             Command::Stats { ns } => self.with_ns(ns, stats),
-            Command::Snapshot { path } => match snapshot::save(&self.registry, path.as_ref()) {
-                Ok(count) => Response::Simple(format!("OK {count} namespaces")),
-                Err(e) => Response::Error(e.to_string()),
+            Command::Snapshot { path } => match self.resolve_path(path) {
+                Ok(path) => match snapshot::save(&self.registry, &path) {
+                    Ok(count) => Response::Simple(format!("OK {count} namespaces")),
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(rejection) => rejection,
             },
-            Command::Load { path } => match snapshot::load(&self.registry, path.as_ref()) {
-                Ok(count) => Response::Simple(format!("OK {count} namespaces")),
-                Err(e) => Response::Error(e.to_string()),
+            Command::Load { path } => match self.resolve_path(path) {
+                Ok(path) => match snapshot::load(&self.registry, &path) {
+                    Ok(count) => Response::Simple(format!("OK {count} namespaces")),
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(rejection) => rejection,
             },
+            // Handled by the outer `eval` before it reaches here; replay
+            // lines never contain these verbs.
+            Command::ReplicaOf { .. } | Command::Sync { .. } | Command::PullOps { .. } => {
+                Response::Error("replication verb outside dispatch".into())
+            }
         }
     }
 

@@ -31,19 +31,40 @@
 //! | `STATS ns` | `*n` of `+k=v` | kind, geometry, items, hit/miss/insert/delete, est. FPR |
 //! | `NAMESPACES` | `*n` of `+name kind` | name-sorted |
 //! | `DROP ns` | `+OK` | |
-//! | `SNAPSHOT path` | `+OK n namespaces` | CRC-checked single file, atomic rename |
+//! | `SNAPSHOT path` | `+OK n namespaces` | CRC-checked single file; fsync + atomic rename |
 //! | `LOAD path` | `+OK n namespaces` | replaces all namespaces; atomic on failure |
+//! | `REPLICAOF host:port` / `REPLICAOF NO ONE` | `+OK` | become / stop being a read replica |
+//! | `SYNC have_seq` | `+TAIL n` or `+FULL n` + `$blob` | replication handshake (replica→primary) |
+//! | `PULLOPS id from max` | `*k` of `+UPTO n`, `+seq line` | replication tailing (replica→primary) |
+//! | `STATS replication` | `*n` of `+k=v` | role, WAL position, replica count, lag |
 //! | `SHUTDOWN` | `+BYE` | stops the server |
 //! | `QUIT` | `+BYE` | closes the connection |
+//!
+//! ## Durability & replication
+//!
+//! With [`ServerConfig::wal_dir`] set, every successful mutation is
+//! appended to a durable op-log (`shbf-wal`: CRC-framed records,
+//! sequence-numbered segments, [`FsyncPolicy`] `always`/`everysec`/`no`)
+//! before the reply leaves; every [`ServerConfig::snapshot_every_ops`]
+//! mutations the registry is snapshotted and the log truncated behind
+//! it. Boot recovery loads the newest valid snapshot and replays the log
+//! tail, skipping a torn trailing record. The same log feeds **read
+//! replicas**: `REPLICAOF host:port` ([`ServerConfig::replica_of`])
+//! full-syncs via snapshot shipping, then tails ops with `PULLOPS`,
+//! serving queries locally and rejecting mutations with
+//! `-ERR read only replica`. See [`persistence`] and the `replication`
+//! module docs.
 //!
 //! ## Trust model
 //!
 //! The protocol is **unauthenticated**: every connected client can run
 //! every command, including `SNAPSHOT`/`LOAD` with server-side filesystem
 //! paths and `SHUTDOWN`. Bind to loopback (the CLI default) or a trusted
-//! network only; AUTH and snapshot-path sandboxing are tracked as future
-//! work in the roadmap. Per-connection memory is bounded (request lines
-//! are capped at 1 MiB) and worker threads are capped by
+//! network only; AUTH is tracked as future work in the roadmap. Setting
+//! [`ServerConfig::data_dir`] sandboxes `SNAPSHOT`/`LOAD` to one
+//! directory (absolute paths and `..` escapes are rejected with
+//! `-ERR path outside data dir`). Per-connection memory is bounded
+//! (request lines are capped at 1 MiB) and worker threads are capped by
 //! [`ServerConfig::max_connections`].
 //!
 //! ## Transports
@@ -67,8 +88,10 @@
 //! [`protocol`] (codec) → [`engine`] (dispatch) → [`registry`]
 //! (namespaces) → filter crates; [`server`] owns the listener and the
 //! threaded accept loop, [`evented`](TransportKind::Evented) the reactor
-//! handler, [`snapshot`] the persistence format, and [`client`] a
-//! minimal blocking client (with pipelining) used by the CLI and tests.
+//! handler, [`snapshot`] the persistence format, [`persistence`] the
+//! WAL + recovery wiring, `replication` the replica applier, and
+//! [`client`] a minimal blocking client (with pipelining and `$`-framed
+//! bulk replies) used by the CLI, the replica applier, and tests.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -85,17 +108,25 @@
 pub mod client;
 pub mod engine;
 mod evented;
+pub mod persistence;
 pub mod protocol;
 pub mod registry;
+mod replication;
 pub mod server;
 pub mod snapshot;
 
 pub use client::Client;
-pub use engine::{Control, Engine, QueryScratch, TRANSPORT_STATS};
+pub use engine::{
+    Control, Engine, QueryScratch, REPLICATION_STATS, RESERVED_STATS, TRANSPORT_STATS,
+};
 pub use protocol::{parse_command, scan_line, Command, FamilySpec, KindSpec, Response, Scan};
 pub use registry::{Namespace, Registry, RegistryError};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle, TransportKind};
 pub use snapshot::SnapshotError;
+
+// The WAL flush policy rides in `ServerConfig`; re-exported so embedders
+// don't need a direct `shbf-wal` dependency.
+pub use shbf_wal::FsyncPolicy;
 
 // Raw client-side socket (TCP or UNIX) — benches and conformance tests
 // drive servers at the byte level through this.

@@ -178,6 +178,31 @@ pub enum Command {
         /// Source file path.
         path: String,
     },
+    /// `REPLICAOF host:port` / `REPLICAOF NO ONE` — attach to (or detach
+    /// from) a primary as a read replica.
+    ReplicaOf {
+        /// `Some(primary)` to attach, `None` (`NO ONE`) to detach.
+        target: Option<String>,
+    },
+    /// `SYNC have_seq` — replication handshake (sent by a replica):
+    /// `+TAIL <last_seq>` when the log still covers `have_seq`, otherwise
+    /// a 2-element array of `+FULL <seq>` and a `$`-framed snapshot blob.
+    Sync {
+        /// Highest sequence number the replica has applied.
+        have: u64,
+    },
+    /// `PULLOPS id from max` — replication tailing (sent by a replica):
+    /// an array of `+UPTO <last_seq>` followed by up to `max` ops as
+    /// `+<seq> <command line>` entries. `from` doubles as the replica's
+    /// applied-position acknowledgement.
+    PullOps {
+        /// Replica identity (for `STATS replication` bookkeeping).
+        id: String,
+        /// Return ops with sequence numbers strictly greater than this.
+        from: u64,
+        /// Maximum number of ops to return.
+        max: u64,
+    },
     /// `SHUTDOWN` — stop the server after replying `+BYE`.
     Shutdown,
     /// `QUIT` — close this connection after replying `+BYE`.
@@ -453,6 +478,34 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 path: rest[0].to_string(),
             })
         }
+        "REPLICAOF" => {
+            // `REPLICAOF NO ONE` detaches (Redis idiom); anything else is
+            // a single `host:port` target.
+            if rest.len() == 2
+                && rest[0].eq_ignore_ascii_case("no")
+                && rest[1].eq_ignore_ascii_case("one")
+            {
+                return Ok(Command::ReplicaOf { target: None });
+            }
+            arity(1, "REPLICAOF host:port | REPLICAOF NO ONE")?;
+            Ok(Command::ReplicaOf {
+                target: Some(rest[0].to_string()),
+            })
+        }
+        "SYNC" => {
+            arity(1, "SYNC have_seq")?;
+            Ok(Command::Sync {
+                have: parse_num(rest[0], "have_seq")?,
+            })
+        }
+        "PULLOPS" => {
+            arity(3, "PULLOPS id from max")?;
+            Ok(Command::PullOps {
+                id: rest[0].to_string(),
+                from: parse_num(rest[1], "from")?,
+                max: parse_num(rest[2], "max")?,
+            })
+        }
         "SHUTDOWN" => {
             arity(0, "SHUTDOWN")?;
             Ok(Command::Shutdown)
@@ -482,6 +535,10 @@ pub enum Response {
     /// `Engine::dispatch_with`). Wire encoding is identical to the
     /// equivalent [`Response::Array`].
     Verdicts(Vec<bool>),
+    /// `$<len>` bulk string carrying raw bytes (snapshot blobs on the
+    /// replication `SYNC` path) — the one reply shape that is not
+    /// guaranteed to be UTF-8 text.
+    Bulk(Vec<u8>),
 }
 
 impl Response {
@@ -529,14 +586,22 @@ impl Response {
                     out.extend_from_slice(if v { b":1\r\n" } else { b":0\r\n" });
                 }
             }
+            Response::Bulk(bytes) => {
+                out.push(b'$');
+                out.extend_from_slice(bytes.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(bytes);
+                out.extend_from_slice(b"\r\n");
+            }
         }
     }
 
-    /// The encoding as a `String` (responses are always valid UTF-8).
+    /// The encoding as a `String` (lossy only for [`Response::Bulk`]
+    /// payloads, which may carry raw bytes; every other shape is UTF-8).
     pub fn encode_to_string(&self) -> String {
         let mut out = Vec::new();
         self.encode(&mut out);
-        String::from_utf8(out).unwrap()
+        String::from_utf8_lossy(&out).into_owned()
     }
 }
 
@@ -610,6 +675,28 @@ mod tests {
         );
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
         assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+        assert_eq!(
+            parse_command("REPLICAOF 127.0.0.1:7878").unwrap(),
+            Command::ReplicaOf {
+                target: Some("127.0.0.1:7878".into())
+            }
+        );
+        assert_eq!(
+            parse_command("replicaof no one").unwrap(),
+            Command::ReplicaOf { target: None }
+        );
+        assert_eq!(
+            parse_command("SYNC 42").unwrap(),
+            Command::Sync { have: 42 }
+        );
+        assert_eq!(
+            parse_command("PULLOPS r1 7 256").unwrap(),
+            Command::PullOps {
+                id: "r1".into(),
+                from: 7,
+                max: 256
+            }
+        );
     }
 
     #[test]
@@ -631,6 +718,11 @@ mod tests {
             "COUNT ns k extra",
             "STATS",
             "SHUTDOWN now",
+            "REPLICAOF",
+            "REPLICAOF a b",
+            "SYNC",
+            "SYNC notanumber",
+            "PULLOPS id 1",
         ] {
             assert!(parse_command(bad).is_err(), "`{bad}` should not parse");
         }
@@ -737,5 +829,9 @@ mod tests {
             Response::Array(vec![Response::bool(true), Response::bool(false)]).encode_to_string(),
         );
         assert_eq!(Response::Verdicts(vec![]).encode_to_string(), "*0\r\n");
+        // Bulk frames carry raw bytes with a byte-count header.
+        let mut out = Vec::new();
+        Response::Bulk(vec![0xff, 0x00, b'a']).encode(&mut out);
+        assert_eq!(out, b"$3\r\n\xff\x00a\r\n");
     }
 }

@@ -220,10 +220,10 @@ impl Registry {
 
     /// Creates a namespace; errors if the name is taken or reserved.
     pub fn create(&self, name: &str, params: CreateParams) -> Result<(), RegistryError> {
-        if name == crate::engine::TRANSPORT_STATS {
+        if crate::engine::RESERVED_STATS.contains(&name) {
             return Err(RegistryError::BadParams(
-                "namespace name `transport` is reserved (STATS transport reports \
-                 connection-level counters)",
+                "namespace name is reserved for a STATS subject \
+                 (`transport`, `replication`)",
             ));
         }
         // Build outside the lock — construction allocates the whole filter.

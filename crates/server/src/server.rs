@@ -39,6 +39,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use shbf_reactor::{Listener, Stream, Waker};
+use shbf_wal::FsyncPolicy;
 
 use crate::engine::{Control, Engine, QueryScratch};
 use crate::protocol::{parse_command, Response};
@@ -118,6 +119,22 @@ pub struct ServerConfig {
     /// until the peer drains half of it (`STATS transport` counts the
     /// enters/exits).
     pub write_high_water: usize,
+    /// Durable op-log directory. `Some` → every successful mutation is
+    /// appended to a WAL there before the reply, and existing state
+    /// (snapshot + log tail) is recovered at bind time.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL flush policy (meaningful only with [`Self::wal_dir`]).
+    pub fsync: FsyncPolicy,
+    /// Take a recovery snapshot and truncate the log every this many
+    /// logged ops (`0` = only at forced boundaries like `LOAD`).
+    pub snapshot_every_ops: u64,
+    /// Sandbox root for client-supplied `SNAPSHOT`/`LOAD` paths: when
+    /// set, absolute paths and `..` escapes are rejected with
+    /// `-ERR path outside data dir`.
+    pub data_dir: Option<PathBuf>,
+    /// Start as a read replica of this `host:port` primary (mutually
+    /// exclusive with [`Self::wal_dir`]).
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +144,11 @@ impl Default for ServerConfig {
             transport: TransportKind::default(),
             evented_workers: 0,
             write_high_water: 1 << 20,
+            wal_dir: None,
+            fsync: FsyncPolicy::default(),
+            snapshot_every_ops: 10_000,
+            data_dir: None,
+            replica_of: None,
         }
     }
 }
@@ -246,6 +268,23 @@ impl Server {
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        engine.attach_self();
+        if let Some(dir) = &config.data_dir {
+            engine.set_data_dir(dir)?;
+        }
+        if config.wal_dir.is_some() && config.replica_of.is_some() {
+            return Err(std::io::Error::other(
+                "wal_dir and replica_of are mutually exclusive (a replica \
+                 tails the primary's log instead of writing its own)",
+            ));
+        }
+        if let Some(dir) = &config.wal_dir {
+            // Recovery happens here: newest snapshot + op-log tail.
+            engine.enable_wal(dir, config.fsync, config.snapshot_every_ops)?;
+        }
+        if let Some(primary) = &config.replica_of {
+            crate::replication::attach(&engine, primary).map_err(std::io::Error::other)?;
+        }
         Ok(Server {
             listener,
             endpoint,
@@ -276,6 +315,7 @@ impl Server {
     /// configured transport. A UNIX socket file is removed on return.
     pub fn run(self) -> std::io::Result<()> {
         let endpoint = self.endpoint.clone();
+        let engine = Arc::clone(&self.engine);
         let result = match self.config.transport {
             TransportKind::Threaded => self.run_threaded(),
             TransportKind::Evented if shbf_reactor::SUPPORTED => crate::evented::run(
@@ -289,6 +329,10 @@ impl Server {
             // epoll — serve with the threaded model instead of failing.
             TransportKind::Evented => self.run_threaded(),
         };
+        // A replica's applier thread holds the engine alive while its
+        // primary link is healthy; detach so a stopped server doesn't
+        // keep tailing (and eventually spamming reconnect errors).
+        engine.replication().detach();
         if let Endpoint::Unix(path) = &endpoint {
             let _ = std::fs::remove_file(path);
         }

@@ -73,8 +73,8 @@ impl From<ShbfError> for SnapshotError {
     }
 }
 
-/// Serializes every namespace to `path`. Returns the namespace count.
-pub fn save(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
+/// Serializes every namespace into one snapshot blob.
+pub fn to_bytes(registry: &Registry) -> Vec<u8> {
     let namespaces = registry.list();
     let mut w = Writer::new(SNAPSHOT_KIND);
     w.u64(namespaces.len() as u64);
@@ -89,20 +89,51 @@ pub fn save(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
         let (hits, misses, inserts, deletes) = ns.stats.snapshot();
         w.u64(hits).u64(misses).u64(inserts).u64(deletes);
     }
-    let blob = w.finish();
-    // Write to a sibling temp file then rename, so a crash mid-write never
-    // clobbers the previous good snapshot.
+    w.finish().into()
+}
+
+/// Serializes every namespace to `path` (crash-safely — see
+/// [`write_atomic`]). Returns the namespace count.
+pub fn save(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
+    let count = registry.list().len();
+    write_atomic(path, &to_bytes(registry))?;
+    Ok(count)
+}
+
+/// Writes `bytes` to `path` so that a crash at any instant leaves either
+/// the previous file or the complete new one, never a torn mix: the bytes
+/// go to a sibling temp file, are fsynced, renamed over `path`, and the
+/// parent directory is fsynced so the rename itself is durable.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("snap.tmp");
-    std::fs::write(&tmp, &blob)?;
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+    }
     std::fs::rename(&tmp, path)?;
-    Ok(namespaces.len())
+    // Directory fsync is best-effort: not every filesystem supports it,
+    // and the rename already ordered the data before the name swap.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Replaces the registry contents from `path`. Returns the namespace
 /// count. On any error the registry is left untouched.
 pub fn load(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
     let blob = std::fs::read(path)?;
-    let mut r = Reader::new(&blob, SNAPSHOT_KIND)?;
+    load_bytes(registry, &blob)
+}
+
+/// Replaces the registry contents from an in-memory snapshot blob (the
+/// replication full-sync path). Atomic with respect to failure, like
+/// [`load`].
+pub fn load_bytes(registry: &Registry, blob: &[u8]) -> Result<usize, SnapshotError> {
+    let mut r = Reader::new(blob, SNAPSHOT_KIND)?;
     let count = r.u64()? as usize;
     let mut loaded = Vec::with_capacity(count);
     for _ in 0..count {
@@ -110,10 +141,10 @@ pub fn load(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CodecError::InvalidField("namespace name utf-8"))?;
         // `install` bypasses `Registry::create`, so enforce the reserved
-        // name here too — a loaded `transport` namespace would be
-        // silently shadowed by `STATS transport`.
-        if name == crate::engine::TRANSPORT_STATS {
-            return Err(CodecError::InvalidField("reserved namespace name `transport`").into());
+        // names here too — a loaded `transport` or `replication`
+        // namespace would be silently shadowed by the STATS subjects.
+        if crate::engine::RESERVED_STATS.contains(&name.as_str()) {
+            return Err(CodecError::InvalidField("reserved namespace name").into());
         }
         let tag = r.u8()?;
         let payload = r.bytes()?;

@@ -1,0 +1,792 @@
+//! # shbf-wal — durable append-only op-log for the set-query daemon
+//!
+//! A write-ahead log of opaque payloads (the server logs its mutation
+//! command lines), built for the snapshot + log-truncate recovery model:
+//! the server periodically persists a whole-registry snapshot at sequence
+//! number `S`, then drops every log segment whose records are all `<= S`.
+//! On boot it loads the newest valid snapshot and replays the log tail.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of **sequence-numbered segment files** named
+//! `wal-<first_seq>.log` (zero-padded so lexical order is numeric order).
+//! Each segment is:
+//!
+//! ```text
+//! header:  magic "SWAL" u32 | version u16 | reserved u16 | first_seq u64
+//! records: len u32 | crc u32 | seq u64 | payload[len]      (repeated)
+//! ```
+//!
+//! All integers are little-endian. The CRC-32 (IEEE, the same
+//! [`shbf_bits::crc::crc32`] that guards the filter codec) covers `seq` and
+//! `payload`, so a torn write, truncation, or bit flip in any record is
+//! detected before the payload is trusted. Sequence numbers are assigned
+//! by the log, start at `base + 1`, and are contiguous across segments.
+//!
+//! ## Recovery semantics
+//!
+//! * The **newest** segment may end in a torn record (the crash window is
+//!   one in-flight append): [`Wal::open`] scans it, truncates the file at
+//!   the last valid record, and resumes appending from there. A
+//!   CRC-corrupt record likewise ends the log — nothing after it can be
+//!   trusted, so it and any bytes beyond are dropped.
+//! * A **sealed** (non-newest) segment with an invalid record is a hard
+//!   [`WalError::Corrupt`]: replay cannot silently skip a hole in the
+//!   middle of history.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for append latency, Redis-style:
+//! `Always` fsyncs every record before the append returns (an
+//! acknowledged mutation survives power loss), `EverySec` fsyncs at most
+//! once per second (bounded loss window, near-`No` throughput), `No`
+//! leaves flushing to the OS.
+//!
+//! The log itself is single-writer and not internally synchronized — the
+//! server wraps it in a mutex that also orders mutations, so a snapshot
+//! taken under that lock is consistent with a log position.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use shbf_bits::crc::crc32;
+
+/// Segment header magic, `"SWAL"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"SWAL");
+/// Segment format version.
+pub const VERSION: u16 = 1;
+/// Segment header length in bytes.
+pub const HEADER_LEN: u64 = 16;
+/// Per-record framing overhead in bytes (`len`, `crc`, `seq`).
+pub const RECORD_HEADER_LEN: u64 = 16;
+/// Largest accepted payload — a scan treats a bigger `len` as corruption
+/// instead of allocating from a garbage length field.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// When appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` before every append returns: an acknowledged write
+    /// survives power loss. Slowest.
+    Always,
+    /// `fsync` at most once per second (checked on append): at most ~1s
+    /// of acknowledged writes can be lost. The production default.
+    #[default]
+    EverySec,
+    /// Never `fsync`; the OS flushes when it pleases. Fastest, loses up
+    /// to the page-cache window on power loss (not on process crash).
+    No,
+}
+
+impl FsyncPolicy {
+    /// Wire/CLI name (`always` / `everysec` / `no`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::EverySec => "everysec",
+            FsyncPolicy::No => "no",
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "everysec" => Ok(FsyncPolicy::EverySec),
+            "no" | "never" => Ok(FsyncPolicy::No),
+            other => Err(format!(
+                "unknown fsync policy `{other}` (always | everysec | no)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tunables for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Flush policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the active one exceeds this many
+    /// bytes. Rotation bounds how much log a snapshot can't truncate.
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// Config with default policy (`everysec`) and 8 MiB segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Failures from opening, appending to, or scanning a log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// An invalid record in a sealed segment (or an unreadable header):
+    /// history has a hole that recovery must not paper over.
+    Corrupt {
+        /// Segment file the corruption was found in.
+        segment: PathBuf,
+        /// Byte offset of the bad record (or header).
+        offset: u64,
+        /// What check failed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "wal corrupt: {} at byte {offset}: {reason}",
+                segment.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// One segment file: its path and the sequence number of its first record.
+#[derive(Debug, Clone)]
+struct SegmentInfo {
+    first_seq: u64,
+    path: PathBuf,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:020}.log"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Outcome of scanning one segment.
+struct SegmentScan {
+    /// Records that validated, in order.
+    count: u64,
+    /// Byte offset just past the last valid record.
+    valid_len: u64,
+}
+
+/// The append-only log: an active segment plus its sealed predecessors.
+pub struct Wal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    /// All live segments, ascending by `first_seq`; the last is active.
+    segments: Vec<SegmentInfo>,
+    /// Write handle on the active segment, positioned at its end.
+    active: File,
+    active_len: u64,
+    next_seq: u64,
+    last_sync: Instant,
+    dirty: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `config.dir`. `base_seq` is the
+    /// sequence number recovery already holds from a snapshot — a brand
+    /// new log starts numbering at `base_seq + 1`. The newest segment's
+    /// torn tail, if any, is truncated here.
+    pub fn open(config: &WalConfig, base_seq: u64) -> Result<Wal, WalError> {
+        fs::create_dir_all(&config.dir)?;
+        let mut segments: Vec<SegmentInfo> = Vec::new();
+        for entry in fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(first_seq) = name.to_str().and_then(parse_segment_name) {
+                segments.push(SegmentInfo {
+                    first_seq,
+                    path: entry.path(),
+                });
+            }
+        }
+        segments.sort_by_key(|s| s.first_seq);
+
+        if segments.is_empty() {
+            let first_seq = base_seq + 1;
+            let path = segment_path(&config.dir, first_seq);
+            let active = create_segment(&path, first_seq)?;
+            fsync_dir(&config.dir);
+            return Ok(Wal {
+                dir: config.dir.clone(),
+                fsync: config.fsync,
+                segment_bytes: config.segment_bytes,
+                segments: vec![SegmentInfo { first_seq, path }],
+                active,
+                active_len: HEADER_LEN,
+                next_seq: first_seq,
+                last_sync: Instant::now(),
+                dirty: false,
+            });
+        }
+
+        // Scan the newest segment and truncate its torn/corrupt tail; the
+        // crash window is one in-flight append, so only this file may end
+        // mid-record.
+        let tail = segments.last().unwrap().clone();
+        let scan = scan_segment(&tail.path, tail.first_seq, true, |_, _| {})?;
+        let next_seq = tail.first_seq + scan.count;
+        let file_len = fs::metadata(&tail.path)?.len();
+        let mut active = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&tail.path)?;
+        if file_len > scan.valid_len {
+            active.set_len(scan.valid_len)?;
+            active.sync_data()?;
+        }
+        // `append` mode positions writes at EOF after the truncation.
+        let _ = &mut active;
+        Ok(Wal {
+            dir: config.dir.clone(),
+            fsync: config.fsync,
+            segment_bytes: config.segment_bytes,
+            segments,
+            active,
+            active_len: scan.valid_len,
+            next_seq,
+            last_sync: Instant::now(),
+            dirty: false,
+        })
+    }
+
+    /// Sequence number the next append will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the last appended record (`next_seq - 1`); with
+    /// an empty log this is the base the log was opened at.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Smallest sequence number still on disk. Records older than this
+    /// have been truncated away behind a snapshot; a reader wanting
+    /// history from before `oldest_seq` needs the snapshot instead.
+    pub fn oldest_seq(&self) -> u64 {
+        self.segments[0].first_seq
+    }
+
+    /// Number of live segment files (tests and `STATS`).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Appends one payload, returning its assigned sequence number. The
+    /// record is on stable storage when this returns iff the policy is
+    /// [`FsyncPolicy::Always`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("wal payload exceeds {MAX_PAYLOAD} bytes"),
+            )));
+        }
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let mut buf = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc = shbf_bits::crc::Crc32::new();
+        crc.update(&seq.to_le_bytes());
+        crc.update(payload);
+        buf.extend_from_slice(&crc.finish().to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.active.write_all(&buf)?;
+        self.active_len += buf.len() as u64;
+        self.next_seq += 1;
+        self.dirty = true;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EverySec => {
+                if self.last_sync.elapsed() >= Duration::from_secs(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::No => {}
+        }
+        Ok(seq)
+    }
+
+    /// Flushes appended records to stable storage now, regardless of
+    /// policy. No-op when nothing is pending.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.dirty {
+            self.active.sync_data()?;
+            self.dirty = false;
+        }
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Seals the active segment and starts a new one at `next_seq`. Called
+    /// automatically past `segment_bytes`, and by the snapshot path so
+    /// [`Self::truncate_through`] can drop everything before the snapshot.
+    pub fn rotate(&mut self) -> Result<(), WalError> {
+        if self.fsync != FsyncPolicy::No {
+            self.sync()?;
+        }
+        let first_seq = self.next_seq;
+        let path = segment_path(&self.dir, first_seq);
+        self.active = create_segment(&path, first_seq)?;
+        self.active_len = HEADER_LEN;
+        self.segments.push(SegmentInfo { first_seq, path });
+        fsync_dir(&self.dir);
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Deletes sealed segments whose records are **all** `<= seq` (the
+    /// snapshot already covers them). The active segment is never removed.
+    pub fn truncate_through(&mut self, seq: u64) -> Result<(), WalError> {
+        let mut keep = Vec::with_capacity(self.segments.len());
+        for i in 0..self.segments.len() {
+            let fully_covered = match self.segments.get(i + 1) {
+                // A sealed segment ends where its successor begins.
+                Some(next) => next.first_seq <= seq + 1,
+                None => false, // the active segment stays
+            };
+            if fully_covered {
+                fs::remove_file(&self.segments[i].path)?;
+            } else {
+                keep.push(self.segments[i].clone());
+            }
+        }
+        self.segments = keep;
+        fsync_dir(&self.dir);
+        Ok(())
+    }
+
+    /// Visits up to `max` records with sequence numbers `> after`, in
+    /// order, as `(seq, payload)`. Returns how many were visited. Reads go
+    /// through fresh read-only handles, so a scan can run while the log
+    /// holds its append handle (the server calls this under the same lock
+    /// that orders appends).
+    pub fn scan_after(
+        &self,
+        after: u64,
+        max: usize,
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> Result<usize, WalError> {
+        let mut visited = 0usize;
+        let last = self.segments.len().saturating_sub(1);
+        for (i, seg) in self.segments.iter().enumerate() {
+            // Skip segments that end before `after`.
+            if let Some(next) = self.segments.get(i + 1) {
+                if next.first_seq <= after + 1 {
+                    continue;
+                }
+            }
+            if visited >= max {
+                break;
+            }
+            scan_segment(&seg.path, seg.first_seq, i == last, |seq, payload| {
+                if seq > after && visited < max {
+                    f(seq, payload);
+                    visited += 1;
+                }
+            })?;
+        }
+        Ok(visited)
+    }
+}
+
+fn create_segment(path: &Path, first_seq: u64) -> Result<File, WalError> {
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .read(true)
+        .write(true)
+        .open(path)?;
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&MAGIC.to_le_bytes());
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes());
+    header.extend_from_slice(&first_seq.to_le_bytes());
+    file.write_all(&header)?;
+    file.sync_data()?;
+    Ok(file)
+}
+
+/// Fsyncs a directory so renames/creates/unlinks inside it are durable.
+/// Best-effort: not every filesystem supports it, and recovery tolerates
+/// a lost directory entry (it shows up as a missing newest segment).
+fn fsync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Scans one segment, calling `f(seq, payload)` for each valid record.
+/// `tolerant` (the newest segment) stops cleanly at the first invalid
+/// record; a sealed segment reports it as [`WalError::Corrupt`].
+fn scan_segment(
+    path: &Path,
+    expected_first_seq: u64,
+    tolerant: bool,
+    mut f: impl FnMut(u64, &[u8]),
+) -> Result<SegmentScan, WalError> {
+    let corrupt = |offset: u64, reason: &'static str| WalError::Corrupt {
+        segment: path.to_path_buf(),
+        offset,
+        reason,
+    };
+    let mut file = File::open(path)?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+    if data.len() < HEADER_LEN as usize {
+        return Err(corrupt(0, "short segment header"));
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(corrupt(0, "bad segment magic"));
+    }
+    let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(4, "unsupported segment version"));
+    }
+    let first_seq = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    if first_seq != expected_first_seq {
+        return Err(corrupt(8, "segment first_seq does not match file name"));
+    }
+
+    let mut at = HEADER_LEN as usize;
+    let mut count = 0u64;
+    loop {
+        let rest = &data[at..];
+        if rest.is_empty() {
+            break;
+        }
+        let invalid = |reason: &'static str| -> Result<SegmentScan, WalError> {
+            if tolerant {
+                Ok(SegmentScan {
+                    count,
+                    valid_len: at as u64,
+                })
+            } else {
+                Err(corrupt(at as u64, reason))
+            }
+        };
+        if rest.len() < RECORD_HEADER_LEN as usize {
+            return invalid("torn record header");
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            return invalid("record length exceeds cap");
+        }
+        let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        let seq = u64::from_le_bytes(rest[8..16].try_into().unwrap());
+        let total = RECORD_HEADER_LEN as usize + len;
+        if rest.len() < total {
+            return invalid("torn record payload");
+        }
+        let payload = &rest[RECORD_HEADER_LEN as usize..total];
+        if crc32(&rest[8..total]) != stored_crc {
+            return invalid("record crc mismatch");
+        }
+        if seq != first_seq + count {
+            return invalid("record sequence gap");
+        }
+        f(seq, payload);
+        count += 1;
+        at += total;
+    }
+    Ok(SegmentScan {
+        count,
+        valid_len: at as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "shbf-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &Path) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::No,
+            segment_bytes: 8 << 20,
+        }
+    }
+
+    fn collect(wal: &Wal, after: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        wal.scan_after(after, usize::MAX, |seq, payload| {
+            out.push((seq, payload.to_vec()));
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        for i in 0..100u64 {
+            let seq = wal.append(format!("op-{i}").as_bytes()).unwrap();
+            assert_eq!(seq, i + 1);
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let wal = Wal::open(&config(&dir), 0).unwrap();
+        assert_eq!(wal.next_seq(), 101);
+        assert_eq!(wal.oldest_seq(), 1);
+        let records = collect(&wal, 0);
+        assert_eq!(records.len(), 100);
+        assert_eq!(records[0], (1, b"op-0".to_vec()));
+        assert_eq!(records[99], (100, b"op-99".to_vec()));
+        // Tail reads start anywhere.
+        let tail = collect(&wal, 97);
+        assert_eq!(
+            tail,
+            vec![
+                (98, b"op-97".to_vec()),
+                (99, b"op-98".to_vec()),
+                (100, b"op-99".to_vec())
+            ]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn base_seq_numbers_a_fresh_log() {
+        let dir = temp_dir("base");
+        let mut wal = Wal::open(&config(&dir), 41).unwrap();
+        assert_eq!(wal.next_seq(), 42);
+        assert_eq!(wal.last_seq(), 41);
+        assert_eq!(wal.append(b"x").unwrap(), 42);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let dir = temp_dir("torn");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        for i in 0..5u64 {
+            wal.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        let path = segment_path(&dir, 1);
+        let intact = fs::read(&path).unwrap();
+        let last_record_at = {
+            // 4 intact records; compute offset of the 5th.
+            let mut at = HEADER_LEN as usize;
+            for _ in 0..4 {
+                let len = u32::from_le_bytes(intact[at..at + 4].try_into().unwrap()) as usize;
+                at += RECORD_HEADER_LEN as usize + len;
+            }
+            at
+        };
+        drop(wal);
+
+        // Cut the file at every byte inside the final record: recovery
+        // must keep exactly the first four and resume at seq 5.
+        for cut in last_record_at..intact.len() {
+            fs::write(&path, &intact[..cut]).unwrap();
+            let mut wal = Wal::open(&config(&dir), 0).unwrap();
+            assert_eq!(wal.next_seq(), 5, "cut at {cut}");
+            let records = collect(&wal, 0);
+            assert_eq!(records.len(), 4, "cut at {cut}");
+            assert_eq!(records[3], (4, b"record-3".to_vec()));
+            // The log keeps working after truncation.
+            assert_eq!(wal.append(b"after-recovery").unwrap(), 5);
+            let records = collect(&wal, 4);
+            assert_eq!(
+                records,
+                vec![(5, b"after-recovery".to_vec())],
+                "cut at {cut}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc_corrupt_trailing_record_is_skipped() {
+        let dir = temp_dir("crc");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        for i in 0..3u64 {
+            wal.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        // Flip a payload bit in the last record.
+        let n = data.len();
+        data[n - 2] ^= 0x40;
+        fs::write(&path, &data).unwrap();
+
+        let wal = Wal::open(&config(&dir), 0).unwrap();
+        let records = collect(&wal, 0);
+        assert_eq!(records.len(), 2, "corrupt trailing record not dropped");
+        assert_eq!(wal.next_seq(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_a_hard_error() {
+        let dir = temp_dir("sealed");
+        let mut cfg = config(&dir);
+        cfg.segment_bytes = 64; // force rotation almost every append
+        let mut wal = Wal::open(&cfg, 0).unwrap();
+        for i in 0..10u64 {
+            wal.append(format!("record-{i:04}").as_bytes()).unwrap();
+        }
+        assert!(wal.segment_count() > 2, "rotation did not engage");
+        drop(wal);
+        // Corrupt a record in the FIRST (sealed) segment.
+        let path = segment_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+
+        let wal = Wal::open(&cfg, 0).unwrap(); // open only scans the tail
+        let err = wal.scan_after(0, usize::MAX, |_, _| {}).unwrap_err();
+        assert!(
+            matches!(err, WalError::Corrupt { .. }),
+            "sealed corruption must not be skipped: {err}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_truncate_through() {
+        let dir = temp_dir("truncate");
+        let mut cfg = config(&dir);
+        cfg.segment_bytes = 128;
+        let mut wal = Wal::open(&cfg, 0).unwrap();
+        for i in 0..50u64 {
+            wal.append(format!("record-{i:04}").as_bytes()).unwrap();
+        }
+        let segments_before = wal.segment_count();
+        assert!(segments_before > 3);
+        assert_eq!(wal.oldest_seq(), 1);
+
+        // Simulate a snapshot at seq 30: roll, then drop covered segments.
+        wal.rotate().unwrap();
+        wal.truncate_through(30).unwrap();
+        assert!(wal.segment_count() < segments_before);
+        assert!(wal.oldest_seq() > 1);
+        // Every record after 30 survived.
+        let records = collect(&wal, 30);
+        assert_eq!(records.len(), 20);
+        assert_eq!(records[0].0, 31);
+        assert_eq!(records[19].0, 50);
+        // Reopen agrees.
+        drop(wal);
+        let wal = Wal::open(&cfg, 30).unwrap();
+        assert_eq!(wal.next_seq(), 51);
+        assert_eq!(collect(&wal, 30).len(), 20);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_after_full_coverage_keeps_only_the_active_segment() {
+        let dir = temp_dir("truncate-all");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        for i in 0..10u64 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.rotate().unwrap();
+        wal.truncate_through(10).unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        assert_eq!(wal.oldest_seq(), 11);
+        assert_eq!(collect(&wal, 0).len(), 0);
+        assert_eq!(wal.append(b"next").unwrap(), 11);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_after_respects_max() {
+        let dir = temp_dir("max");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        for i in 0..20u64 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        let mut seen = Vec::new();
+        let n = wal.scan_after(5, 4, |seq, _| seen.push(seq)).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(seen, vec![6, 7, 8, 9]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(
+            "always".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Always
+        );
+        assert_eq!(
+            "everysec".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::EverySec
+        );
+        assert_eq!("no".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::No);
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn oversize_payload_is_rejected() {
+        let dir = temp_dir("oversize");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(wal.append(&big).is_err());
+        // The rejection consumed no sequence number.
+        assert_eq!(wal.append(b"ok").unwrap(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -68,6 +68,8 @@ COMMANDS
 
   serve [--port P] [--bind ADDR] [--unix PATH] [--workers N]
         [--load SNAPSHOT] [--evented] [--reactors N]
+        [--wal-dir DIR] [--fsync always|everysec|no] [--snapshot-every N]
+        [--data-dir DIR] [--replicaof HOST:PORT]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
       --unix listens on a UNIX-domain socket path instead of TCP;
@@ -75,6 +77,13 @@ COMMANDS
       --evented serves with the edge-triggered epoll reactor transport
       (pipelined parsing + vectored writes; Linux, falls back to
       threaded elsewhere), --reactors caps its event-loop threads.
+      --wal-dir enables the durable op-log: mutations are appended
+      (flushed per --fsync, default everysec) before the reply, a
+      snapshot + log truncation runs every --snapshot-every mutations
+      (default 10000), and boot recovers the newest snapshot plus the
+      log tail. --data-dir sandboxes SNAPSHOT/LOAD paths to one
+      directory. --replicaof starts as a read replica of a primary
+      (mutually exclusive with --wal-dir).
 
   client [--port P] [--host ADDR] [--unix PATH] [--send CMD]
          [--pipeline N]
@@ -329,6 +338,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers: usize = flags.get_parsed("workers", 64)?;
     let evented = flags.get("evented").is_some();
     let reactors: usize = flags.get_parsed("reactors", 0)?;
+    let wal_dir = flags.get("wal-dir").map(PathBuf::from);
+    let fsync: shbf::server::FsyncPolicy = flags
+        .get("fsync")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or_default();
+    let snapshot_every_ops: u64 = flags.get_parsed("snapshot-every", 10_000)?;
+    let data_dir = flags.get("data-dir").map(PathBuf::from);
+    let replica_of = flags.get("replicaof").map(str::to_string);
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
@@ -345,6 +363,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_connections: workers,
         transport,
         evented_workers: reactors,
+        wal_dir,
+        fsync,
+        snapshot_every_ops,
+        data_dir,
+        replica_of,
         ..ServerConfig::default()
     };
     let server = match flags.get("unix") {
