@@ -50,8 +50,9 @@ pub struct Engine {
     transport: Arc<TransportMetrics>,
     /// Durable op-log + snapshot state, set once by [`Self::enable_wal`].
     /// The mutex serializes **mutations** (apply + append must be atomic
-    /// for snapshot consistency); queries never touch it.
-    durability: OnceLock<parking_lot::Mutex<Durability>>,
+    /// for snapshot consistency); queries never touch it. Arc'd so the
+    /// `everysec` background flusher can hold it weakly.
+    durability: OnceLock<Arc<parking_lot::Mutex<Durability>>>,
     /// Replica link / replica tracking (both roles).
     replication: ReplicationState,
     /// Sandbox root for `SNAPSHOT`/`LOAD` paths, set once by
@@ -181,9 +182,38 @@ impl Engine {
             &self.registry,
             |_seq, line| self.apply_replay_line(line),
         )?;
+        let durability = Arc::new(parking_lot::Mutex::new(durability));
+        if fsync == FsyncPolicy::EverySec {
+            // `everysec` promises at most ~1s of acknowledged loss, but
+            // appends alone only fsync on the *next* append — if writes
+            // pause, the last batch would sit in the page cache
+            // indefinitely. A background flusher closes that window; it
+            // exits once the engine (and its Arc) is gone.
+            let weak = Arc::downgrade(&durability);
+            std::thread::Builder::new()
+                .name("shbf-wal-flusher".into())
+                .spawn(move || loop {
+                    match weak.upgrade() {
+                        Some(durability) => {
+                            let _ = durability.lock().sync();
+                        }
+                        None => return,
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                })
+                .map_err(|e| std::io::Error::other(format!("cannot spawn wal flusher: {e}")))?;
+        }
         self.durability
-            .set(parking_lot::Mutex::new(durability))
+            .set(durability)
             .map_err(|_| std::io::Error::other("wal already enabled"))
+    }
+
+    /// Flushes pending WAL appends to stable storage regardless of
+    /// policy (the server calls this on shutdown). No-op without a WAL.
+    pub fn sync_wal(&self) {
+        if let Some(durability) = self.durability.get() {
+            let _ = durability.lock().sync();
+        }
     }
 
     /// Whether a durable op-log is attached.
@@ -200,6 +230,13 @@ impl Engine {
     /// logging wrappers — the WAL replay and replica-applier entry
     /// point. An error reply is a replay divergence, returned as `Err`.
     pub(crate) fn apply_replay_line(&self, line: &str) -> Result<(), String> {
+        if line.starts_with(persistence::LOAD_MARKER) {
+            // A `LOAD` boundary: the state it denotes travels as a
+            // snapshot (boot recovery) or a forced full-resync
+            // (replicas — see `replication::serve_link`), never as a
+            // replayable op.
+            return Ok(());
+        }
         let cmd = crate::protocol::parse_command(line).map_err(|e| e.to_string())?;
         match self.eval_inner(&cmd, &mut QueryScratch::default()) {
             Response::Error(e) => Err(e),
@@ -283,11 +320,16 @@ impl Engine {
                 Some(line) => durability
                     .append_op(&line)
                     .and_then(|_| durability.maybe_snapshot(&self.registry)),
-                // LOAD replaces the world outside the op-log: force a
-                // state snapshot so recovery sees the post-LOAD state.
-                None if matches!(cmd, Command::Load { .. }) => {
-                    durability.snapshot_now(&self.registry).map(|_| ())
-                }
+                // LOAD replaces the world outside the op-log: log a
+                // boundary marker, then force a state snapshot so
+                // recovery sees the post-LOAD state. The snapshot's
+                // truncation drops the log through the marker, so every
+                // replica position from before the LOAD turns stale and
+                // tailing replicas full-resync instead of silently
+                // serving pre-LOAD state at reported lag 0.
+                None if matches!(cmd, Command::Load { .. }) => durability
+                    .append_op(persistence::LOAD_MARKER)
+                    .and_then(|_| durability.snapshot_now(&self.registry).map(|_| ())),
                 None => Ok(()),
             };
             if let Err(e) = logged {
@@ -327,9 +369,14 @@ impl Engine {
         let durability = durability.lock();
         // The log covers (oldest_seq-1, last_seq]; a replica at `have`
         // needs ops from have+1. `have == 0` always full-syncs — a fresh
-        // replica's registry contents are not a trusted prefix.
-        if have > 0 && have + 1 >= durability.oldest_seq() {
-            Response::Simple(format!("TAIL {}", durability.last_seq()))
+        // replica's registry contents are not a trusted prefix. And
+        // `have > last_seq` means the replica's history is not ours
+        // (e.g. this primary restarted with a lost/fresh WAL dir): that
+        // also full-syncs instead of letting the replica serve divergent
+        // state while believing it is caught up.
+        let last_seq = durability.last_seq();
+        if have > 0 && have <= last_seq && have + 1 >= durability.oldest_seq() {
+            Response::Simple(format!("TAIL {last_seq}"))
         } else {
             let (seq, blob) = durability.sync_blob(&self.registry);
             Response::Array(vec![
@@ -354,16 +401,26 @@ impl Engine {
         self.replication.note_pull(id, from);
         let max = max.clamp(1, 4096) as usize;
         let mut items = vec![Response::Simple(format!("UPTO {}", durability.last_seq()))];
-        let scanned = durability.scan_after(from, max, |seq, payload| {
-            items.push(Response::Simple(format!(
-                "{seq} {}",
-                String::from_utf8_lossy(payload)
-            )));
+        // Fast path: recent ops are mirrored in an in-memory ring, so a
+        // healthy replica's poll never re-reads segment files while
+        // holding the lock that serializes all mutations. Only a replica
+        // further behind than the ring (but still within the log) pays
+        // for a disk scan.
+        let served = durability.recent_tail(from, max, |seq, line| {
+            items.push(Response::Simple(format!("{seq} {line}")));
         });
-        match scanned {
-            Ok(_) => Response::Array(items),
-            Err(e) => Response::Error(format!("wal scan: {e}")),
+        if !served {
+            let scanned = durability.scan_after(from, max, |seq, payload| {
+                items.push(Response::Simple(format!(
+                    "{seq} {}",
+                    String::from_utf8_lossy(payload)
+                )));
+            });
+            if let Err(e) = scanned {
+                return Response::Error(format!("wal scan: {e}"));
+            }
         }
+        Response::Array(items)
     }
 
     /// `STATS replication` — role, progress, and lag for either side.
@@ -971,6 +1028,132 @@ mod tests {
         assert_eq!(c, Control::CloseConnection);
         let (_, c) = e.dispatch(&Command::Shutdown);
         assert_eq!(c, Control::ShutdownServer);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "shbf-engine-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wal_engine(dir: &Path) -> Engine {
+        let e = Engine::new();
+        e.enable_wal(dir, FsyncPolicy::No, 0).unwrap();
+        e
+    }
+
+    #[test]
+    fn sync_handshake_full_syncs_a_replica_from_the_future() {
+        let dir = temp_dir("sync-future");
+        let e = wal_engine(&dir);
+        e.eval_line("CREATE ns shbf-m 80000 8");
+        e.eval_line("INSERT ns a");
+        e.eval_line("INSERT ns b"); // last_seq == 3
+                                    // An in-range position tails.
+        let r = e.eval_line("SYNC 2").encode_to_string();
+        assert!(r.starts_with("+TAIL 3"), "{r}");
+        // A position beyond our history (e.g. this primary restarted
+        // with a lost/fresh WAL dir) must full-sync, not let the replica
+        // serve divergent state at reported lag 0.
+        let r = e.eval_line("SYNC 9").encode_to_string();
+        assert!(r.contains("FULL 3"), "{r}");
+        // A fresh replica always full-syncs.
+        let r = e.eval_line("SYNC 0").encode_to_string();
+        assert!(r.contains("FULL 3"), "{r}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pull_ops_serves_tails_from_the_ring_and_falls_back_to_disk() {
+        let dir = temp_dir("pull-ring");
+        let e = wal_engine(&dir);
+        e.eval_line("CREATE ns shbf-m 200000 8");
+        for i in 0..4400 {
+            e.eval_line(&format!("INSERT ns k-{i}"));
+        }
+        // last_seq == 4401; the in-memory ring holds the newest 4096
+        // ops, so a nearly-caught-up replica is served from memory...
+        let r = e.eval_line("PULLOPS r1 4399 16").encode_to_string();
+        assert!(r.contains("+UPTO 4401"), "{r}");
+        assert!(r.contains("+4400 INSERT ns k-4398 1"), "{r}");
+        assert!(r.contains("+4401 INSERT ns k-4399 1"), "{r}");
+        // ...and one further behind than the ring still gets its ops,
+        // through the segment-scan fallback.
+        let r = e.eval_line("PULLOPS r2 0 4").encode_to_string();
+        assert!(r.contains("+1 CREATE ns"), "{r}");
+        assert!(r.contains("+4 INSERT ns k-2 1"), "{r}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_invalidates_replica_log_positions() {
+        let dir = temp_dir("load-stale");
+        let e = wal_engine(&dir);
+        e.eval_line("CREATE ns shbf-m 80000 8");
+        e.eval_line("INSERT ns a"); // pre-LOAD last_seq == 2
+        let snap = dir.join("world.snap");
+        assert_eq!(
+            simple(&e.eval_line(&format!("SNAPSHOT {}", snap.display()))),
+            "OK 1 namespaces"
+        );
+        assert_eq!(
+            simple(&e.eval_line(&format!("LOAD {}", snap.display()))),
+            "OK 1 namespaces"
+        );
+        // A replica that was caught up before the LOAD must be told to
+        // resync — not handed an empty tail at lag 0 while its state is
+        // silently pre-LOAD.
+        let r = e.eval_line("PULLOPS r 2 16");
+        assert!(
+            matches!(&r, Response::Error(msg) if msg.contains("resync")),
+            "pre-LOAD PULLOPS position survived: {r:?}"
+        );
+        let s = e.eval_line("SYNC 2").encode_to_string();
+        assert!(s.contains("FULL"), "pre-LOAD SYNC position tailed: {s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_marker_lines_replay_as_noops() {
+        let e = engine();
+        assert!(e.apply_replay_line(crate::persistence::LOAD_MARKER).is_ok());
+    }
+
+    #[test]
+    fn mutations_after_consecutive_loads_survive_reopen() {
+        let dir = temp_dir("load-load");
+        let snap = dir.join("world.snap");
+        {
+            let e = wal_engine(&dir);
+            e.eval_line("CREATE ns shbf-m 80000 8");
+            assert_eq!(
+                simple(&e.eval_line(&format!("SNAPSHOT {}", snap.display()))),
+                "OK 1 namespaces"
+            );
+            // Two back-to-back LOADs with no ops in between — the shape
+            // that used to rotate an empty segment, unlink the active
+            // write handle's file, and lose every later append.
+            for _ in 0..2 {
+                assert_eq!(
+                    simple(&e.eval_line(&format!("LOAD {}", snap.display()))),
+                    "OK 1 namespaces"
+                );
+            }
+            assert_eq!(e.eval_line("INSERT ns durable-key"), Response::ok());
+            e.sync_wal();
+        }
+        let e = wal_engine(&dir);
+        assert_eq!(
+            e.eval_line("QUERY ns durable-key"),
+            Response::Int(1),
+            "acknowledged post-LOAD write lost across reopen"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! hit/miss counters are not logged, so restored counters reflect the
 //! last snapshot, not the crash instant.
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use shbf_bits::{Reader, Writer};
@@ -43,6 +44,21 @@ pub const STATE_KIND: u16 = 65;
 /// How many state files to retain (the newest, plus fallbacks against a
 /// torn or bit-flipped newest file).
 const KEEP_STATE_FILES: usize = 2;
+
+/// In-memory ring of the most recent op lines, mirrored at append time
+/// so replication tails are served without re-reading segment files
+/// under the mutation lock. Sized past the largest `PULLOPS` batch.
+const RECENT_OPS: usize = 4096;
+
+/// Op line logged at a `LOAD` boundary. `LOAD` replaces the whole
+/// registry from a primary-local file, so it cannot be replayed from the
+/// log; the marker exists to consume a sequence number right before the
+/// forced snapshot truncates the log, which makes every pre-`LOAD`
+/// replica position stale and forces tailing replicas to full-resync
+/// onto the post-`LOAD` snapshot. Boot replay skips it
+/// ([`crate::engine::Engine`]); a replica that still receives one (crash
+/// before the truncation landed) treats it as a resync demand.
+pub(crate) const LOAD_MARKER: &str = "#LOAD";
 
 fn state_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("state-{seq:020}.snap"))
@@ -145,6 +161,10 @@ pub(crate) struct Durability {
     /// explicit boundaries like `LOAD`).
     snapshot_every_ops: u64,
     ops_since_snapshot: u64,
+    /// Ring of the most recent op lines (seq ascending, contiguous) —
+    /// the replication-tail fast path that spares the mutation lock any
+    /// disk reads.
+    recent: VecDeque<(u64, String)>,
     /// Reported by `STATS replication`.
     pub(crate) fsync: FsyncPolicy,
 }
@@ -200,6 +220,7 @@ impl Durability {
             )));
         }
         let mut replay_error = None;
+        let mut recent: VecDeque<(u64, String)> = VecDeque::new();
         wal.scan_after(base_seq, usize::MAX, |seq, payload| {
             if replay_error.is_some() {
                 return;
@@ -207,6 +228,13 @@ impl Durability {
             let line = String::from_utf8_lossy(payload);
             if let Err(e) = replay(seq, &line) {
                 replay_error = Some(format!("wal replay: op {seq} (`{line}`): {e}"));
+                return;
+            }
+            // Seed the tail ring so replicas reconnecting right after a
+            // primary restart are served from memory.
+            recent.push_back((seq, line.into_owned()));
+            if recent.len() > RECENT_OPS {
+                recent.pop_front();
             }
         })
         .map_err(wal_err)?;
@@ -218,6 +246,7 @@ impl Durability {
             dir: dir.to_path_buf(),
             snapshot_every_ops,
             ops_since_snapshot: 0,
+            recent,
             fsync,
         })
     }
@@ -225,7 +254,19 @@ impl Durability {
     /// Appends one canonical op line; returns its sequence number.
     pub(crate) fn append_op(&mut self, line: &str) -> std::io::Result<u64> {
         self.ops_since_snapshot += 1;
-        self.wal.append(line.as_bytes()).map_err(wal_err)
+        let seq = self.wal.append(line.as_bytes()).map_err(wal_err)?;
+        self.recent.push_back((seq, line.to_string()));
+        if self.recent.len() > RECENT_OPS {
+            self.recent.pop_front();
+        }
+        Ok(seq)
+    }
+
+    /// Flushes pending WAL appends to stable storage (the `everysec`
+    /// background flusher and the server shutdown path; cheap no-op when
+    /// nothing is pending).
+    pub(crate) fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync().map_err(wal_err)
     }
 
     /// Takes a state snapshot if the op interval has elapsed. Called with
@@ -268,6 +309,32 @@ impl Durability {
     /// Oldest sequence number the log still covers.
     pub(crate) fn oldest_seq(&self) -> u64 {
         self.wal.oldest_seq()
+    }
+
+    /// Serves up to `max` ops with `seq > after` from the in-memory ring
+    /// — no disk reads while the caller holds the mutation lock. Returns
+    /// `false` (visiting nothing) when the ring does not reach back to
+    /// `after`; the caller falls back to [`Self::scan_after`], which is
+    /// rare (a replica more than [`RECENT_OPS`] ops behind but still
+    /// within the log).
+    pub(crate) fn recent_tail(&self, after: u64, max: usize, mut f: impl FnMut(u64, &str)) -> bool {
+        if after >= self.wal.last_seq() {
+            return true; // nothing newer exists; the empty tail is exact
+        }
+        match self.recent.front() {
+            Some(&(front_seq, _)) if front_seq <= after + 1 => {
+                for (seq, line) in self
+                    .recent
+                    .iter()
+                    .skip_while(|(seq, _)| *seq <= after)
+                    .take(max)
+                {
+                    f(*seq, line);
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Visits up to `max` logged ops with `seq > after` (replication

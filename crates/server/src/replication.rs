@@ -282,6 +282,18 @@ fn serve_link(
             let seq: u64 = seq_tok
                 .parse()
                 .map_err(|_| other(format!("bad PULLOPS seq: {entry:?}")))?;
+            if op_line.starts_with(crate::persistence::LOAD_MARKER) {
+                // The primary replaced its whole state via LOAD. The
+                // marker normally never reaches a replica (the forced
+                // snapshot truncates it away under the same lock), but a
+                // primary crash between append and truncation can leave
+                // it in the shipped tail — and then the tail alone is
+                // not the post-LOAD state. Full-resync.
+                state.applied_seq.store(0, Ordering::SeqCst);
+                return Err(other(format!(
+                    "op {seq}: primary loaded a snapshot; resyncing"
+                )));
+            }
             if let Err(e) = engine.apply_replay_line(op_line) {
                 // Divergence (an op the local state rejects): resync from
                 // a fresh snapshot rather than drift further.

@@ -333,6 +333,9 @@ impl Server {
         // primary link is healthy; detach so a stopped server doesn't
         // keep tailing (and eventually spamming reconnect errors).
         engine.replication().detach();
+        // A clean shutdown leaves no acknowledged-but-unflushed tail
+        // behind, whatever the fsync policy's steady-state window is.
+        engine.sync_wal();
         if let Endpoint::Unix(path) = &endpoint {
             let _ = std::fs::remove_file(path);
         }

@@ -74,8 +74,11 @@ pub enum FsyncPolicy {
     /// `fsync` before every append returns: an acknowledged write
     /// survives power loss. Slowest.
     Always,
-    /// `fsync` at most once per second (checked on append): at most ~1s
-    /// of acknowledged writes can be lost. The production default.
+    /// `fsync` at most once per second, checked on append: at most ~1s
+    /// of acknowledged writes can be lost. Appends alone only flush on
+    /// the *next* append, so callers wanting the ~1s bound to hold
+    /// across write pauses should also drive [`Wal::sync`] from a timer
+    /// (the server runs a background flusher). The production default.
     #[default]
     EverySec,
     /// Never `fsync`; the OS flushes when it pleases. Fastest, loses up
@@ -364,7 +367,17 @@ impl Wal {
     /// Seals the active segment and starts a new one at `next_seq`. Called
     /// automatically past `segment_bytes`, and by the snapshot path so
     /// [`Self::truncate_through`] can drop everything before the snapshot.
+    ///
+    /// A no-op when the active segment holds no records: it is already
+    /// the post-rotation state, and rotating anyway would register a
+    /// second [`SegmentInfo`] for the same `wal-<next_seq>.log` path —
+    /// [`Self::truncate_through`] would then see the duplicate as fully
+    /// covered and unlink the file the live write handle points at,
+    /// silently losing every later append across a restart.
     pub fn rotate(&mut self) -> Result<(), WalError> {
+        if self.active_len == HEADER_LEN {
+            return Ok(());
+        }
         if self.fsync != FsyncPolicy::No {
             self.sync()?;
         }
@@ -381,6 +394,10 @@ impl Wal {
     /// Deletes sealed segments whose records are **all** `<= seq` (the
     /// snapshot already covers them). The active segment is never removed.
     pub fn truncate_through(&mut self, seq: u64) -> Result<(), WalError> {
+        // Defense in depth against bookkeeping bugs (e.g. a duplicate
+        // entry for the active path): never unlink the file the active
+        // write handle points at, whatever the coverage math says.
+        let active_path = self.segments.last().map(|s| s.path.clone());
         let mut keep = Vec::with_capacity(self.segments.len());
         for i in 0..self.segments.len() {
             let fully_covered = match self.segments.get(i + 1) {
@@ -388,7 +405,7 @@ impl Wal {
                 Some(next) => next.first_seq <= seq + 1,
                 None => false, // the active segment stays
             };
-            if fully_covered {
+            if fully_covered && Some(&self.segments[i].path) != active_path.as_ref() {
                 fs::remove_file(&self.segments[i].path)?;
             } else {
                 keep.push(self.segments[i].clone());
@@ -732,6 +749,51 @@ mod tests {
         let wal = Wal::open(&cfg, 30).unwrap();
         assert_eq!(wal.next_seq(), 51);
         assert_eq!(collect(&wal, 30).len(), 20);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotate_on_empty_active_segment_is_a_noop() {
+        // Regression: rotating an empty active segment used to push a
+        // duplicate SegmentInfo for the same path; truncate_through then
+        // unlinked the active write handle's file and every later append
+        // vanished on reopen. Trigger: snapshot with no ops since the
+        // last rotation (e.g. LOAD right after boot, or twice in a row).
+        let dir = temp_dir("empty-rotate");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        wal.rotate().unwrap();
+        assert_eq!(wal.segment_count(), 1, "empty rotate must be a no-op");
+        wal.truncate_through(wal.last_seq()).unwrap();
+        assert_eq!(wal.append(b"survives").unwrap(), 1);
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = Wal::open(&config(&dir), 0).unwrap();
+        assert_eq!(
+            collect(&wal, 0),
+            vec![(1, b"survives".to_vec())],
+            "append after empty rotate + truncate was lost on reopen"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_rotate_truncate_cycles_never_drop_appends() {
+        // Two consecutive snapshot cycles with no intervening ops, then a
+        // write: the write must survive a reopen.
+        let dir = temp_dir("double-rotate");
+        let mut wal = Wal::open(&config(&dir), 0).unwrap();
+        wal.append(b"a").unwrap();
+        for _ in 0..2 {
+            wal.rotate().unwrap();
+            wal.truncate_through(wal.last_seq()).unwrap();
+        }
+        assert_eq!(wal.segment_count(), 1);
+        assert_eq!(wal.append(b"b").unwrap(), 2);
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = Wal::open(&config(&dir), 1).unwrap();
+        assert_eq!(wal.next_seq(), 3);
+        assert_eq!(collect(&wal, 1), vec![(2, b"b".to_vec())]);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -275,6 +275,69 @@ fn replicaof_verb_attaches_a_running_server() {
 }
 
 #[test]
+fn load_on_the_primary_forces_replicas_to_resync() {
+    let wal_dir = temp_dir("load");
+    let out_dir = temp_dir("load-out");
+    let (primary_handle, primary_addr) = start_primary(&wal_dir);
+    let mut primary = Client::connect(primary_addr).unwrap();
+
+    // State A, saved to disk.
+    expect_ok(&mut primary, "CREATE flows shbf-m 100000 8 4 7");
+    for i in 0..50 {
+        expect_ok(&mut primary, &format!("INSERT flows keep-{i}"));
+    }
+    let world = out_dir.join("world.snap");
+    expect_ok(&mut primary, &format!("SNAPSHOT {}", world.display()));
+
+    let (replica_handle, replica_addr) = start_replica(primary_addr);
+    let mut replica = Client::connect(replica_addr).unwrap();
+
+    // Diverge past the saved state, with the replica tailing along.
+    for i in 0..50 {
+        expect_ok(&mut primary, &format!("INSERT flows drop-{i}"));
+    }
+    let seq = primary_last_seq(&mut primary);
+    await_caught_up(&mut replica, seq);
+    assert_eq!(
+        replica.send_expect_one("QUERY flows drop-49").unwrap(),
+        ":1"
+    );
+
+    // Roll the primary back to state A. The replica's log position is
+    // now meaningless: it must full-resync onto the post-LOAD snapshot,
+    // not keep serving the pre-LOAD world while reporting lag 0.
+    expect_ok(&mut primary, &format!("LOAD {}", world.display()));
+    let seq = primary_last_seq(&mut primary);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let applied: u64 = replication_field(&mut replica, "applied_seq")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let lag: u64 = replication_field(&mut replica, "lag")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let dropped = replica.send_expect_one("QUERY flows drop-49").unwrap() == ":0";
+        if applied >= seq && lag == 0 && dropped {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never resynced past the LOAD (applied {applied}, lag {lag}, dropped {dropped})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // ...and it still answers for the restored state.
+    assert_eq!(replica.send_expect_one("QUERY flows keep-0").unwrap(), ":1");
+
+    replica_handle.shutdown().unwrap();
+    primary_handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&wal_dir).ok();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
 fn wal_and_replica_roles_are_mutually_exclusive() {
     let wal_dir = temp_dir("excl");
     let (primary_handle, primary_addr) = start_primary(&wal_dir);
