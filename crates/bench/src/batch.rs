@@ -195,6 +195,7 @@ pub fn run(cfg: &BatchBenchConfig) -> (Vec<SizePoint>, String) {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"batch_query\",\n");
+    json.push_str(&crate::harness::provenance_json_fields());
     json.push_str("  \"unit\": \"membership queries per second\",\n");
     json.push_str(&format!("  \"k\": {},\n", cfg.k));
     json.push_str(&format!("  \"batch_chunk\": {},\n", shbf_core::BATCH_CHUNK));

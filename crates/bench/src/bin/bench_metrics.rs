@@ -1,0 +1,78 @@
+//! Emits `BENCH_metrics.json`: dispatch throughput with the metrics
+//! layer enabled vs. disabled — the observability instrumentation's
+//! overhead at the `Engine::dispatch` boundary.
+//!
+//! ```console
+//! $ cargo run --release -p shbf-bench --bin bench_metrics -- \
+//!       --ops 400000 --passes 5 --out BENCH_metrics.json
+//! ```
+
+use shbf_bench::metrics_overhead::{run, MetricsBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_metrics [--m-bits BITS] [--keys N] [--ops N] \
+         [--passes N] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = MetricsBenchConfig::default();
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--m-bits" => {
+                cfg.m_bits = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--keys" => {
+                cfg.keys = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ops" => {
+                cfg.ops = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--passes" => {
+                cfg.passes = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                out = Some(value());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "bench_metrics: m_bits = {}, keys = {}, ops = {}, passes = {}",
+        cfg.m_bits, cfg.keys, cfg.ops, cfg.passes
+    );
+    let (result, json) = run(&cfg);
+    println!(
+        "{:>20} {:>20} {:>12}",
+        "metrics_on (ops/s)", "metrics_off (ops/s)", "overhead"
+    );
+    println!(
+        "{:>20.0} {:>20.0} {:>11.2}%",
+        result.enabled_ops_per_sec, result.disabled_ops_per_sec, result.overhead_pct
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_metrics: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("bench_metrics: wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

@@ -19,6 +19,7 @@
 pub mod batch;
 pub mod figs;
 pub mod harness;
+pub mod metrics_overhead;
 pub mod replication_bench;
 pub mod server_bench;
 pub mod speed;

@@ -1,0 +1,139 @@
+//! Instrumentation-overhead bench: the same dispatch workload with the
+//! engine's metrics layer enabled vs. disabled.
+//!
+//! The observability PR's contract is that per-command timing (one
+//! `Instant::now()` pair, one relaxed histogram increment, a slow-log
+//! threshold check) stays within a few percent of the uninstrumented
+//! dispatch path. This bench measures exactly that boundary — in-process
+//! `Engine::dispatch_with` over pre-parsed commands, no sockets — so the
+//! delta is the instrumentation itself and not transport noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shbf_server::{parse_command, Command, Engine, QueryScratch};
+
+/// Workload shape for [`run`].
+pub struct MetricsBenchConfig {
+    /// Filter size in logical bits.
+    pub m_bits: usize,
+    /// Keys preloaded into the namespace (half the queried keys hit).
+    pub keys: usize,
+    /// Measured dispatches per pass.
+    pub ops: usize,
+    /// Alternating enabled/disabled passes (first pass of each kind is
+    /// a warmup and discarded).
+    pub passes: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for MetricsBenchConfig {
+    fn default() -> Self {
+        MetricsBenchConfig {
+            m_bits: 1 << 20,
+            keys: 50_000,
+            ops: 400_000,
+            passes: 5,
+            seed: 0x5683_2016,
+        }
+    }
+}
+
+/// One measured configuration.
+pub struct MetricsBenchResult {
+    /// Median dispatch throughput with metrics enabled, ops/s.
+    pub enabled_ops_per_sec: f64,
+    /// Median dispatch throughput with metrics disabled, ops/s.
+    pub disabled_ops_per_sec: f64,
+    /// `(disabled - enabled) / disabled`, as a percentage; negative
+    /// means the instrumented run measured faster (noise floor).
+    pub overhead_pct: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Runs the bench; returns the result and the `BENCH_metrics.json` body.
+pub fn run(cfg: &MetricsBenchConfig) -> (MetricsBenchResult, String) {
+    let engine = Arc::new(Engine::new());
+    let mut scratch = QueryScratch::new();
+    let create = parse_command(&format!("CREATE bench shbf-m {} 8", cfg.m_bits)).unwrap();
+    engine.dispatch_with(&create, &mut scratch);
+    for i in 0..cfg.keys {
+        let cmd = parse_command(&format!("INSERT bench key-{i}")).unwrap();
+        engine.dispatch_with(&cmd, &mut scratch);
+    }
+    // Pre-parse the query mix (half present, half absent) so the timed
+    // loop is dispatch only.
+    let commands: Vec<Command> = (0..cfg.ops)
+        .map(|i| {
+            let line = if i % 2 == 0 {
+                format!("QUERY bench key-{}", i % cfg.keys)
+            } else {
+                format!("QUERY bench absent-{i}")
+            };
+            parse_command(&line).unwrap()
+        })
+        .collect();
+
+    let mut pass = |enabled: bool| -> f64 {
+        engine.metrics().set_enabled(enabled);
+        let started = Instant::now();
+        for cmd in &commands {
+            engine.dispatch_with(cmd, &mut scratch);
+        }
+        let took = started.elapsed();
+        engine.metrics().set_enabled(true);
+        cfg.ops as f64 / took.as_secs_f64()
+    };
+
+    // Interleave so frequency scaling and cache state drift hit both
+    // sides equally; drop the first pass of each kind as warmup.
+    let mut enabled_runs = Vec::new();
+    let mut disabled_runs = Vec::new();
+    for p in 0..cfg.passes.max(2) {
+        let e = pass(true);
+        let d = pass(false);
+        if p > 0 {
+            enabled_runs.push(e);
+            disabled_runs.push(d);
+        }
+    }
+    let enabled_ops_per_sec = median(enabled_runs);
+    let disabled_ops_per_sec = median(disabled_runs);
+    let overhead_pct = 100.0 * (disabled_ops_per_sec - enabled_ops_per_sec) / disabled_ops_per_sec;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"metrics_overhead\",\n");
+    json.push_str(&crate::harness::provenance_json_fields());
+    json.push_str("  \"unit\": \"dispatched queries per second\",\n");
+    json.push_str(&format!("  \"m_bits\": {},\n", cfg.m_bits));
+    json.push_str(&format!("  \"keys\": {},\n", cfg.keys));
+    json.push_str(&format!("  \"ops_per_pass\": {},\n", cfg.ops));
+    json.push_str(&format!(
+        "  \"measured_passes\": {},\n",
+        cfg.passes.max(2) - 1
+    ));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!(
+        "  \"metrics_enabled_ops_per_sec\": {enabled_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"metrics_disabled_ops_per_sec\": {disabled_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!("  \"overhead_pct\": {overhead_pct:.2}\n"));
+    json.push_str("}\n");
+
+    (
+        MetricsBenchResult {
+            enabled_ops_per_sec,
+            disabled_ops_per_sec,
+            overhead_pct,
+        },
+        json,
+    )
+}

@@ -191,6 +191,7 @@ pub fn run(cfg: &ReplicationBenchConfig) -> (ReplicationBenchResult, String) {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"replication_read_fanout\",\n");
+    json.push_str(&crate::harness::provenance_json_fields());
     json.push_str("  \"unit\": \"queries per second over real sockets\",\n");
     json.push_str(&format!("  \"replicas\": {},\n", result.replicas));
     json.push_str(&format!("  \"clients\": {},\n", cfg.base.clients));

@@ -517,6 +517,7 @@ pub fn run(cfg: &ServerBenchConfig) -> (ServerBenchResult, String) {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"server_throughput\",\n");
+    json.push_str(&crate::harness::provenance_json_fields());
     json.push_str("  \"unit\": \"commands per second over real sockets\",\n");
     json.push_str(&format!("  \"clients\": {},\n", cfg.clients));
     json.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.depth));

@@ -125,6 +125,22 @@ impl ShardedCShbfM {
         (s.m(), s.k(), s.w_bar())
     }
 
+    /// Set bits summed over all shards' on-chip mirrors.
+    pub fn count_ones(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().count_ones() as u64)
+            .sum()
+    }
+
+    /// Physical mirror bits summed over all shards.
+    pub fn physical_bits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().physical_bits() as u64)
+            .sum()
+    }
+
     /// Batched membership query: keys are grouped by shard so each shard's
     /// read lock is taken **once per batch** instead of once per key, and
     /// each shard's group runs through [`CShbfM::contains_batch_into`]'s

@@ -319,6 +319,16 @@ impl CShbfA {
         }
     }
 
+    /// Number of set bits in the on-chip mirror.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Physical length of the on-chip mirror in bits.
+    pub fn physical_bits(&self) -> usize {
+        self.bits.len()
+    }
+
     /// Consistency check: bit mirror must equal "counter nonzero".
     pub fn check_sync(&self) -> usize {
         (0..self.bits.len())

@@ -333,6 +333,16 @@ impl CShbfM {
         result
     }
 
+    /// Number of set bits in the on-chip mirror.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Physical length of the on-chip mirror in bits (`m + w̄ − 1`).
+    pub fn physical_bits(&self) -> usize {
+        self.bits.len()
+    }
+
     /// Verifies that the bit mirror equals "counter nonzero" everywhere —
     /// the invariant incremental synchronization maintains. Returns the
     /// number of mismatching positions (0 when consistent).

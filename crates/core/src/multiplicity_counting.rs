@@ -131,6 +131,17 @@ impl CShbfX {
         self.table.len()
     }
 
+    /// Exact multiplicity of `item` from the off-chip table — ground
+    /// truth under [`UpdatePolicy::ExactTable`] (the filter's answer can
+    /// only diverge upward, i.e. a false positive). `None` under
+    /// [`UpdatePolicy::FilterDerived`], which keeps no per-element state.
+    pub fn ground_truth(&self, item: &[u8]) -> Option<u64> {
+        match self.policy {
+            UpdatePolicy::ExactTable => Some(self.table.get(item).copied().unwrap_or(0)),
+            UpdatePolicy::FilterDerived => None,
+        }
+    }
+
     /// All `k` positions of one key, hashed once (digest-once families pay
     /// a single base-hash pass here).
     #[inline]
@@ -309,6 +320,16 @@ impl CShbfX {
             }
         }
         true
+    }
+
+    /// Number of set bits in the on-chip mirror.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Physical length of the on-chip mirror in bits (`m + c − 1`).
+    pub fn physical_bits(&self) -> usize {
+        self.bits.len()
     }
 
     /// Consistency check between bit mirror and counters.

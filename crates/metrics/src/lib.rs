@@ -1,0 +1,428 @@
+//! Lock-free metric primitives and a Prometheus text-exposition writer.
+//!
+//! Everything here is `std`-only and allocation-free on the hot path:
+//! [`Counter`] and [`Gauge`] are single relaxed atomics, and [`Histogram`]
+//! is a fixed array of relaxed atomics with power-of-two nanosecond bucket
+//! bounds, so recording an observation costs two atomic adds and one
+//! atomic increment — no locks, no branches beyond the bucket index
+//! computation (a `leading_zeros` and a clamp).
+//!
+//! Rendering is pulled out into [`Exposition`], which produces the
+//! Prometheus text format (version 0.0.4): `# HELP` / `# TYPE` headers,
+//! escaped help text and label values, and cumulative `_bucket` series
+//! terminated by `le="+Inf"` plus `_sum` / `_count`.
+//!
+//! Snapshots read the same relaxed atomics the writers touch, so a scrape
+//! concurrent with traffic sees per-metric values that are individually
+//! consistent (monotone counters, buckets that never exceed `count` by
+//! more than in-flight observations) but not a global point-in-time cut —
+//! the standard Prometheus contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite histogram buckets (powers of two from 2^8 ns to
+/// 2^30 ns); observations above the last bound land only in `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 23;
+
+/// Upper bounds (inclusive) of the finite histogram buckets, in
+/// nanoseconds: `256ns, 512ns, …, 2^30ns ≈ 1.07s`.
+pub const BUCKET_BOUNDS_NS: [u64; HISTOGRAM_BUCKETS] = {
+    let mut bounds = [0u64; HISTOGRAM_BUCKETS];
+    let mut i = 0;
+    while i < HISTOGRAM_BUCKETS {
+        bounds[i] = 1u64 << (8 + i);
+        i += 1;
+    }
+    bounds
+};
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an `f64` (stored as its bit pattern in a relaxed
+/// atomic), settable up or down.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket latency histogram over power-of-two nanosecond bounds
+/// ([`BUCKET_BOUNDS_NS`]), plus `sum` and `count`.
+///
+/// Buckets are stored *non*-cumulative (one atomic per bucket, no
+/// cross-bucket contention); [`Exposition::histogram`] accumulates them
+/// into the cumulative `le` series Prometheus expects.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the smallest bucket whose bound is `>= ns`, or
+    /// `HISTOGRAM_BUCKETS` if `ns` exceeds every finite bound (the
+    /// observation then counts only toward `+Inf`).
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        // ceil(log2(ns)) via leading_zeros, then shift so 2^8 maps to 0.
+        let ceil_log2 = if ns <= 1 {
+            0
+        } else {
+            64 - (ns - 1).leading_zeros() as usize
+        };
+        ceil_log2.saturating_sub(8).min(HISTOGRAM_BUCKETS)
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        let idx = Self::bucket_index(ns);
+        if idx < HISTOGRAM_BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, in nanoseconds.
+    #[inline]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, index-aligned with
+    /// [`BUCKET_BOUNDS_NS`].
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Escapes a HELP text: backslash and newline.
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus expects: integral floats
+/// without a fractional part, `+Inf`/`-Inf`/`NaN` spelled out.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Builder for a Prometheus text-format (0.0.4) exposition body.
+///
+/// Call [`Exposition::header`] once per metric family, then the sample
+/// methods; [`Exposition::finish`] returns the body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Self {
+        Exposition { out: String::new() }
+    }
+
+    /// Writes the `# HELP` and `# TYPE` lines for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_metric_name(name), "bad metric name: {name}");
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one sample line `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        debug_assert!(valid_metric_name(name), "bad metric name: {name}");
+        self.out.push_str(name);
+        self.write_labels(labels);
+        let _ = writeln!(self.out, " {}", format_value(value));
+    }
+
+    /// Writes the full cumulative series for a histogram: one
+    /// `name_bucket` per finite bound, the `+Inf` bucket, then
+    /// `name_sum` (in **seconds**, per Prometheus convention for
+    /// latency) and `name_count`. `labels` are emitted on every line,
+    /// with `le` appended on the bucket lines.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let counts = h.bucket_counts();
+        // The reads are individually atomic but collectively torn when
+        // recording continues under the scrape; clamping the total to
+        // the bucket sum keeps the rendered series internally
+        // consistent (`+Inf` >= every finite cumulative bucket, and
+        // `_count` == `+Inf`), which scrapers are entitled to assume.
+        let count = h.count().max(counts.iter().sum());
+        let sum_ns = h.sum_ns();
+        let mut cumulative = 0u64;
+        let bucket_name = format!("{name}_bucket");
+        for (i, &n) in counts.iter().enumerate() {
+            cumulative += n;
+            let bound = format!("{}", BUCKET_BOUNDS_NS[i] as f64 / 1e9);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &bound));
+            self.sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_inf, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum_ns as f64 / 1e9);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    /// Consumes the builder and returns the exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        self.out.push('}');
+    }
+}
+
+/// True iff `name` matches the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.125);
+        assert_eq!(g.get(), 0.125);
+        g.set(-3.0);
+        assert_eq!(g.get(), -3.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(BUCKET_BOUNDS_NS[0], 256);
+        assert_eq!(BUCKET_BOUNDS_NS[HISTOGRAM_BUCKETS - 1], 1 << 30);
+        for w in BUCKET_BOUNDS_NS.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        // At or below the first bound.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(255), 0);
+        assert_eq!(Histogram::bucket_index(256), 0);
+        // Just above a bound rolls into the next bucket.
+        assert_eq!(Histogram::bucket_index(257), 1);
+        assert_eq!(Histogram::bucket_index(512), 1);
+        assert_eq!(Histogram::bucket_index(513), 2);
+        // Every exact bound maps to its own bucket.
+        for (i, &b) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            assert_eq!(Histogram::bucket_index(b), i);
+        }
+        // Above the last bound: +Inf only.
+        assert_eq!(Histogram::bucket_index((1 << 30) + 1), HISTOGRAM_BUCKETS);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_records_and_overflows() {
+        let h = Histogram::new();
+        h.record(100); // bucket 0
+        h.record(300); // bucket 1
+        h.record(1 << 30); // last finite bucket
+        h.record(u64::MAX / 4); // +Inf only
+        assert_eq!(h.count(), 4);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn exposition_escaping() {
+        let mut e = Exposition::new();
+        e.header("m_total", "a \\ b\nline", "counter");
+        e.sample("m_total", &[("ns", "we\"ird\\ns\n")], 1.0);
+        let body = e.finish();
+        assert!(body.contains("# HELP m_total a \\\\ b\\nline\n"));
+        assert!(body.contains("m_total{ns=\"we\\\"ird\\\\ns\\n\"} 1\n"));
+    }
+
+    #[test]
+    fn exposition_histogram_is_cumulative_and_inf_terminated() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        h.record(u64::MAX / 4);
+        let mut e = Exposition::new();
+        e.header("lat_seconds", "latency", "histogram");
+        e.histogram("lat_seconds", &[("cmd", "query")], &h);
+        let body = e.finish();
+        let buckets: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .collect();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS + 1);
+        // Cumulative, never decreasing.
+        let mut prev = 0.0;
+        for line in &buckets {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "non-cumulative: {line}");
+            prev = v;
+        }
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\""));
+        assert!(buckets.last().unwrap().ends_with(" 3"));
+        assert!(body.contains("lat_seconds_count{cmd=\"query\"} 3\n"));
+        assert!(body.contains("lat_seconds_sum{cmd=\"query\"}"));
+    }
+
+    #[test]
+    fn metric_name_charset() {
+        assert!(valid_metric_name("shbf_commands_total"));
+        assert!(valid_metric_name("_x:y0"));
+        assert!(!valid_metric_name("0abc"));
+        assert!(!valid_metric_name("a-b"));
+        assert!(!valid_metric_name(""));
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NAN), "NaN");
+    }
+}

@@ -10,8 +10,9 @@ use shbf_core::SetId;
 use shbf_reactor::TransportMetrics;
 use shbf_wal::FsyncPolicy;
 
+use crate::metrics::{summarize, CommandKind, EngineMetrics};
 use crate::persistence::{self, Durability};
-use crate::protocol::{Command, Response, WireSet};
+use crate::protocol::{Command, Response, SlowLogSub, WireSet};
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
 use crate::replication::{self, ReplicationState};
 use crate::snapshot;
@@ -25,9 +26,13 @@ pub const TRANSPORT_STATS: &str = "transport";
 /// and log-sequence lag (also not creatable as a namespace).
 pub const REPLICATION_STATS: &str = "replication";
 
+/// Reserved `STATS` subject reporting process-level facts: version, pid,
+/// uptime, and per-command totals (also not creatable as a namespace).
+pub const SERVER_STATS: &str = "server";
+
 /// All reserved `STATS` subjects — names the registry and snapshot
 /// loader refuse as namespaces.
-pub const RESERVED_STATS: &[&str] = &[TRANSPORT_STATS, REPLICATION_STATS];
+pub const RESERVED_STATS: &[&str] = &[TRANSPORT_STATS, REPLICATION_STATS, SERVER_STATS];
 
 /// What the transport should do after a reply is sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +66,9 @@ pub struct Engine {
     /// Back-reference for verbs that spawn threads holding the engine
     /// (`REPLICAOF`); set by [`Self::attach_self`].
     weak_self: OnceLock<Weak<Engine>>,
+    /// Per-command latency histograms, the slow-query log, and event
+    /// counters; scraped by `/metrics`, `STATS server`, and `SLOWLOG`.
+    metrics: EngineMetrics,
 }
 
 /// Per-connection scratch for the batch query path: the `MQUERY` verdict
@@ -143,6 +151,12 @@ impl Engine {
         &self.transport
     }
 
+    /// Engine-level observability state (latency histograms, slow-query
+    /// log, persistence/replication counters).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
     /// Stores a weak back-reference to this engine's own `Arc` so verbs
     /// that spawn engine-holding threads (`REPLICAOF`) can reach it.
     /// Called by the server at bind time; idempotent.
@@ -221,6 +235,20 @@ impl Engine {
         self.durability.get().is_some()
     }
 
+    /// WAL observability for the metrics endpoint: the WAL's shared
+    /// instrumentation plus `(segment count, last_seq, oldest_seq)`.
+    /// `None` without a WAL. Takes the mutation lock briefly.
+    pub(crate) fn wal_observability(&self) -> Option<(Arc<shbf_wal::WalMetrics>, usize, u64, u64)> {
+        let durability = self.durability.get()?;
+        let d = durability.lock();
+        Some((
+            d.wal_metrics(),
+            d.segment_count(),
+            d.last_seq(),
+            d.oldest_seq(),
+        ))
+    }
+
     /// Replication state (verb handlers and the applier thread).
     pub(crate) fn replication(&self) -> &ReplicationState {
         &self.replication
@@ -275,7 +303,21 @@ impl Engine {
     /// scratch's recycled verdict buffer instead of allocating a reply
     /// vector per request. Transports keep one scratch per connection.
     pub fn dispatch_with(&self, cmd: &Command, scratch: &mut QueryScratch) -> (Response, Control) {
+        // Single-key hot-path kinds are clock-sampled; everything else
+        // is timed on every dispatch (see the metrics module docs). One
+        // `eval` call site keeps the untimed path free of duplicated
+        // inlining.
+        let started =
+            if self.metrics.enabled() && self.metrics.count_and_should_time(CommandKind::of(cmd)) {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
         let response = self.eval(cmd, scratch);
+        if let Some(at) = started {
+            self.metrics
+                .observe(CommandKind::of(cmd), at.elapsed(), || summarize(cmd));
+        }
         let control = match cmd {
             Command::Quit => Control::CloseConnection,
             // Only a successfully evaluated SHUTDOWN stops the server.
@@ -329,13 +371,20 @@ impl Engine {
                 // serving pre-LOAD state at reported lag 0.
                 None if matches!(cmd, Command::Load { .. }) => durability
                     .append_op(persistence::LOAD_MARKER)
-                    .and_then(|_| durability.snapshot_now(&self.registry).map(|_| ())),
-                None => Ok(()),
+                    .and_then(|_| durability.snapshot_now(&self.registry).map(|_| true)),
+                None => Ok(false),
             };
-            if let Err(e) = logged {
+            match logged {
+                Ok(snapshotted) => {
+                    if snapshotted {
+                        self.metrics.note_snapshot();
+                    }
+                }
                 // The mutation is applied in memory but not durable —
                 // tell the client instead of acknowledging a lie.
-                return Response::Error(format!("wal append failed after apply: {e}"));
+                Err(e) => {
+                    return Response::Error(format!("wal append failed after apply: {e}"));
+                }
             }
         }
         response
@@ -409,7 +458,10 @@ impl Engine {
         let served = durability.recent_tail(from, max, |seq, line| {
             items.push(Response::Simple(format!("{seq} {line}")));
         });
-        if !served {
+        if served {
+            self.metrics.pullops_ring.inc();
+        } else {
+            self.metrics.pullops_disk.inc();
             let scanned = durability.scan_after(from, max, |seq, payload| {
                 items.push(Response::Simple(format!(
                     "{seq} {}",
@@ -459,6 +511,38 @@ impl Engine {
             let lag = min_acked.map_or(0, |acked| last_seq.saturating_sub(acked));
             fields.push(("lag".into(), lag.to_string()));
         }
+        Response::Array(
+            fields
+                .into_iter()
+                .map(|(k, v)| Response::Simple(format!("{k}={v}")))
+                .collect(),
+        )
+    }
+
+    /// `STATS server` — process-level facts, shaped like a namespace
+    /// `STATS` reply (`+field=value` lines).
+    fn server_stats(&self) -> Response {
+        let m = &self.metrics;
+        let mut fields: Vec<(String, String)> = vec![
+            ("version".into(), env!("CARGO_PKG_VERSION").into()),
+            ("pid".into(), std::process::id().to_string()),
+            ("uptime_secs".into(), m.uptime_secs().to_string()),
+            ("start_unix".into(), m.start_unix().to_string()),
+            ("commands_total".into(), m.commands_total().to_string()),
+        ];
+        for kind in CommandKind::ALL {
+            fields.push((
+                format!("cmd_{}", kind.label()),
+                m.command_count(kind).to_string(),
+            ));
+        }
+        fields.push(("slowlog_len".into(), m.slowlog_len().to_string()));
+        fields.push((
+            "slowlog_threshold_us".into(),
+            m.slowlog_threshold_us().to_string(),
+        ));
+        fields.push(("snapshots".into(), m.snapshots.get().to_string()));
+        fields.push(("namespaces".into(), self.registry.list().len().to_string()));
         Response::Array(
             fields
                 .into_iter()
@@ -518,7 +602,27 @@ impl Engine {
             Command::Stats { ns } if ns.as_str() == TRANSPORT_STATS => {
                 transport_stats(&self.transport)
             }
+            Command::Stats { ns } if ns.as_str() == SERVER_STATS => self.server_stats(),
             Command::Stats { ns } => self.with_ns(ns, stats),
+            Command::SlowLog { sub } => match sub {
+                SlowLogSub::Get { n } => Response::Array(
+                    self.metrics
+                        .slowlog_get(*n)
+                        .into_iter()
+                        .map(|e| {
+                            Response::Simple(format!(
+                                "{} {} {} {}",
+                                e.id, e.unix_ts, e.duration_us, e.summary
+                            ))
+                        })
+                        .collect(),
+                ),
+                SlowLogSub::Reset => {
+                    self.metrics.slowlog_reset();
+                    Response::ok()
+                }
+                SlowLogSub::Len => Response::Int(self.metrics.slowlog_len() as i64),
+            },
             Command::Snapshot { path } => match self.resolve_path(path) {
                 Ok(path) => match snapshot::save(&self.registry, &path) {
                     Ok(count) => Response::Simple(format!("OK {count} namespaces")),
@@ -559,7 +663,21 @@ impl Engine {
         keys: &[Vec<u8>],
         scratch: &mut QueryScratch,
     ) -> Response {
-        self.with_ns(ns, |n| mquery(n, keys, scratch))
+        if !self.metrics.enabled() {
+            return self.with_ns(ns, |n| mquery(n, keys, scratch));
+        }
+        // The evented transport's coalesced QUERY groups ride the MQUERY
+        // pipeline; count and time them under the same series an explicit
+        // MQUERY of the batch would land in (batches amortize the clock,
+        // so no sampling here).
+        self.metrics.count(CommandKind::MQuery);
+        let started = std::time::Instant::now();
+        let response = self.with_ns(ns, |n| mquery(n, keys, scratch));
+        self.metrics
+            .observe(CommandKind::MQuery, started.elapsed(), || {
+                format!("MQUERY {ns} ({} keys)", keys.len())
+            });
+        response
     }
 
     /// Convenience for tests/benches: dispatch an already-parsed command
@@ -623,7 +741,17 @@ fn delete(n: &Namespace, key: &[u8], set: WireSet) -> Response {
 fn query(n: &Namespace, key: &[u8]) -> Response {
     let hit = match &n.backend {
         Backend::Membership(f) => f.contains(key),
-        Backend::Multiplicity(f) => f.read().query(key).reported > 0,
+        Backend::Multiplicity(f) => {
+            let guard = f.read();
+            let hit = guard.query(key).reported > 0;
+            // Exact-table namespaces carry their own ground truth, so
+            // filter-vs-table divergence is a *confirmed* false positive
+            // (surfaced as `observed_fpr` in STATS and /metrics).
+            if let Some(truth) = guard.ground_truth(key) {
+                n.stats.record_ground_truth(hit, truth > 0);
+            }
+            hit
+        }
         Backend::Association(f) => !matches!(
             f.read().query(key),
             shbf_core::AssociationAnswer::NotInUnion
@@ -640,7 +768,15 @@ fn mquery(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respon
     let mut answers = std::mem::take(&mut scratch.verdicts);
     match &n.backend {
         Backend::Membership(f) => f.contains_batch_with(keys, &mut answers, &mut scratch.shard),
-        Backend::Multiplicity(f) => f.read().contains_batch_into(keys, &mut answers),
+        Backend::Multiplicity(f) => {
+            let guard = f.read();
+            guard.contains_batch_into(keys, &mut answers);
+            for (key, &hit) in keys.iter().zip(&answers) {
+                if let Some(truth) = guard.ground_truth(key) {
+                    n.stats.record_ground_truth(hit, truth > 0);
+                }
+            }
+        }
         Backend::Association(f) => f.read().contains_batch_into(keys, &mut answers),
     }
     for &hit in &answers {
@@ -671,7 +807,11 @@ fn minsert(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respo
 fn count(n: &Namespace, key: &[u8]) -> Response {
     match &n.backend {
         Backend::Multiplicity(f) => {
-            let reported = f.read().query(key).reported;
+            let guard = f.read();
+            let reported = guard.query(key).reported;
+            if let Some(truth) = guard.ground_truth(key) {
+                n.stats.record_ground_truth(reported > 0, truth > 0);
+            }
             n.stats.record_query(reported > 0);
             Response::Int(reported as i64)
         }
@@ -726,6 +866,8 @@ fn transport_stats(metrics: &TransportMetrics) -> Response {
 fn stats(n: &Namespace) -> Response {
     let (hits, misses, inserts, deletes) = n.stats.snapshot();
     let mut fields: Vec<(String, String)> = vec![("kind".into(), n.backend.kind().to_string())];
+    // Raw bit-array fill, comparable across kinds.
+    let (ones, physical) = backend_bits(&n.backend);
     match &n.backend {
         Backend::Membership(f) => {
             let (m, k, w_bar) = f.shard_params();
@@ -759,6 +901,23 @@ fn stats(n: &Namespace) -> Response {
             fields.push(("s2".into(), guard.len_s2().to_string()));
         }
     }
+    fields.push(("bits_set".into(), ones.to_string()));
+    fields.push(("physical_bits".into(), physical.to_string()));
+    if physical > 0 {
+        fields.push((
+            "occupancy".into(),
+            format!("{:.4}", ones as f64 / physical as f64),
+        ));
+    }
+    // Where the backend carries ground truth (shbf-x's exact table),
+    // report the *measured* false-positive rate next to the estimate.
+    let (fp, negatives) = n.stats.ground_truth_snapshot();
+    if negatives > 0 {
+        fields.push((
+            "observed_fpr".into(),
+            format!("{:.3e}", fp as f64 / negatives as f64),
+        ));
+    }
     fields.push(("hits".into(), hits.to_string()));
     fields.push(("misses".into(), misses.to_string()));
     fields.push(("inserts".into(), inserts.to_string()));
@@ -769,6 +928,41 @@ fn stats(n: &Namespace) -> Response {
             .map(|(k, v)| Response::Simple(format!("{k}={v}")))
             .collect(),
     )
+}
+
+/// `(bits set, physical bits)` of a backend's bit array (all kinds).
+pub(crate) fn backend_bits(backend: &Backend) -> (u64, u64) {
+    match backend {
+        Backend::Membership(f) => (f.count_ones(), f.physical_bits()),
+        Backend::Multiplicity(f) => {
+            let guard = f.read();
+            (guard.count_ones() as u64, guard.physical_bits() as u64)
+        }
+        Backend::Association(f) => {
+            let guard = f.read();
+            (guard.count_ones() as u64, guard.physical_bits() as u64)
+        }
+    }
+}
+
+/// Theorem-1 estimated FPR for a backend at its current load, where the
+/// paper's formula applies (`shbf-m` membership filters); `None` for the
+/// multiplicity/association structures, whose error model differs.
+pub(crate) fn backend_est_fpr(backend: &Backend) -> Option<f64> {
+    match backend {
+        Backend::Membership(f) => {
+            let (m, k, w_bar) = f.shard_params();
+            let shards = f.shards();
+            let items = f.items();
+            Some(shbf_analysis::shbf::fpr(
+                m as f64,
+                items as f64 / shards as f64,
+                k as f64,
+                w_bar as f64,
+            ))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]

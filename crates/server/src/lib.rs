@@ -37,6 +37,8 @@
 //! | `SYNC have_seq` | `+TAIL n` or `+FULL n` + `$blob` | replication handshake (replica→primary) |
 //! | `PULLOPS id from max` | `*k` of `+UPTO n`, `+seq line` | replication tailing (replica→primary) |
 //! | `STATS replication` | `*n` of `+k=v` | role, WAL position, replica count, lag |
+//! | `STATS server` | `*n` of `+k=v` | version, pid, uptime, per-command totals |
+//! | `SLOWLOG GET [n]` / `RESET` / `LEN` | `*n` / `+OK` / `:n` | slow-query ring (see [`ServerConfig::slowlog_us`]) |
 //! | `SHUTDOWN` | `+BYE` | stops the server |
 //! | `QUIT` | `+BYE` | closes the connection |
 //!
@@ -83,6 +85,21 @@
 //! in/out, backpressure events, write-queue high-water) are reported by
 //! the reserved `STATS transport` command.
 //!
+//! ## Observability
+//!
+//! Every dispatched command is timed into lock-free power-of-two
+//! nanosecond histograms (`shbf-metrics`), per command kind; commands
+//! slower than [`ServerConfig::slowlog_us`] land in a bounded in-memory
+//! slow-query ring served by `SLOWLOG GET/RESET/LEN` (summaries carry
+//! counts, never key bytes). With [`ServerConfig::metrics_addr`] set, a
+//! dependency-free HTTP/1.1 listener serves `GET /metrics` in Prometheus
+//! text exposition 0.0.4: command latencies and totals, per-namespace
+//! hit/miss/insert/delete counters, bit occupancy, the paper's
+//! Theorem-1 estimated FPR plus the observed FPR where exact-table
+//! ground truth exists, WAL append/fsync latencies and segment
+//! counters, replication role and lag, and the transport counters. See
+//! [`metrics`] and the `STATS server` command.
+//!
 //! ## Layers
 //!
 //! [`protocol`] (codec) → [`engine`] (dispatch) → [`registry`]
@@ -108,6 +125,8 @@
 pub mod client;
 pub mod engine;
 mod evented;
+pub mod metrics;
+mod metrics_http;
 pub mod persistence;
 pub mod protocol;
 pub mod registry;
@@ -117,9 +136,12 @@ pub mod snapshot;
 
 pub use client::Client;
 pub use engine::{
-    Control, Engine, QueryScratch, REPLICATION_STATS, RESERVED_STATS, TRANSPORT_STATS,
+    Control, Engine, QueryScratch, REPLICATION_STATS, RESERVED_STATS, SERVER_STATS, TRANSPORT_STATS,
 };
-pub use protocol::{parse_command, scan_line, Command, FamilySpec, KindSpec, Response, Scan};
+pub use metrics::{CommandKind, EngineMetrics, SlowLogEntry};
+pub use protocol::{
+    parse_command, scan_line, Command, FamilySpec, KindSpec, Response, Scan, SlowLogSub,
+};
 pub use registry::{Namespace, Registry, RegistryError};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle, TransportKind};
 pub use snapshot::SnapshotError;

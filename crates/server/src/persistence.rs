@@ -271,12 +271,14 @@ impl Durability {
 
     /// Takes a state snapshot if the op interval has elapsed. Called with
     /// the mutation lock held, so the registry is exact at
-    /// `wal.last_seq()`.
-    pub(crate) fn maybe_snapshot(&mut self, registry: &Registry) -> std::io::Result<()> {
+    /// `wal.last_seq()`. Returns whether a snapshot was written (the
+    /// engine stamps its snapshot-age metric off this).
+    pub(crate) fn maybe_snapshot(&mut self, registry: &Registry) -> std::io::Result<bool> {
         if self.snapshot_every_ops > 0 && self.ops_since_snapshot >= self.snapshot_every_ops {
             self.snapshot_now(registry)?;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Persists the registry as `state-<seq>.snap`, truncates the log
@@ -304,6 +306,17 @@ impl Durability {
     /// Sequence number of the last logged op.
     pub(crate) fn last_seq(&self) -> u64 {
         self.wal.last_seq()
+    }
+
+    /// The WAL's shared instrumentation (append/fsync histograms,
+    /// rotation and truncation counters) for the metrics endpoint.
+    pub(crate) fn wal_metrics(&self) -> std::sync::Arc<shbf_wal::WalMetrics> {
+        self.wal.metrics()
+    }
+
+    /// Number of live log segment files.
+    pub(crate) fn segment_count(&self) -> usize {
+        self.wal.segment_count()
     }
 
     /// Oldest sequence number the log still covers.

@@ -24,6 +24,21 @@ pub enum WireSet {
     S2,
 }
 
+/// `SLOWLOG` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowLogSub {
+    /// `SLOWLOG GET [n]` → array of `+<id> <unix_ts> <duration_us>
+    /// <summary>` lines, newest first (`n` defaults to 10).
+    Get {
+        /// Maximum entries to return.
+        n: usize,
+    },
+    /// `SLOWLOG RESET` → `+OK` — clears the ring.
+    Reset,
+    /// `SLOWLOG LEN` → `:n` — retained entry count.
+    Len,
+}
+
 /// The filter family a namespace is created with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KindSpec {
@@ -202,6 +217,12 @@ pub enum Command {
         from: u64,
         /// Maximum number of ops to return.
         max: u64,
+    },
+    /// `SLOWLOG GET [n]` / `SLOWLOG RESET` / `SLOWLOG LEN` — inspect or
+    /// clear the in-memory ring of slowest commands.
+    SlowLog {
+        /// The subcommand.
+        sub: SlowLogSub,
     },
     /// `SHUTDOWN` — stop the server after replying `+BYE`.
     Shutdown,
@@ -505,6 +526,25 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 from: parse_num(rest[1], "from")?,
                 max: parse_num(rest[2], "max")?,
             })
+        }
+        "SLOWLOG" => {
+            let usage = "SLOWLOG GET [n] | SLOWLOG RESET | SLOWLOG LEN";
+            let sub = rest.first().ok_or_else(|| err(format!("usage: {usage}")))?;
+            match sub.to_ascii_uppercase().as_str() {
+                "GET" if rest.len() <= 2 => {
+                    let n = rest.get(1).map(|t| parse_num(t, "n")).transpose()?;
+                    Ok(Command::SlowLog {
+                        sub: SlowLogSub::Get { n: n.unwrap_or(10) },
+                    })
+                }
+                "RESET" if rest.len() == 1 => Ok(Command::SlowLog {
+                    sub: SlowLogSub::Reset,
+                }),
+                "LEN" if rest.len() == 1 => Ok(Command::SlowLog {
+                    sub: SlowLogSub::Len,
+                }),
+                _ => Err(err(format!("usage: {usage}"))),
+            }
         }
         "SHUTDOWN" => {
             arity(0, "SHUTDOWN")?;

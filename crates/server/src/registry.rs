@@ -59,6 +59,12 @@ pub struct NamespaceStats {
     pub inserts: AtomicU64,
     /// Successful deletes.
     pub deletes: AtomicU64,
+    /// Queries whose ground truth (the `shbf-x` exact table) said
+    /// *absent*. Runtime-only: not persisted by snapshots.
+    pub gt_negatives: AtomicU64,
+    /// Ground-truth-absent queries the filter still answered positive —
+    /// confirmed false positives. Runtime-only: not persisted.
+    pub gt_false_positives: AtomicU64,
 }
 
 impl NamespaceStats {
@@ -69,6 +75,27 @@ impl NamespaceStats {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records one query outcome against known ground truth: a
+    /// ground-truth-absent key bumps the negatives counter, and bumps the
+    /// confirmed-false-positive counter too when the filter said present.
+    /// The observed FPR is their ratio.
+    pub fn record_ground_truth(&self, filter_hit: bool, truly_present: bool) {
+        if !truly_present {
+            self.gt_negatives.fetch_add(1, Ordering::Relaxed);
+            if filter_hit {
+                self.gt_false_positives.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `(confirmed false positives, ground-truth-negative queries)`.
+    pub fn ground_truth_snapshot(&self) -> (u64, u64) {
+        (
+            self.gt_false_positives.load(Ordering::Relaxed),
+            self.gt_negatives.load(Ordering::Relaxed),
+        )
     }
 
     /// Snapshot as `(hits, misses, inserts, deletes)`.
@@ -223,7 +250,7 @@ impl Registry {
         if crate::engine::RESERVED_STATS.contains(&name) {
             return Err(RegistryError::BadParams(
                 "namespace name is reserved for a STATS subject \
-                 (`transport`, `replication`)",
+                 (`transport`, `replication`, `server`)",
             ));
         }
         // Build outside the lock — construction allocates the whole filter.

@@ -248,8 +248,10 @@ fn serve_link(
             .ok_or_else(|| other("SYNC FULL reply carried no snapshot blob".into()))?;
         crate::snapshot::load_bytes(engine.registry(), blob)
             .map_err(|e| other(format!("full-sync snapshot rejected: {e}")))?;
+        engine.metrics().resyncs.inc();
         state.applied_seq.store(seq, Ordering::SeqCst);
         state.primary_last_seq.store(seq, Ordering::SeqCst);
+        engine.metrics().note_replica_apply();
     } else {
         return Err(other(format!("SYNC rejected: {head:?}")));
     }
@@ -301,6 +303,7 @@ fn serve_link(
                 return Err(other(format!("op {seq} (`{op_line}`) rejected: {e}")));
             }
             state.applied_seq.store(seq, Ordering::SeqCst);
+            engine.metrics().note_replica_apply();
         }
         if ops.is_empty() {
             std::thread::sleep(PULL_IDLE);

@@ -135,6 +135,13 @@ pub struct ServerConfig {
     /// Start as a read replica of this `host:port` primary (mutually
     /// exclusive with [`Self::wal_dir`]).
     pub replica_of: Option<String>,
+    /// Also serve Prometheus metrics over HTTP at this `host:port`
+    /// (`GET /metrics`, text exposition 0.0.4). Port 0 binds an
+    /// ephemeral port — read it back with [`Server::metrics_addr`].
+    pub metrics_addr: Option<String>,
+    /// Slow-query threshold in microseconds: a command taking at least
+    /// this long lands in the `SLOWLOG` ring. `0` disables the log.
+    pub slowlog_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +156,8 @@ impl Default for ServerConfig {
             snapshot_every_ops: 10_000,
             data_dir: None,
             replica_of: None,
+            metrics_addr: None,
+            slowlog_us: crate::metrics::DEFAULT_SLOWLOG_US,
         }
     }
 }
@@ -219,11 +228,13 @@ pub struct Server {
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     waker: Waker,
+    metrics: Option<crate::metrics_http::MetricsEndpoint>,
 }
 
 /// Handle to a server running on a background thread.
 pub struct ServerHandle {
     endpoint: Endpoint,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     waker: Waker,
     thread: JoinHandle<std::io::Result<()>>,
@@ -285,14 +296,31 @@ impl Server {
         if let Some(primary) = &config.replica_of {
             crate::replication::attach(&engine, primary).map_err(std::io::Error::other)?;
         }
+        engine.metrics().set_slowlog_threshold_us(config.slowlog_us);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = match &config.metrics_addr {
+            Some(addr) => Some(crate::metrics_http::MetricsEndpoint::bind(
+                addr.as_str(),
+                Arc::clone(&engine),
+                Arc::clone(&shutdown),
+            )?),
+            None => None,
+        };
         Ok(Server {
             listener,
             endpoint,
             engine,
             config,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown,
             waker: Waker::new()?,
+            metrics,
         })
+    }
+
+    /// Where the Prometheus `/metrics` endpoint is listening, when
+    /// [`ServerConfig::metrics_addr`] was set (resolves ephemeral ports).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
     }
 
     /// Where the server is listening (resolves ephemeral TCP ports).
@@ -313,9 +341,11 @@ impl Server {
 
     /// Runs the server on this thread until shutdown, using the
     /// configured transport. A UNIX socket file is removed on return.
-    pub fn run(self) -> std::io::Result<()> {
+    pub fn run(mut self) -> std::io::Result<()> {
         let endpoint = self.endpoint.clone();
         let engine = Arc::clone(&self.engine);
+        let shutdown = Arc::clone(&self.shutdown);
+        let metrics = self.metrics.take();
         let result = match self.config.transport {
             TransportKind::Threaded => self.run_threaded(),
             TransportKind::Evented if shbf_reactor::SUPPORTED => crate::evented::run(
@@ -329,6 +359,13 @@ impl Server {
             // epoll — serve with the threaded model instead of failing.
             TransportKind::Evented => self.run_threaded(),
         };
+        // The transport only returns once shutdown is underway; make the
+        // flag visible before poking the metrics accept loop so its
+        // thread exits instead of serving the poke as a scrape.
+        shutdown.store(true, Ordering::SeqCst);
+        if let Some(metrics) = metrics {
+            metrics.stop();
+        }
         // A replica's applier thread holds the engine alive while its
         // primary link is healthy; detach so a stopped server doesn't
         // keep tailing (and eventually spamming reconnect errors).
@@ -380,11 +417,13 @@ impl Server {
     /// Runs the accept loop on a background thread, returning a handle.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let endpoint = self.endpoint.clone();
+        let metrics_addr = self.metrics_addr();
         let shutdown = Arc::clone(&self.shutdown);
         let waker = self.waker.clone();
         let thread = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
             endpoint,
+            metrics_addr,
             shutdown,
             waker,
             thread,
@@ -406,6 +445,12 @@ impl ServerHandle {
     /// Where the server is listening.
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// Where the Prometheus `/metrics` endpoint is listening, when one
+    /// was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Stops the server and joins its thread. Reactor loops are woken

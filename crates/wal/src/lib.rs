@@ -52,9 +52,11 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use shbf_bits::crc::crc32;
+use shbf_metrics::{Counter, Histogram};
 
 /// Segment header magic, `"SWAL"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SWAL");
@@ -183,6 +185,25 @@ impl From<std::io::Error> for WalError {
     }
 }
 
+/// Hot-path instrumentation for one log, shared (via `Arc`) between the
+/// log's owner and whatever renders metrics. Counters and histograms are
+/// relaxed atomics, so recording adds no locking to the append path.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    /// Full append latency in nanoseconds (buffer build + write + any
+    /// policy-driven fsync).
+    pub append_ns: Histogram,
+    /// `fdatasync` latency in nanoseconds (only syncs that actually hit
+    /// the disk — clean no-op [`Wal::sync`] calls are not recorded).
+    pub fsync_ns: Histogram,
+    /// Completed segment rotations (empty-segment no-ops excluded).
+    pub rotations: Counter,
+    /// [`Wal::truncate_through`] calls that removed at least one segment.
+    pub truncations: Counter,
+    /// Segment files deleted by truncation.
+    pub segments_removed: Counter,
+}
+
 /// One segment file: its path and the sequence number of its first record.
 #[derive(Debug, Clone)]
 struct SegmentInfo {
@@ -222,6 +243,7 @@ pub struct Wal {
     next_seq: u64,
     last_sync: Instant,
     dirty: bool,
+    metrics: Arc<WalMetrics>,
 }
 
 impl Wal {
@@ -259,6 +281,7 @@ impl Wal {
                 next_seq: first_seq,
                 last_sync: Instant::now(),
                 dirty: false,
+                metrics: Arc::new(WalMetrics::default()),
             });
         }
 
@@ -289,7 +312,14 @@ impl Wal {
             next_seq,
             last_sync: Instant::now(),
             dirty: false,
+            metrics: Arc::new(WalMetrics::default()),
         })
+    }
+
+    /// Shared handle to this log's instrumentation (for a `/metrics`
+    /// renderer living outside the lock that orders appends).
+    pub fn metrics(&self) -> Arc<WalMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Sequence number the next append will be assigned.
@@ -328,6 +358,7 @@ impl Wal {
         if self.active_len >= self.segment_bytes {
             self.rotate()?;
         }
+        let started = Instant::now();
         let seq = self.next_seq;
         let mut buf = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -350,6 +381,9 @@ impl Wal {
             }
             FsyncPolicy::No => {}
         }
+        self.metrics
+            .append_ns
+            .record(started.elapsed().as_nanos() as u64);
         Ok(seq)
     }
 
@@ -357,7 +391,11 @@ impl Wal {
     /// policy. No-op when nothing is pending.
     pub fn sync(&mut self) -> Result<(), WalError> {
         if self.dirty {
+            let started = Instant::now();
             self.active.sync_data()?;
+            self.metrics
+                .fsync_ns
+                .record(started.elapsed().as_nanos() as u64);
             self.dirty = false;
         }
         self.last_sync = Instant::now();
@@ -388,6 +426,7 @@ impl Wal {
         self.segments.push(SegmentInfo { first_seq, path });
         fsync_dir(&self.dir);
         self.dirty = false;
+        self.metrics.rotations.inc();
         Ok(())
     }
 
@@ -399,6 +438,7 @@ impl Wal {
         // write handle points at, whatever the coverage math says.
         let active_path = self.segments.last().map(|s| s.path.clone());
         let mut keep = Vec::with_capacity(self.segments.len());
+        let mut removed = 0u64;
         for i in 0..self.segments.len() {
             let fully_covered = match self.segments.get(i + 1) {
                 // A sealed segment ends where its successor begins.
@@ -407,12 +447,17 @@ impl Wal {
             };
             if fully_covered && Some(&self.segments[i].path) != active_path.as_ref() {
                 fs::remove_file(&self.segments[i].path)?;
+                removed += 1;
             } else {
                 keep.push(self.segments[i].clone());
             }
         }
         self.segments = keep;
         fsync_dir(&self.dir);
+        if removed > 0 {
+            self.metrics.truncations.inc();
+            self.metrics.segments_removed.add(removed);
+        }
         Ok(())
     }
 

@@ -70,6 +70,7 @@ COMMANDS
         [--load SNAPSHOT] [--evented] [--reactors N]
         [--wal-dir DIR] [--fsync always|everysec|no] [--snapshot-every N]
         [--data-dir DIR] [--replicaof HOST:PORT]
+        [--metrics-addr HOST:PORT] [--slowlog-us N]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
       --unix listens on a UNIX-domain socket path instead of TCP;
@@ -83,7 +84,10 @@ COMMANDS
       (default 10000), and boot recovers the newest snapshot plus the
       log tail. --data-dir sandboxes SNAPSHOT/LOAD paths to one
       directory. --replicaof starts as a read replica of a primary
-      (mutually exclusive with --wal-dir).
+      (mutually exclusive with --wal-dir). --metrics-addr also serves
+      Prometheus text metrics over HTTP at GET /metrics (port 0 picks
+      an ephemeral port, printed at startup); --slowlog-us sets the
+      SLOWLOG threshold in microseconds (default 10000, 0 disables).
 
   client [--port P] [--host ADDR] [--unix PATH] [--send CMD]
          [--pipeline N]
@@ -347,6 +351,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let snapshot_every_ops: u64 = flags.get_parsed("snapshot-every", 10_000)?;
     let data_dir = flags.get("data-dir").map(PathBuf::from);
     let replica_of = flags.get("replicaof").map(str::to_string);
+    let metrics_addr = flags.get("metrics-addr").map(str::to_string);
+    let slowlog_us: u64 = flags.get_parsed("slowlog-us", 10_000)?;
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
@@ -368,6 +374,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         snapshot_every_ops,
         data_dir,
         replica_of,
+        metrics_addr,
+        slowlog_us,
         ..ServerConfig::default()
     };
     let server = match flags.get("unix") {
@@ -385,6 +393,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         TransportKind::Threaded => "threaded transport",
     };
     println!("shbf-server listening on {endpoint} ({mode}, {workers} max connections); send SHUTDOWN to stop");
+    if let Some(addr) = server.metrics_addr() {
+        println!("prometheus metrics at http://{addr}/metrics");
+    }
     server.run().map_err(|e| format!("serving: {e}"))
 }
 
