@@ -1,0 +1,413 @@
+//! Named failpoints for fault injection (`fail-rs` style, std-only).
+//!
+//! A **failpoint** is a named site compiled into production code where a
+//! test can inject a fault. Sites are checked with [`fail`]:
+//!
+//! ```
+//! fn append(buf: &[u8]) -> std::io::Result<()> {
+//!     if let Some(msg) = shbf_failpoint::fail("wal::append") {
+//!         return Err(std::io::Error::other(msg));
+//!     }
+//!     // ... the real write ...
+//!     Ok(())
+//! }
+//! ```
+//!
+//! When no failpoint is configured — the production steady state — a
+//! check is a single relaxed atomic load and nothing else: no lock, no
+//! allocation, no string hashing. Only once at least one site is armed
+//! does the check take the registry lock to look its name up.
+//!
+//! ## Actions
+//!
+//! | Action | Effect at the site |
+//! |---|---|
+//! | `off` | nothing (and the site is removed from the registry) |
+//! | `return(msg)` | [`fail`] returns `Some(msg)` — the caller errors out |
+//! | `delay(ms)` | sleep `ms` milliseconds, then proceed normally |
+//! | `panic` | panic (exercises poisoning / abort paths) |
+//! | `1in(n)` | every n-th hit returns a generic injected error |
+//!
+//! `1in(n)` is deterministic (a per-site hit counter, firing on hits
+//! n, 2n, 3n, …) so chaos scenarios replay identically.
+//!
+//! ## Configuration
+//!
+//! Sites are armed programmatically ([`set`]), from a config string
+//! ([`apply_config`], format `site=action;site=action`), or from the
+//! `SHBF_FAILPOINTS` environment variable ([`init_from_env`], which the
+//! server calls at boot). [`config_string`] renders the live registry
+//! back into the same format, and every action's `Display` round-trips
+//! through [`Action::parse`] (property-tested). Because `;` separates
+//! entries and `=` binds a site to its action, a `return(msg)` message
+//! must not contain `;`.
+//!
+//! The registry is process-global: parallel tests that arm sites must
+//! serialize themselves (e.g. behind a shared mutex) or use disjoint
+//! site names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when its site is hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// No effect; [`set`]ting it disarms the site.
+    Off,
+    /// Return this error message from the site.
+    Return(String),
+    /// Sleep this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Panic at the site.
+    Panic,
+    /// Return a generic injected error on every n-th hit (n ≥ 1).
+    OneIn(u64),
+}
+
+impl Action {
+    /// Parses one action: `off`, `return(msg)`, `delay(ms)`, `panic`,
+    /// or `1in(n)`.
+    pub fn parse(s: &str) -> Result<Action, ParseError> {
+        let s = s.trim();
+        if s == "off" {
+            return Ok(Action::Off);
+        }
+        if s == "panic" {
+            return Ok(Action::Panic);
+        }
+        if let Some(inner) = s.strip_prefix("return(").and_then(|r| r.strip_suffix(')')) {
+            return Ok(Action::Return(inner.to_string()));
+        }
+        if let Some(inner) = s.strip_prefix("delay(").and_then(|r| r.strip_suffix(')')) {
+            let ms = inner
+                .parse::<u64>()
+                .map_err(|_| ParseError(format!("delay wants milliseconds, got `{inner}`")))?;
+            return Ok(Action::Delay(ms));
+        }
+        if let Some(inner) = s.strip_prefix("1in(").and_then(|r| r.strip_suffix(')')) {
+            let n = inner
+                .parse::<u64>()
+                .map_err(|_| ParseError(format!("1in wants a count, got `{inner}`")))?;
+            if n == 0 {
+                return Err(ParseError("1in(0) would fire never and always".into()));
+            }
+            return Ok(Action::OneIn(n));
+        }
+        Err(ParseError(format!(
+            "unknown action `{s}` (want off|return(msg)|delay(ms)|panic|1in(n))"
+        )))
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Off => write!(f, "off"),
+            Action::Return(msg) => write!(f, "return({msg})"),
+            Action::Delay(ms) => write!(f, "delay({ms})"),
+            Action::Panic => write!(f, "panic"),
+            Action::OneIn(n) => write!(f, "1in({n})"),
+        }
+    }
+}
+
+/// A malformed action or config string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failpoint config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug)]
+struct Site {
+    action: Action,
+    /// Evaluations of this site since it was armed.
+    hits: u64,
+    /// Evaluations that had an effect (error, delay, or panic).
+    fired: u64,
+}
+
+/// `true` iff at least one site is armed — the only state the disabled
+/// hot path reads.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sites() -> &'static Mutex<BTreeMap<String, Site>> {
+    static SITES: OnceLock<Mutex<BTreeMap<String, Site>>> = OnceLock::new();
+    SITES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Evaluates the failpoint at `site`. Returns `Some(error message)` when
+/// an armed `return`/`1in` action fires; sleeps through `delay` actions
+/// and panics on `panic` actions. With nothing armed anywhere this is a
+/// single relaxed atomic load.
+#[inline]
+pub fn fail(site: &str) -> Option<String> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    fail_armed(site)
+}
+
+#[cold]
+fn fail_armed(site: &str) -> Option<String> {
+    let mut map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = map.get_mut(site)?;
+    entry.hits += 1;
+    match &entry.action {
+        Action::Off => None,
+        Action::Return(msg) => {
+            entry.fired += 1;
+            Some(msg.clone())
+        }
+        Action::Delay(ms) => {
+            entry.fired += 1;
+            let ms = *ms;
+            drop(map);
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Action::Panic => {
+            entry.fired += 1;
+            drop(map);
+            panic!("failpoint `{site}` panic");
+        }
+        Action::OneIn(n) => {
+            if entry.hits % *n == 0 {
+                entry.fired += 1;
+                Some(format!("injected failpoint `{site}`"))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Arms `site` with `action` ([`Action::Off`] disarms it). Counters
+/// reset when a site is (re)armed.
+pub fn set(site: &str, action: Action) {
+    let mut map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    if action == Action::Off {
+        map.remove(site);
+    } else {
+        map.insert(
+            site.to_string(),
+            Site {
+                action,
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+    ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
+}
+
+/// Disarms `site` (same as `set(site, Action::Off)`).
+pub fn clear(site: &str) {
+    set(site, Action::Off);
+}
+
+/// Disarms every site.
+pub fn clear_all() {
+    let mut map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    map.clear();
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Evaluations of `site` since it was armed (0 when unarmed — unarmed
+/// sites cost nothing and count nothing).
+pub fn hits(site: &str) -> u64 {
+    let map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    map.get(site).map_or(0, |s| s.hits)
+}
+
+/// Evaluations of `site` that had an effect (error, delay, or panic).
+pub fn fired(site: &str) -> u64 {
+    let map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    map.get(site).map_or(0, |s| s.fired)
+}
+
+/// Every armed site with its action and counters, name-sorted:
+/// `(site, action, hits, fired)`.
+pub fn list() -> Vec<(String, Action, u64, u64)> {
+    let map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    map.iter()
+        .map(|(name, s)| (name.clone(), s.action.clone(), s.hits, s.fired))
+        .collect()
+}
+
+/// Parses a config string (`site=action;site=action`; empty entries and
+/// surrounding whitespace are ignored) without touching the registry.
+pub fn parse_config(config: &str) -> Result<Vec<(String, Action)>, ParseError> {
+    let mut out = Vec::new();
+    for entry in config.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, action) = entry
+            .split_once('=')
+            .ok_or_else(|| ParseError(format!("entry `{entry}` is missing `=`")))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(ParseError(format!(
+                "entry `{entry}` has an empty site name"
+            )));
+        }
+        out.push((site.to_string(), Action::parse(action)?));
+    }
+    Ok(out)
+}
+
+/// Parses `config` and arms every entry. On a parse error nothing is
+/// armed.
+pub fn apply_config(config: &str) -> Result<(), ParseError> {
+    let entries = parse_config(config)?;
+    for (site, action) in entries {
+        set(&site, action);
+    }
+    Ok(())
+}
+
+/// Renders the armed sites back into the config-string format (the
+/// inverse of [`apply_config`] for non-`off` entries).
+pub fn config_string() -> String {
+    let map = sites().lock().unwrap_or_else(|e| e.into_inner());
+    map.iter()
+        .map(|(name, s)| format!("{name}={}", s.action))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Name of the environment variable [`init_from_env`] reads.
+pub const ENV_VAR: &str = "SHBF_FAILPOINTS";
+
+/// Arms failpoints from the `SHBF_FAILPOINTS` environment variable (a
+/// config string). Unset or empty → no-op. The server calls this once
+/// at boot.
+pub fn init_from_env() -> Result<(), ParseError> {
+    match std::env::var(ENV_VAR) {
+        Ok(config) => apply_config(&config),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    /// The registry is process-global; tests that arm sites serialize
+    /// through this and clean up after themselves.
+    static SERIAL: TestMutex<()> = TestMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear_all();
+        guard
+    }
+
+    #[test]
+    fn disabled_hot_path_is_inert() {
+        let _g = locked();
+        assert_eq!(fail("nowhere"), None);
+        assert_eq!(hits("nowhere"), 0);
+    }
+
+    #[test]
+    fn return_action_fires_and_counts() {
+        let _g = locked();
+        set("t::ret", Action::Return("boom".into()));
+        assert_eq!(fail("t::ret"), Some("boom".into()));
+        assert_eq!(fail("t::other"), None, "only the armed site fires");
+        assert_eq!(hits("t::ret"), 1);
+        assert_eq!(fired("t::ret"), 1);
+        clear("t::ret");
+        assert_eq!(fail("t::ret"), None);
+    }
+
+    #[test]
+    fn one_in_fires_deterministically_every_nth() {
+        let _g = locked();
+        set("t::nth", Action::OneIn(3));
+        let fired_pattern: Vec<bool> = (0..9).map(|_| fail("t::nth").is_some()).collect();
+        assert_eq!(
+            fired_pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(hits("t::nth"), 9);
+        assert_eq!(fired("t::nth"), 3);
+        clear_all();
+    }
+
+    #[test]
+    fn delay_sleeps_then_proceeds() {
+        let _g = locked();
+        set("t::slow", Action::Delay(30));
+        let start = std::time::Instant::now();
+        assert_eq!(fail("t::slow"), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        clear_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint `t::die` panic")]
+    fn panic_action_panics() {
+        // Deliberately does not hold the serial lock: a panic would
+        // poison it. A unique site name keeps it isolated.
+        set("t::die", Action::Panic);
+        fail("t::die");
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let _g = locked();
+        let config = "a::x=return(disk full);b::y=delay(12);c::z=1in(4);d::w=panic";
+        apply_config(config).unwrap();
+        assert_eq!(config_string(), config);
+        let listed = list();
+        assert_eq!(listed.len(), 4);
+        assert_eq!(listed[0].0, "a::x");
+        assert_eq!(listed[0].1, Action::Return("disk full".into()));
+        clear_all();
+        assert_eq!(config_string(), "");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Action::parse("explode").is_err());
+        assert!(Action::parse("delay(soon)").is_err());
+        assert!(Action::parse("1in(0)").is_err());
+        assert!(parse_config("no-equals-here").is_err());
+        assert!(parse_config("=return(x)").is_err());
+        // Empty entries and whitespace are tolerated.
+        assert_eq!(parse_config(" ; ;").unwrap(), vec![]);
+        assert_eq!(
+            parse_config(" a = off ").unwrap(),
+            vec![("a".into(), Action::Off)]
+        );
+    }
+
+    #[test]
+    fn rearming_resets_counters_and_off_disarms() {
+        let _g = locked();
+        set("t::r", Action::Return("x".into()));
+        fail("t::r");
+        assert_eq!(hits("t::r"), 1);
+        set("t::r", Action::Return("y".into()));
+        assert_eq!(hits("t::r"), 0, "rearming resets counters");
+        set("t::r", Action::Off);
+        assert!(list().is_empty());
+        assert_eq!(fail("t::r"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: arbitrary `SHBF_FAILPOINTS`-style config strings
+//! parse, render, and re-parse to the same entries (satellite of the
+//! chaos-harness PR).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use shbf_failpoint::{parse_config, Action};
+
+/// A site-name strategy: 1–12 chars from the identifier-ish alphabet the
+/// real sites use (`wal::append`, `transport::read`, …).
+fn site_name() -> impl Strategy<Value = String> {
+    vec(0usize..38, 1..=12).prop_map(|idxs| {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:_";
+        idxs.iter().map(|&i| ALPHABET[i] as char).collect()
+    })
+}
+
+/// A `return(...)` message: printable, no `;` (the entry separator) and
+/// no trailing `)` ambiguity beyond what the grammar allows — the parser
+/// strips exactly one final `)`, so interior parens are fair game.
+fn return_message() -> impl Strategy<Value = String> {
+    vec(0usize..64, 0..=20).prop_map(|idxs| {
+        const ALPHABET: &[u8] =
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-:.,(!?";
+        idxs.iter().map(|&i| ALPHABET[i] as char).collect()
+    })
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    (
+        0usize..5,
+        return_message(),
+        0u64..1_000_000,
+        1u64..1_000_000,
+    )
+        .prop_map(|(pick, msg, ms, n)| match pick {
+            0 => Action::Off,
+            1 => Action::Return(msg),
+            2 => Action::Delay(ms),
+            3 => Action::Panic,
+            _ => Action::OneIn(n),
+        })
+}
+
+// The offline proptest shim has no prop_map; provide one via a tiny
+// adapter so the strategies above read like upstream proptest.
+trait PropMapExt: Strategy + Sized {
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Mapped<Self, F> {
+        Mapped { inner: self, f }
+    }
+}
+impl<S: Strategy> PropMapExt for S {}
+
+struct Mapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Mapped<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut proptest::TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every action renders to a string `Action::parse` maps back to the
+    /// same action.
+    #[test]
+    fn action_display_round_trips(a in action()) {
+        let rendered = a.to_string();
+        let reparsed = Action::parse(&rendered);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&a), "rendered `{}`", rendered);
+    }
+
+    /// A whole config string (joined entries) parses back to the same
+    /// (site, action) list.
+    #[test]
+    fn config_string_round_trips(entries in vec((site_name(), action()), 0..8)) {
+        let config = entries
+            .iter()
+            .map(|(site, a)| format!("{site}={a}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let parsed = parse_config(&config).expect("rendered config must parse");
+        prop_assert_eq!(parsed, entries);
+    }
+
+    /// The parser is total: arbitrary byte soup either parses or returns
+    /// an error — it never panics.
+    #[test]
+    fn parser_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let soup: String = bytes.iter().map(|&b| (b % 96 + 32) as char).collect();
+        let _ = parse_config(&soup);
+        let _ = Action::parse(&soup);
+    }
+}

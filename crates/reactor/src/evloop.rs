@@ -37,6 +37,11 @@ const READ_BUDGET: usize = 4 * READ_CHUNK;
 /// already amortizes the syscall completely).
 const MAX_IOV: usize = 64;
 
+/// A connection's read buffer is shrunk back to this capacity once the
+/// buffered remainder fits in half of it — one giant pipelined request
+/// must not pin megabytes per connection for the rest of its life.
+const RBUF_RETAIN: usize = READ_CHUNK;
+
 /// Per-connection outgoing data as a queue of owned reply buffers.
 ///
 /// Each event-loop turn's replies are encoded into their own buffer and
@@ -140,6 +145,9 @@ struct Conn {
     read_ready: bool,
     /// Already sitting in the run queue (dedup flag).
     queued: bool,
+    /// Last moment bytes moved on this connection (either direction);
+    /// the idle sweep reaps connections whose stamp is too old.
+    last_activity: std::time::Instant,
 }
 
 /// Slot index ↔ token mapping with a generation stamp, so an event queued
@@ -211,13 +219,25 @@ pub(crate) fn run<H: Handler>(
     // collects re-queues (budget leftovers) for the following turn.
     let mut queue: Vec<u64> = Vec::new();
     let mut next: Vec<u64> = Vec::new();
+    // With an idle deadline the wait must stay bounded so dead-quiet
+    // connections are still reaped; sweeping at a quarter of the
+    // deadline keeps the overshoot small without waking up constantly.
+    let sweep_every = config
+        .idle_timeout
+        .map(|d| (d / 4).max(std::time::Duration::from_millis(10)));
+    let mut last_sweep = std::time::Instant::now();
     loop {
         // Block forever unless userspace still holds unconsumed
-        // readiness; shutdown arrives as an eventfd wakeup, never as a
-        // timeout.
-        let can_accept = r.accept_pending && r.live < r.config.max_connections;
+        // readiness (or an idle sweep is due); shutdown arrives as an
+        // eventfd wakeup, never as a timeout.
+        // (in shedding mode a full house still consumes the backlog, so
+        // the parked-listener pause only applies when parking).
+        let can_accept = r.accept_pending
+            && (r.live < r.config.max_connections || r.config.shed_reply.is_some());
         let timeout = if can_accept || !queue.is_empty() {
             0
+        } else if let Some(every) = sweep_every {
+            every.as_millis().min(i32::MAX as u128) as i32
         } else {
             -1
         };
@@ -236,7 +256,13 @@ pub(crate) fn run<H: Handler>(
             r.final_flush();
             return Ok(());
         }
-        if r.accept_pending && r.live < r.config.max_connections {
+        if let (Some(limit), Some(every)) = (config.idle_timeout, sweep_every) {
+            if last_sweep.elapsed() >= every {
+                r.reap_idle(limit);
+                last_sweep = std::time::Instant::now();
+            }
+        }
+        if r.accept_pending {
             r.accept_ready(&mut queue);
         }
         for token in queue.drain(..) {
@@ -256,7 +282,8 @@ pub(crate) fn run<H: Handler>(
 impl<H: Handler> Reactor<'_, H> {
     fn accept_ready(&mut self, queue: &mut Vec<u64>) {
         loop {
-            if self.live >= self.config.max_connections {
+            let at_capacity = self.live >= self.config.max_connections;
+            if at_capacity && self.config.shed_reply.is_none() {
                 // Leave `accept_pending` set: the backlog keeps the
                 // overflow, and a freed slot re-enters here without
                 // needing a fresh kernel edge.
@@ -283,10 +310,28 @@ impl<H: Handler> Reactor<'_, H> {
                     return;
                 }
             };
+            // Failpoint `transport::accept`: the freshly accepted socket
+            // is dropped as if setup had failed — the peer sees a reset.
+            if shbf_failpoint::fail("transport::accept").is_some() {
+                continue;
+            }
             if stream.set_nonblocking(true).is_err() {
                 continue;
             }
             stream.set_nodelay(true).ok();
+            if at_capacity {
+                // Overload shedding: tell the peer we are busy (best
+                // effort — the socket is fresh, so the tiny reply almost
+                // always fits the send buffer) and hang up. The client
+                // gets an immediate, parseable error instead of an
+                // unexplained queueing delay.
+                let mut stream = stream;
+                if let Some(reply) = &self.config.shed_reply {
+                    let _ = stream.write(reply);
+                }
+                self.metrics.on_shed();
+                continue;
+            }
             let slot = self.free.pop().unwrap_or_else(|| {
                 self.conns.push(None);
                 self.generations.push(0);
@@ -313,6 +358,7 @@ impl<H: Handler> Reactor<'_, H> {
                 // pass settles it (reads to WouldBlock if not).
                 read_ready: true,
                 queued: true,
+                last_activity: std::time::Instant::now(),
             });
             self.live += 1;
             self.metrics.on_accept();
@@ -377,6 +423,12 @@ impl<H: Handler> Reactor<'_, H> {
 
     /// Reads until `WouldBlock`, EOF, or the per-turn budget.
     fn fill_read_buffer(&mut self, slot: usize, chunk: &mut [u8]) -> ReadStatus {
+        // Failpoint `transport::read`: the socket read fails mid-stream;
+        // the connection is torn down like any other read error.
+        if shbf_failpoint::fail("transport::read").is_some() {
+            self.close(slot);
+            return ReadStatus::Closed;
+        }
         let conn = self.conns[slot].as_mut().expect("checked live");
         let mut fresh = 0usize;
         let status = loop {
@@ -405,6 +457,9 @@ impl<H: Handler> Reactor<'_, H> {
                 }
             }
         };
+        if fresh > 0 {
+            conn.last_activity = std::time::Instant::now();
+        }
         self.metrics.add_bytes_in(fresh as u64);
         status
     }
@@ -426,6 +481,12 @@ impl<H: Handler> Reactor<'_, H> {
         conn.wq.push(out);
         let consumed = drained.consumed.min(conn.rbuf.len());
         conn.rbuf.drain(..consumed);
+        // A burst of giant pipelined requests grows `rbuf` far past the
+        // steady state; once the leftover fits comfortably, give the
+        // memory back instead of pinning the high-water mark forever.
+        if conn.rbuf.capacity() > RBUF_RETAIN && conn.rbuf.len() <= RBUF_RETAIN / 2 {
+            conn.rbuf.shrink_to(RBUF_RETAIN);
+        }
         match drained.action {
             Action::Continue => {
                 if conn.eof {
@@ -451,6 +512,20 @@ impl<H: Handler> Reactor<'_, H> {
     /// writes re-slice and continue. Returns false if the connection was
     /// closed.
     fn try_flush(&mut self, slot: usize) -> bool {
+        // Failpoint `transport::writev`: the vectored write fails with
+        // replies pending; the connection is torn down like any other
+        // write error. Only fires with something to flush, so an armed
+        // site does not sweep away idle connections.
+        if !self.conns[slot]
+            .as_ref()
+            .expect("checked live")
+            .wq
+            .is_empty()
+            && shbf_failpoint::fail("transport::writev").is_some()
+        {
+            self.close(slot);
+            return false;
+        }
         let conn = self.conns[slot].as_mut().expect("checked live");
         let (stream, wq) = (&mut conn.stream, &mut conn.wq);
         let mut written = 0usize;
@@ -472,6 +547,9 @@ impl<H: Handler> Reactor<'_, H> {
                 Err(_) => break false,
             }
         };
+        if written > 0 {
+            conn.last_activity = std::time::Instant::now();
+        }
         self.metrics.add_bytes_out(written as u64);
         if !result {
             self.close(slot);
@@ -499,6 +577,23 @@ impl<H: Handler> Reactor<'_, H> {
             self.metrics.on_backpressure_exit();
         }
         true
+    }
+
+    /// Closes every connection whose `last_activity` stamp is older than
+    /// `limit`. Connections already draining toward close are left to
+    /// finish normally.
+    fn reap_idle(&mut self, limit: std::time::Duration) {
+        let now = std::time::Instant::now();
+        for slot in 0..self.conns.len() {
+            let idle = match &self.conns[slot] {
+                Some(conn) => !conn.closing && now.duration_since(conn.last_activity) >= limit,
+                None => false,
+            };
+            if idle {
+                self.metrics.on_idle_reap();
+                self.close(slot);
+            }
+        }
     }
 
     fn close(&mut self, slot: usize) {
@@ -771,6 +866,116 @@ mod tests {
             .unwrap();
         let n = second.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"B\n");
+        running.stop();
+    }
+
+    #[test]
+    fn shed_reply_turns_overflow_into_an_immediate_busy_error() {
+        let config = ReactorConfig {
+            max_connections: 1,
+            shed_reply: Some(Arc::from(&b"-ERR busy\r\n"[..])),
+            ..ReactorConfig::default()
+        };
+        let (addr, running) = start(config);
+        let mut first = TcpStream::connect(addr).unwrap();
+        first.write_all(b"a\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = first.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"A\n");
+
+        // Overflow is accepted, told off, and hung up on — not parked.
+        let mut second = TcpStream::connect(addr).unwrap();
+        second
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut got = Vec::new();
+        second.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"-ERR busy\r\n");
+        assert_eq!(running.metrics.snapshot().shed, 1);
+
+        // Freeing the slot restores normal service for new arrivals.
+        drop(first);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let mut third = TcpStream::connect(addr).unwrap();
+            third.write_all(b"c\n").unwrap();
+            third
+                .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .unwrap();
+            // A shed race (the old slot not yet reclaimed) reads the busy
+            // error to EOF; a served connection answers and stays open.
+            match third.read(&mut buf) {
+                Ok(n) if &buf[..n] == b"C\n" => break,
+                _ if std::time::Instant::now() > deadline => {
+                    panic!("slot never freed for new connections")
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        running.stop();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_the_deadline() {
+        let config = ReactorConfig {
+            idle_timeout: Some(std::time::Duration::from_millis(150)),
+            ..ReactorConfig::default()
+        };
+        let (addr, running) = start(config);
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        // The server, not the client, must end this connection.
+        let mut buf = [0u8; 8];
+        let n = idle.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "expected server-side close, got data");
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(100),
+            "reaped suspiciously fast ({:?})",
+            started.elapsed()
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while running.metrics.snapshot().idle_reaped == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(running.metrics.snapshot().idle_reaped, 1);
+
+        // A connection that keeps talking survives well past the limit.
+        let mut chatty = TcpStream::connect(addr).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            chatty.write_all(b"hi\n").unwrap();
+            let n = chatty.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"HI\n", "active connection was reaped");
+        }
+        running.stop();
+    }
+
+    #[test]
+    fn giant_requests_are_served_and_do_not_wedge_the_buffer() {
+        // One request far beyond RBUF_RETAIN, then small ones: the shrink
+        // path runs in between and must not disturb correctness.
+        let (addr, running) = start(ReactorConfig::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+        let big = vec![b'y'; 4 * RBUF_RETAIN];
+        let mut req = big.clone();
+        req.push(b'\n');
+        let writer = std::thread::spawn({
+            let mut w = c.try_clone().unwrap();
+            move || w.write_all(&req)
+        });
+        let mut got = vec![0u8; big.len() + 1];
+        c.read_exact(&mut got).unwrap();
+        writer.join().unwrap().unwrap();
+        assert!(got[..big.len()].iter().all(|&b| b == b'Y'));
+        assert_eq!(got[big.len()], b'\n');
+        for _ in 0..3 {
+            c.write_all(b"tiny\n").unwrap();
+            let mut buf = [0u8; 8];
+            let n = c.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"TINY\n");
+        }
         running.stop();
     }
 

@@ -293,6 +293,8 @@ pub struct TransportMetrics {
     backpressure_exit: AtomicU64,
     queue_high_water: AtomicU64,
     wakeups: AtomicU64,
+    shed: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 /// A point-in-time copy of [`TransportMetrics`].
@@ -315,6 +317,11 @@ pub struct TransportSnapshot {
     pub queue_high_water: u64,
     /// Eventfd wakeups observed by reactor loops.
     pub wakeups: u64,
+    /// Connections shed at the capacity limit with a busy reply instead
+    /// of being served.
+    pub shed: u64,
+    /// Connections closed by the idle-deadline reaper.
+    pub idle_reaped: u64,
 }
 
 impl TransportMetrics {
@@ -363,6 +370,17 @@ impl TransportMetrics {
         self.wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection shed at the capacity limit (busy-replied and
+    /// closed instead of served).
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by the idle-deadline reaper.
+    pub fn on_idle_reap(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies all counters out.
     pub fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
@@ -374,6 +392,8 @@ impl TransportMetrics {
             backpressure_exit: self.backpressure_exit.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
         }
     }
 }
@@ -386,10 +406,20 @@ pub struct ReactorConfig {
     /// TCP flow control eventually pushes back on the peer). Reading
     /// resumes once the queue drains below `high_water / 2`.
     pub high_water: usize,
-    /// Maximum concurrent connections this reactor accepts; beyond it,
-    /// pending connections wait in the listen backlog until a slot frees
-    /// (exactly like the threaded transport's semaphore).
+    /// Maximum concurrent connections this reactor accepts. Beyond it:
+    /// with [`Self::shed_reply`] set, excess connections are accepted,
+    /// sent that reply, and closed (overload shedding); without it,
+    /// pending connections wait in the listen backlog until a slot
+    /// frees (exactly like the threaded transport's semaphore).
     pub max_connections: usize,
+    /// Overload-shed farewell bytes (e.g. `-ERR busy\r\n`) written
+    /// best-effort to connections accepted past `max_connections`.
+    /// `None` parks the listener instead of shedding.
+    pub shed_reply: Option<std::sync::Arc<[u8]>>,
+    /// Close connections with no inbound bytes for this long. `None`
+    /// disables reaping (and the loop blocks in `epoll_wait` with no
+    /// timeout when idle).
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ReactorConfig {
@@ -397,6 +427,8 @@ impl Default for ReactorConfig {
         ReactorConfig {
             high_water: 1 << 20,
             max_connections: 1024,
+            shed_reply: None,
+            idle_timeout: None,
         }
     }
 }

@@ -12,7 +12,7 @@ use shbf_wal::FsyncPolicy;
 
 use crate::metrics::{summarize, CommandKind, EngineMetrics};
 use crate::persistence::{self, Durability};
-use crate::protocol::{Command, Response, SlowLogSub, WireSet};
+use crate::protocol::{Command, FailPointSub, Response, SlowLogSub, WireSet};
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
 use crate::replication::{self, ReplicationState};
 use crate::snapshot;
@@ -69,6 +69,13 @@ pub struct Engine {
     /// Per-command latency histograms, the slow-query log, and event
     /// counters; scraped by `/metrics`, `STATS server`, and `SLOWLOG`.
     metrics: EngineMetrics,
+    /// Latched when a WAL append or fsync fails: the engine stops
+    /// acknowledging mutations (reads keep serving) rather than lie
+    /// about durability. Cleared only by restart.
+    read_only: std::sync::atomic::AtomicBool,
+    /// Whether the test-only `FAILPOINT` admin verb is accepted
+    /// (`ServerConfig::failpoints_admin`); off by default.
+    failpoints_admin: std::sync::atomic::AtomicBool,
 }
 
 /// Per-connection scratch for the batch query path: the `MQUERY` verdict
@@ -155,6 +162,19 @@ impl Engine {
     /// log, persistence/replication counters).
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// Whether the engine has latched read-only after a WAL I/O failure.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Enables the test-only `FAILPOINT` admin verb for this engine
+    /// (`ServerConfig::failpoints_admin`). Off by default; there is
+    /// deliberately no way to turn it back off over the wire.
+    pub fn enable_failpoints_admin(&self) {
+        self.failpoints_admin
+            .store(true, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Stores a weak back-reference to this engine's own `Arc` so verbs
@@ -337,6 +357,7 @@ impl Engine {
             Command::Stats { ns } if ns.as_str() == REPLICATION_STATS => {
                 return self.replication_stats()
             }
+            Command::FailPoint { sub } => return self.failpoint_admin(sub),
             _ => {}
         }
         if !is_mutation(cmd) {
@@ -346,6 +367,13 @@ impl Engine {
             return Response::Error(
                 "read only replica; send mutations to the primary \
                  (REPLICAOF NO ONE detaches)"
+                    .into(),
+            );
+        }
+        if self.is_read_only() {
+            return Response::Error(
+                "read only: a WAL write failed; mutations are disabled \
+                 until the disk is fixed and the server restarts"
                     .into(),
             );
         }
@@ -381,9 +409,16 @@ impl Engine {
                     }
                 }
                 // The mutation is applied in memory but not durable —
-                // tell the client instead of acknowledging a lie.
+                // tell the client instead of acknowledging a lie, and
+                // latch read-only so later mutations cannot silently
+                // diverge memory from the log.
                 Err(e) => {
-                    return Response::Error(format!("wal append failed after apply: {e}"));
+                    self.metrics.wal_io_errors.inc();
+                    self.read_only
+                        .store(true, std::sync::atomic::Ordering::Relaxed);
+                    return Response::Error(format!(
+                        "wal append failed after apply (now read only): {e}"
+                    ));
                 }
             }
         }
@@ -408,8 +443,53 @@ impl Engine {
         }
     }
 
+    /// `FAILPOINT SET/CLEAR/LIST` — runtime fault injection, gated
+    /// behind [`Self::enable_failpoints_admin`] so a production server
+    /// never exposes it by accident.
+    fn failpoint_admin(&self, sub: &FailPointSub) -> Response {
+        if !self
+            .failpoints_admin
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return Response::Error(
+                "failpoint admin disabled (start with --failpoints-admin)".into(),
+            );
+        }
+        match sub {
+            FailPointSub::Set { site, action } => match shbf_failpoint::Action::parse(action) {
+                Ok(action) => {
+                    shbf_failpoint::set(site, action);
+                    Response::ok()
+                }
+                Err(e) => Response::Error(format!("bad failpoint action: {e}")),
+            },
+            FailPointSub::Clear { site: Some(site) } => {
+                shbf_failpoint::clear(site);
+                Response::ok()
+            }
+            FailPointSub::Clear { site: None } => {
+                shbf_failpoint::clear_all();
+                Response::ok()
+            }
+            FailPointSub::List => Response::Array(
+                shbf_failpoint::list()
+                    .into_iter()
+                    .map(|(site, action, hits, fired)| {
+                        Response::Simple(format!("{site}={action} hits={hits} fired={fired}"))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
     /// `SYNC have_seq` — primary side of the replication handshake.
     fn sync_handshake(&self, have: u64) -> Response {
+        // Failpoint `engine::sync`: the handshake fails before any
+        // snapshot work — a replica sees the error and retries with
+        // backoff.
+        if let Some(msg) = shbf_failpoint::fail("engine::sync") {
+            return Response::Error(msg);
+        }
         let Some(durability) = self.durability.get() else {
             return Response::Error(
                 "replication requires a WAL on the primary (start with --wal-dir)".into(),
@@ -437,6 +517,12 @@ impl Engine {
 
     /// `PULLOPS id from max` — primary side of replication tailing.
     fn pull_ops(&self, id: &str, from: u64, max: u64) -> Response {
+        // Failpoint `engine::pullops`: the poll fails wholesale — a
+        // tailing replica sees the error, backs off, and retries; the
+        // stalled-link chaos scenario drives this site.
+        if let Some(msg) = shbf_failpoint::fail("engine::pullops") {
+            return Response::Error(msg);
+        }
         let Some(durability) = self.durability.get() else {
             return Response::Error(
                 "replication requires a WAL on the primary (start with --wal-dir)".into(),
@@ -543,6 +629,8 @@ impl Engine {
         ));
         fields.push(("snapshots".into(), m.snapshots.get().to_string()));
         fields.push(("namespaces".into(), self.registry.list().len().to_string()));
+        fields.push(("read_only".into(), (self.is_read_only() as u8).to_string()));
+        fields.push(("wal_io_errors".into(), m.wal_io_errors.get().to_string()));
         Response::Array(
             fields
                 .into_iter()
@@ -639,9 +727,10 @@ impl Engine {
             },
             // Handled by the outer `eval` before it reaches here; replay
             // lines never contain these verbs.
-            Command::ReplicaOf { .. } | Command::Sync { .. } | Command::PullOps { .. } => {
-                Response::Error("replication verb outside dispatch".into())
-            }
+            Command::ReplicaOf { .. }
+            | Command::Sync { .. }
+            | Command::PullOps { .. }
+            | Command::FailPoint { .. } => Response::Error("admin verb outside dispatch".into()),
         }
     }
 

@@ -61,9 +61,15 @@ pub(crate) fn run(
     let base = max_connections / workers;
     let rem = max_connections % workers;
     let high_water = config.write_high_water;
+    let shed_reply: Option<Arc<[u8]>> = config
+        .shed_busy
+        .then(|| Arc::from(crate::server::BUSY_REPLY));
+    let idle_timeout = config.idle_deadline();
     let config_for = move |i: usize| ReactorConfig {
         max_connections: base + usize::from(i < rem),
         high_water,
+        shed_reply: shed_reply.clone(),
+        idle_timeout,
     };
     let mut spawned = Vec::with_capacity(workers - 1);
     for i in 1..workers {

@@ -39,6 +39,7 @@
 //! | `STATS replication` | `*n` of `+k=v` | role, WAL position, replica count, lag |
 //! | `STATS server` | `*n` of `+k=v` | version, pid, uptime, per-command totals |
 //! | `SLOWLOG GET [n]` / `RESET` / `LEN` | `*n` / `+OK` / `:n` | slow-query ring (see [`ServerConfig::slowlog_us`]) |
+//! | `FAILPOINT SET site action` / `CLEAR [site]` / `LIST` | `+OK` / `*n` | fault injection; gated behind [`ServerConfig::failpoints_admin`] |
 //! | `SHUTDOWN` | `+BYE` | stops the server |
 //! | `QUIT` | `+BYE` | closes the connection |
 //!
@@ -56,6 +57,24 @@
 //! serving queries locally and rejecting mutations with
 //! `-ERR read only replica`. See [`persistence`] and the `replication`
 //! module docs.
+//!
+//! ## Fault tolerance
+//!
+//! The serving stack degrades predictably instead of hanging or silently
+//! corrupting: per-connection **idle deadlines**
+//! ([`ServerConfig::conn_idle_secs`]) reap silent connections on both
+//! transports, **overload shedding** ([`ServerConfig::shed_busy`]) turns
+//! connections beyond [`ServerConfig::max_connections`] into an immediate
+//! `-ERR busy` instead of unbounded queueing, a WAL write failure latches
+//! the server **read-only** (reads keep serving; mutations are refused
+//! until the disk is fixed and the process restarts), and the replica
+//! applier reconnects under capped exponential backoff with jitter. All
+//! of it is testable end-to-end through `shbf-failpoint` fault-injection
+//! sites (env `SHBF_FAILPOINTS`, or the `FAILPOINT` admin verb when
+//! [`ServerConfig::failpoints_admin`] is on) — zero hot-path cost when no
+//! failpoint is active. Client-side, [`Client::connect_timeout`],
+//! [`Client::set_read_timeout`], and [`Client::call_with_retry`] bound
+//! connect/read stalls and retry idempotent reads with jittered backoff.
 //!
 //! ## Trust model
 //!
@@ -140,7 +159,8 @@ pub use engine::{
 };
 pub use metrics::{CommandKind, EngineMetrics, SlowLogEntry};
 pub use protocol::{
-    parse_command, scan_line, Command, FamilySpec, KindSpec, Response, Scan, SlowLogSub,
+    parse_command, scan_line, Command, FailPointSub, FamilySpec, KindSpec, Response, Scan,
+    SlowLogSub,
 };
 pub use registry::{Namespace, Registry, RegistryError};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle, TransportKind};

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
-use shbf_metrics::{Counter, Histogram};
+use shbf_metrics::{Counter, Gauge, Histogram};
 
 use crate::protocol::Command;
 
@@ -182,6 +182,7 @@ pub fn summarize(cmd: &Command) -> String {
         Command::Sync { have } => format!("SYNC {have}"),
         Command::PullOps { id, from, max } => format!("PULLOPS {id} {from} {max}"),
         Command::SlowLog { .. } => "SLOWLOG".into(),
+        Command::FailPoint { .. } => "FAILPOINT".into(),
         Command::Shutdown => "SHUTDOWN".into(),
         Command::Quit => "QUIT".into(),
     }
@@ -238,6 +239,15 @@ pub struct EngineMetrics {
     pub pullops_disk: Counter,
     /// Times this node restarted replication from scratch (full resync).
     pub resyncs: Counter,
+    /// Replica-applier reconnect attempts (each serve-link stint that
+    /// ended, successfully established or not).
+    pub replica_reconnects: Counter,
+    /// Current applier reconnect backoff in milliseconds (0 while the
+    /// link is up; grows exponentially with jitter while it is down).
+    pub replica_backoff_ms: Gauge,
+    /// WAL I/O failures on the mutation path (append/fsync/rotate/
+    /// snapshot errors). The first one flips the engine read-only.
+    pub wal_io_errors: Counter,
     /// Snapshots written (startup recovery snapshots included).
     pub snapshots: Counter,
     /// Unix timestamp of the newest snapshot (0 = none yet).
@@ -267,6 +277,9 @@ impl EngineMetrics {
             pullops_ring: Counter::new(),
             pullops_disk: Counter::new(),
             resyncs: Counter::new(),
+            replica_reconnects: Counter::new(),
+            replica_backoff_ms: Gauge::new(),
+            wal_io_errors: Counter::new(),
             snapshots: Counter::new(),
             snapshot_unix: AtomicU64::new(0),
             replica_last_apply_unix: AtomicU64::new(0),

@@ -460,6 +460,16 @@ pub(crate) fn render_prometheus(engine: &Engine) -> String {
             );
             e.sample("shbf_snapshot_age_seconds", &[], age as f64);
         }
+        e.header(
+            "shbf_wal_io_errors_total",
+            "WAL append/fsync failures observed on the mutation path.",
+            "counter",
+        );
+        e.sample(
+            "shbf_wal_io_errors_total",
+            &[],
+            m.wal_io_errors.get() as f64,
+        );
     }
 
     // Replication (both roles).
@@ -520,6 +530,26 @@ pub(crate) fn render_prometheus(engine: &Engine) -> String {
         m.resyncs.get() as f64,
     );
     e.header(
+        "shbf_replication_reconnects_total",
+        "Times the replica applier lost its primary link and scheduled a reconnect.",
+        "counter",
+    );
+    e.sample(
+        "shbf_replication_reconnects_total",
+        &[],
+        m.replica_reconnects.get() as f64,
+    );
+    e.header(
+        "shbf_replication_backoff_ms",
+        "Reconnect delay the applier most recently slept (0 until a link fails).",
+        "gauge",
+    );
+    e.sample(
+        "shbf_replication_backoff_ms",
+        &[],
+        m.replica_backoff_ms.get(),
+    );
+    e.header(
         "shbf_pullops_served_total",
         "PULLOPS requests answered, by source (in-memory ring vs disk scan).",
         "counter",
@@ -535,9 +565,25 @@ pub(crate) fn render_prometheus(engine: &Engine) -> String {
         m.pullops_disk.get() as f64,
     );
 
+    // Durability health: the read-only latch is always exported (so
+    // dashboards can alert on the transition); the WAL I/O error counter
+    // rides with the WAL families above — a WAL-less server cannot take
+    // that path, and WAL families stay absent rather than lying with
+    // zeros.
+    e.header(
+        "shbf_read_only",
+        "1 when a WAL write failure has latched the server read-only.",
+        "gauge",
+    );
+    e.sample(
+        "shbf_read_only",
+        &[],
+        if engine.is_read_only() { 1.0 } else { 0.0 },
+    );
+
     // Transport connection counters (shared by both transports).
     let t = engine.transport_metrics().snapshot();
-    let transport_counters: [(&str, &str, u64); 7] = [
+    let transport_counters: [(&str, &str, u64); 9] = [
         (
             "shbf_transport_connections_accepted_total",
             "Connections accepted.",
@@ -568,6 +614,16 @@ pub(crate) fn render_prometheus(engine: &Engine) -> String {
             "shbf_transport_wakeups_total",
             "Reactor eventfd wakeups.",
             t.wakeups,
+        ),
+        (
+            "shbf_transport_connections_shed_total",
+            "Connections refused with -ERR busy at the overload guard.",
+            t.shed,
+        ),
+        (
+            "shbf_transport_idle_reaped_total",
+            "Connections closed by the idle deadline.",
+            t.idle_reaped,
         ),
     ];
     for (name, help, value) in transport_counters {
@@ -621,13 +677,19 @@ mod tests {
             "shbf_namespace_groundtruth_negatives_total{ns=\"sizes\"} 1",
             "shbf_namespace_occupancy{ns=\"flows\"}",
             "shbf_replication_is_replica 0",
+            "shbf_replication_reconnects_total 0",
+            "shbf_replication_backoff_ms 0",
             "shbf_pullops_served_total{source=\"ring\"} 0",
+            "shbf_read_only 0",
             "shbf_transport_connections_accepted_total 0",
+            "shbf_transport_connections_shed_total 0",
+            "shbf_transport_idle_reaped_total 0",
         ] {
             assert!(body.contains(series), "missing `{series}` in:\n{body}");
         }
-        // No WAL attached → no WAL families.
-        assert!(!body.contains("shbf_wal_append_duration_seconds"));
+        // No WAL attached → no WAL families (including the I/O error
+        // counter, which only a WAL-backed mutation path can advance).
+        assert!(!body.contains("shbf_wal_"));
 
         // HTTP routing over a live endpoint.
         let shutdown = Arc::new(AtomicBool::new(false));

@@ -39,6 +39,30 @@ pub enum SlowLogSub {
     Len,
 }
 
+/// `FAILPOINT` subcommands (test-only fault injection; the verb is
+/// rejected unless the server was started with failpoint administration
+/// enabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailPointSub {
+    /// `FAILPOINT SET site action` → `+OK` — arms `site` with an
+    /// `shbf-failpoint` action (`off|return(msg)|delay(ms)|panic|1in(n)`).
+    Set {
+        /// The failpoint site name (e.g. `wal::fsync`).
+        site: String,
+        /// The action string, parsed by `shbf_failpoint::Action::parse`.
+        action: String,
+    },
+    /// `FAILPOINT CLEAR [site]` → `+OK` — disarms one site, or every
+    /// site when none is named.
+    Clear {
+        /// `Some(site)` to disarm one, `None` to disarm all.
+        site: Option<String>,
+    },
+    /// `FAILPOINT LIST` → array of `+site=action hits=h fired=f` lines,
+    /// name-sorted.
+    List,
+}
+
 /// The filter family a namespace is created with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KindSpec {
@@ -223,6 +247,14 @@ pub enum Command {
     SlowLog {
         /// The subcommand.
         sub: SlowLogSub,
+    },
+    /// `FAILPOINT SET site action` / `CLEAR [site]` / `LIST` — runtime
+    /// fault injection for chaos tests. Gated behind
+    /// [`crate::ServerConfig::failpoints_admin`]; disabled servers
+    /// reply `-ERR failpoint admin disabled`.
+    FailPoint {
+        /// The subcommand.
+        sub: FailPointSub,
     },
     /// `SHUTDOWN` — stop the server after replying `+BYE`.
     Shutdown,
@@ -542,6 +574,29 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 }),
                 "LEN" if rest.len() == 1 => Ok(Command::SlowLog {
                     sub: SlowLogSub::Len,
+                }),
+                _ => Err(err(format!("usage: {usage}"))),
+            }
+        }
+        "FAILPOINT" => {
+            let usage = "FAILPOINT SET site action | FAILPOINT CLEAR [site] | FAILPOINT LIST";
+            let sub = rest.first().ok_or_else(|| err(format!("usage: {usage}")))?;
+            match sub.to_ascii_uppercase().as_str() {
+                // The action may contain spaces (`return(disk full)`),
+                // so everything after the site name is one action token.
+                "SET" if rest.len() >= 3 => Ok(Command::FailPoint {
+                    sub: FailPointSub::Set {
+                        site: rest[1].to_string(),
+                        action: rest[2..].join(" "),
+                    },
+                }),
+                "CLEAR" if rest.len() <= 2 => Ok(Command::FailPoint {
+                    sub: FailPointSub::Clear {
+                        site: rest.get(1).map(|s| s.to_string()),
+                    },
+                }),
+                "LIST" if rest.len() == 1 => Ok(Command::FailPoint {
+                    sub: FailPointSub::List,
                 }),
                 _ => Err(err(format!("usage: {usage}"))),
             }

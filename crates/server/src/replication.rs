@@ -48,8 +48,18 @@ const PULL_BATCH: u64 = 512;
 /// Idle poll interval when the primary had nothing new.
 const PULL_IDLE: Duration = Duration::from_millis(25);
 
-/// Reconnect backoff after a connection or handshake failure.
-const RECONNECT_DELAY: Duration = Duration::from_millis(300);
+/// First reconnect delay after a connection or handshake failure; each
+/// consecutive failure doubles it (plus jitter) up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+
+/// Reconnect backoff ceiling — a long-dead primary is probed every few
+/// seconds, not hammered hundreds of times a second.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// A link that stayed healthy this long before failing resets the
+/// backoff ramp: the next failure is treated as fresh, not as one more
+/// strike against a dead primary.
+const HEALTHY_STINT: Duration = Duration::from_secs(5);
 
 /// Primary-side record of one polling replica.
 struct ReplicaTracker {
@@ -206,18 +216,41 @@ fn parse_tagged_seq(line: &str, tag: &str) -> Option<u64> {
 /// until stopped or the engine is gone.
 fn run_applier(engine: Weak<Engine>, primary: String, stop: Arc<AtomicBool>) {
     let id = replica_id();
+    let mut backoff = BACKOFF_BASE;
     while !stop.load(Ordering::SeqCst) {
         let Some(engine) = engine.upgrade() else {
             return;
         };
+        let started = Instant::now();
         if let Err(e) = serve_link(&engine, &primary, &id, &stop) {
             if stop.load(Ordering::SeqCst) {
                 return;
             }
             eprintln!("shbf-replica: link to {primary} failed: {e}; retrying");
         }
+        // A link that served a healthy stint failed fresh — restart the
+        // ramp instead of treating it as one more strike.
+        if started.elapsed() >= HEALTHY_STINT {
+            backoff = BACKOFF_BASE;
+        }
+        let delay = crate::client::jittered(backoff);
+        engine.metrics().replica_reconnects.inc();
+        engine
+            .metrics()
+            .replica_backoff_ms
+            .set(delay.as_millis() as f64);
+        backoff = (backoff * 2).min(BACKOFF_CAP);
         drop(engine); // don't pin the engine across the backoff sleep
-        std::thread::sleep(RECONNECT_DELAY);
+                      // Sleep in slices so a detach (which joins this thread) never
+                      // waits out a multi-second backoff.
+        let deadline = Instant::now() + delay;
+        while !stop.load(Ordering::SeqCst) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            std::thread::sleep(left.min(Duration::from_millis(25)));
+        }
     }
 }
 
@@ -295,6 +328,12 @@ fn serve_link(
                 return Err(other(format!(
                     "op {seq}: primary loaded a snapshot; resyncing"
                 )));
+            }
+            // Failpoint `replica::apply`: applying the op fails — treated
+            // as divergence, so the applier resyncs from a snapshot.
+            if let Some(msg) = shbf_failpoint::fail("replica::apply") {
+                state.applied_seq.store(0, Ordering::SeqCst);
+                return Err(other(format!("op {seq} apply failed (injected): {msg}")));
             }
             if let Err(e) = engine.apply_replay_line(op_line) {
                 // Divergence (an op the local state rejects): resync from

@@ -142,6 +142,18 @@ pub struct ServerConfig {
     /// Slow-query threshold in microseconds: a command taking at least
     /// this long lands in the `SLOWLOG` ring. `0` disables the log.
     pub slowlog_us: u64,
+    /// Idle-connection deadline in seconds: a connection with no traffic
+    /// for this long is closed by the server (both transports; `STATS
+    /// transport` counts the reaps). `0` disables reaping.
+    pub conn_idle_secs: u64,
+    /// Overload shedding: at `max_connections`, new arrivals are told
+    /// `-ERR busy` and closed immediately instead of queueing in the
+    /// accept backlog for an unbounded wait. Off by default (queueing
+    /// preserves every request when the burst is short).
+    pub shed_busy: bool,
+    /// Accept the test-only `FAILPOINT` admin verb (runtime fault
+    /// injection — see `shbf-failpoint`). Never enable in production.
+    pub failpoints_admin: bool,
 }
 
 impl Default for ServerConfig {
@@ -158,11 +170,19 @@ impl Default for ServerConfig {
             replica_of: None,
             metrics_addr: None,
             slowlog_us: crate::metrics::DEFAULT_SLOWLOG_US,
+            conn_idle_secs: 0,
+            shed_busy: false,
+            failpoints_admin: false,
         }
     }
 }
 
 impl ServerConfig {
+    /// The idle deadline as a `Duration`, `None` when disabled.
+    pub(crate) fn idle_deadline(&self) -> Option<std::time::Duration> {
+        (self.conn_idle_secs > 0).then(|| std::time::Duration::from_secs(self.conn_idle_secs))
+    }
+
     pub(crate) fn effective_evented_workers(&self) -> usize {
         if self.evented_workers > 0 {
             return self.evented_workers;
@@ -199,6 +219,19 @@ impl ConnSlots {
         SlotGuard {
             slots: Arc::clone(self),
         }
+    }
+
+    /// Nonblocking acquire for the shedding accept loop: `None` when the
+    /// server is at capacity.
+    fn try_acquire(self: &Arc<Self>) -> Option<SlotGuard> {
+        let mut active = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if *active >= self.max {
+            return None;
+        }
+        *active += 1;
+        Some(SlotGuard {
+            slots: Arc::clone(self),
+        })
     }
 
     fn release(&self) {
@@ -280,6 +313,12 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         engine.attach_self();
+        // A bad SHBF_FAILPOINTS string refuses to start rather than run a
+        // chaos scenario silently different from the one scripted.
+        shbf_failpoint::init_from_env().map_err(std::io::Error::other)?;
+        if config.failpoints_admin {
+            engine.enable_failpoints_admin();
+        }
         if let Some(dir) = &config.data_dir {
             engine.set_data_dir(dir)?;
         }
@@ -383,6 +422,7 @@ impl Server {
     fn run_threaded(self) -> std::io::Result<()> {
         let endpoint = self.endpoint.clone();
         let slots = Arc::new(ConnSlots::new(self.config.max_connections));
+        let idle = self.config.idle_deadline();
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -396,14 +436,33 @@ impl Server {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let slot = slots.acquire();
+            // Failpoint `transport::accept`: drop the fresh socket as if
+            // setup had failed — the peer sees a reset.
+            if shbf_failpoint::fail("transport::accept").is_some() {
+                continue;
+            }
+            let slot = if self.config.shed_busy {
+                match slots.try_acquire() {
+                    Some(slot) => slot,
+                    None => {
+                        // Overload shedding: an immediate, parseable
+                        // error beats an unbounded queueing delay.
+                        let mut stream = stream;
+                        let _ = stream.write_all(BUSY_REPLY);
+                        self.engine.transport_metrics().on_shed();
+                        continue;
+                    }
+                }
+            } else {
+                slots.acquire()
+            };
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
             let endpoint = endpoint.clone();
             engine.transport_metrics().on_accept();
             handlers.push(std::thread::spawn(move || {
                 let _slot = slot; // held for the connection's lifetime
-                let _ = handle_connection(stream, &engine, &shutdown, &endpoint);
+                let _ = handle_connection(stream, &engine, &shutdown, &endpoint, idle);
                 engine.transport_metrics().on_close();
             }));
             handlers.retain(|h| !h.is_finished());
@@ -477,6 +536,10 @@ impl ServerHandle {
 /// on both transports.
 pub(crate) const MAX_REQUEST_LINE: usize = 1 << 20;
 
+/// What an overload-shed connection is told before the close
+/// ([`ServerConfig::shed_busy`]; both transports send the same bytes).
+pub(crate) const BUSY_REPLY: &[u8] = b"-ERR busy\r\n";
+
 fn reject_oversized(writer: &mut Stream, out: &mut Vec<u8>) -> std::io::Result<()> {
     out.clear();
     Response::Error(format!(
@@ -492,6 +555,7 @@ fn handle_connection(
     engine: &Engine,
     shutdown: &AtomicBool,
     endpoint: &Endpoint,
+    idle: Option<std::time::Duration>,
 ) -> std::io::Result<()> {
     let metrics = engine.transport_metrics();
     stream.set_nodelay(true).ok();
@@ -513,9 +577,17 @@ fn handle_connection(
     // Batch-query scratch: MQUERY verdicts and shard-grouping buffers are
     // recycled across this connection's requests instead of reallocated.
     let mut scratch = QueryScratch::new();
+    // Idle reaping rides the 200 ms read-timeout poll: each timeout
+    // checks how long the connection has been silent.
+    let mut last_activity = std::time::Instant::now();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
+        }
+        // Failpoint `transport::read`: the socket read fails mid-stream;
+        // the connection is torn down like any other read error.
+        if let Some(msg) = shbf_failpoint::fail("transport::read") {
+            return Err(std::io::Error::other(msg));
         }
         // `line` deliberately accumulates across timeouts: a read timeout
         // mid-line must not discard the partial line already buffered.
@@ -529,7 +601,10 @@ fn handle_connection(
             .set_limit((MAX_REQUEST_LINE + 2 - line.len()) as u64);
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // peer closed
-            Ok(n) => metrics.add_bytes_in(n as u64),
+            Ok(n) => {
+                metrics.add_bytes_in(n as u64);
+                last_activity = std::time::Instant::now();
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -538,6 +613,12 @@ fn handle_connection(
             {
                 if line.len() > MAX_REQUEST_LINE {
                     return reject_oversized(&mut writer, &mut out);
+                }
+                if let Some(limit) = idle {
+                    if last_activity.elapsed() >= limit {
+                        metrics.on_idle_reap();
+                        return Ok(());
+                    }
                 }
                 continue;
             }
@@ -567,6 +648,11 @@ fn handle_connection(
         out.clear();
         response.encode(&mut out);
         scratch.reclaim(response);
+        // Failpoint `transport::writev`: the reply write fails (shared
+        // site name with the evented flush path).
+        if let Some(msg) = shbf_failpoint::fail("transport::writev") {
+            return Err(std::io::Error::other(msg));
+        }
         writer.write_all(&out)?;
         writer.flush()?;
         metrics.add_bytes_out(out.len() as u64);

@@ -106,10 +106,21 @@ pub fn save(registry: &Registry, path: &Path) -> Result<usize, SnapshotError> {
 /// parent directory is fsynced so the rename itself is durable.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("snap.tmp");
+    // Failpoint `snapshot::write`: the temp-file write fails — nothing
+    // was renamed, the previous snapshot is untouched.
+    if let Some(msg) = shbf_failpoint::fail("snapshot::write") {
+        return Err(std::io::Error::other(msg));
+    }
     {
         let mut file = std::fs::File::create(&tmp)?;
         std::io::Write::write_all(&mut file, bytes)?;
         file.sync_all()?;
+    }
+    // Failpoint `snapshot::rename`: the crash window between temp write
+    // and rename — a complete `.snap.tmp` exists but the target still
+    // points at the previous snapshot (the "torn rename" scenario).
+    if let Some(msg) = shbf_failpoint::fail("snapshot::rename") {
+        return Err(std::io::Error::other(msg));
     }
     std::fs::rename(&tmp, path)?;
     // Directory fsync is best-effort: not every filesystem supports it,

@@ -71,6 +71,7 @@ COMMANDS
         [--wal-dir DIR] [--fsync always|everysec|no] [--snapshot-every N]
         [--data-dir DIR] [--replicaof HOST:PORT]
         [--metrics-addr HOST:PORT] [--slowlog-us N]
+        [--conn-idle-secs N] [--shed-busy] [--failpoints-admin]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
       --unix listens on a UNIX-domain socket path instead of TCP;
@@ -88,15 +89,22 @@ COMMANDS
       Prometheus text metrics over HTTP at GET /metrics (port 0 picks
       an ephemeral port, printed at startup); --slowlog-us sets the
       SLOWLOG threshold in microseconds (default 10000, 0 disables).
+      --conn-idle-secs reaps connections silent for N seconds (0, the
+      default, never reaps); --shed-busy turns connections over the
+      --workers cap into an immediate `-ERR busy` instead of queueing
+      them; --failpoints-admin enables the FAILPOINT admin verb (fault
+      injection for chaos testing — never enable in production). The
+      SHBF_FAILPOINTS env var seeds failpoints at startup either way.
 
   client [--port P] [--host ADDR] [--unix PATH] [--send CMD]
-         [--pipeline N]
+         [--pipeline N] [--timeout-ms N]
       Talk to a running daemon (over TCP, or --unix for a UNIX-socket
       server): --send fires one command and prints the reply; without
       it, a line REPL reads from stdin. --pipeline N writes up to N
       commands before reading their replies (stdin mode; with --send,
       split commands on `;`) — against an --evented server this drives
-      the batched query path."
+      the batched query path. --timeout-ms bounds both the TCP connect
+      and every reply read (0, the default, waits forever)."
     );
 }
 
@@ -336,7 +344,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse_with_bools(args, &["evented"])?;
+    let flags = Flags::parse_with_bools(args, &["evented", "shed-busy", "failpoints-admin"])?;
     let bind = flags.get("bind").unwrap_or("127.0.0.1");
     let port: u16 = flags.get_parsed("port", 7878)?;
     let workers: usize = flags.get_parsed("workers", 64)?;
@@ -353,6 +361,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let replica_of = flags.get("replicaof").map(str::to_string);
     let metrics_addr = flags.get("metrics-addr").map(str::to_string);
     let slowlog_us: u64 = flags.get_parsed("slowlog-us", 10_000)?;
+    let conn_idle_secs: u64 = flags.get_parsed("conn-idle-secs", 0)?;
+    let shed_busy = flags.get("shed-busy").is_some();
+    let failpoints_admin = flags.get("failpoints-admin").is_some();
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
@@ -376,6 +387,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         replica_of,
         metrics_addr,
         slowlog_us,
+        conn_idle_secs,
+        shed_busy,
+        failpoints_admin,
         ..ServerConfig::default()
     };
     let server = match flags.get("unix") {
@@ -407,6 +421,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if pipeline == 0 {
         return Err("--pipeline must be >= 1".into());
     }
+    let timeout_ms: u64 = flags.get_parsed("timeout-ms", 0)?;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
     let mut client = match flags.get("unix") {
         #[cfg(unix)]
         Some(path) => {
@@ -414,10 +430,18 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         }
         #[cfg(not(unix))]
         Some(_) => return Err("--unix needs a UNIX platform".into()),
-        None => {
-            Client::connect((host, port)).map_err(|e| format!("connecting {host}:{port}: {e}"))?
-        }
+        None => match timeout {
+            Some(t) => Client::connect_timeout((host, port), t)
+                .map_err(|e| format!("connecting {host}:{port}: {e}"))?,
+            None => Client::connect((host, port))
+                .map_err(|e| format!("connecting {host}:{port}: {e}"))?,
+        },
     };
+    if timeout.is_some() {
+        client
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("setting read timeout: {e}"))?;
+    }
 
     let print_reply = |lines: Vec<String>| {
         for line in lines {
