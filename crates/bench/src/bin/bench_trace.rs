@@ -1,0 +1,91 @@
+//! Emits `BENCH_trace.json`: dispatch throughput with no tracing calls
+//! (baseline) vs. instrumentation in place with sampling off vs.
+//! head-sampled (`1in64`) vs. always-on (`1in1`) — the tracing
+//! instrumentation's overhead at the `Engine::dispatch` boundary.
+//!
+//! ```console
+//! $ cargo run --release -p shbf-bench --bin bench_trace -- \
+//!       --ops 400000 --passes 5 --out BENCH_trace.json
+//! ```
+
+use shbf_bench::trace_overhead::{run, TraceBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_trace [--m-bits BITS] [--keys N] [--ops N] \
+         [--passes N] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = TraceBenchConfig::default();
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--m-bits" => {
+                cfg.m_bits = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--keys" => {
+                cfg.keys = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ops" => {
+                cfg.ops = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--passes" => {
+                cfg.passes = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                out = Some(value());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "bench_trace: m_bits = {}, keys = {}, ops = {}, passes = {}",
+        cfg.m_bits, cfg.keys, cfg.ops, cfg.passes
+    );
+    let (result, json) = run(&cfg);
+    println!(
+        "{:>16} {:>16} {:>16} {:>16} {:>9} {:>9} {:>9}",
+        "base (ops/s)",
+        "off (ops/s)",
+        "1in64 (ops/s)",
+        "1in1 (ops/s)",
+        "off ovh",
+        "1in64 ovh",
+        "1in1 ovh"
+    );
+    println!(
+        "{:>16.0} {:>16.0} {:>16.0} {:>16.0} {:>8.2}% {:>8.2}% {:>8.2}%",
+        result.baseline_ops_per_sec,
+        result.off_ops_per_sec,
+        result.sampled_ops_per_sec,
+        result.always_ops_per_sec,
+        result.off_overhead_pct,
+        result.sampled_overhead_pct,
+        result.always_overhead_pct
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_trace: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("bench_trace: wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

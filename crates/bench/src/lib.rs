@@ -23,5 +23,6 @@ pub mod metrics_overhead;
 pub mod replication_bench;
 pub mod server_bench;
 pub mod speed;
+pub mod trace_overhead;
 
 pub use harness::{RunConfig, Table};

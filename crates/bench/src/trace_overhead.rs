@@ -1,0 +1,201 @@
+//! Tracing-overhead bench: the same dispatch workload with no tracing
+//! calls at all (baseline), with the instrumentation in place but
+//! sampling off, head-sampled (`1in64`), and always-on (`1in1`).
+//!
+//! The tracing PR's contract is that a *disabled* sampler costs one
+//! relaxed atomic load per potential span — dispatch throughput with
+//! the instrumentation compiled in and sampling off must stay within a
+//! few percent of the same build's uninstrumented loop. That delta is
+//! the headline `overhead_pct`. The sampled modes quantify what
+//! turning tracing on costs: at `1in64` every request pays one shared
+//! tick increment and one in 64 records a full span tree; at `1in1`
+//! every request records. This bench measures exactly the instrumented
+//! boundary — in-process `Engine::dispatch_with` over pre-parsed
+//! commands, with the transport's root-trace call in the loop, no
+//! sockets — so the delta is the tracing layer itself and not
+//! transport noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shbf_server::{parse_command, Command, Engine, QueryScratch};
+
+/// Workload shape for [`run`].
+pub struct TraceBenchConfig {
+    /// Filter size in logical bits.
+    pub m_bits: usize,
+    /// Keys preloaded into the namespace (half the queried keys hit).
+    pub keys: usize,
+    /// Measured dispatches per pass.
+    pub ops: usize,
+    /// Alternating baseline/off/sampled/always passes (the first pass
+    /// of each kind is a warmup and discarded).
+    pub passes: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for TraceBenchConfig {
+    fn default() -> Self {
+        TraceBenchConfig {
+            m_bits: 1 << 20,
+            keys: 50_000,
+            ops: 400_000,
+            passes: 5,
+            seed: 0x5683_2016,
+        }
+    }
+}
+
+/// One measured configuration.
+pub struct TraceBenchResult {
+    /// Median dispatch throughput with no tracing calls in the loop.
+    pub baseline_ops_per_sec: f64,
+    /// Median dispatch throughput with instrumentation in place and
+    /// sampling off, ops/s.
+    pub off_ops_per_sec: f64,
+    /// Median dispatch throughput at `--trace-sample 1in64`, ops/s.
+    pub sampled_ops_per_sec: f64,
+    /// Median dispatch throughput at `--trace-sample 1in1`, ops/s.
+    pub always_ops_per_sec: f64,
+    /// `(baseline - off) / baseline`, as a percentage; negative means
+    /// the instrumented run measured faster (noise floor). This is the
+    /// headline number: the cost of shipping the instrumentation
+    /// disabled.
+    pub off_overhead_pct: f64,
+    /// `(baseline - 1in64) / baseline`, as a percentage: the cost of
+    /// leaving production head sampling on.
+    pub sampled_overhead_pct: f64,
+    /// `(baseline - 1in1) / baseline`, as a percentage: the cost of
+    /// tracing every request.
+    pub always_overhead_pct: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Runs the bench; returns the result and the `BENCH_trace.json` body.
+pub fn run(cfg: &TraceBenchConfig) -> (TraceBenchResult, String) {
+    let engine = Arc::new(Engine::new());
+    let mut scratch = QueryScratch::new();
+    let create = parse_command(&format!("CREATE bench shbf-m {} 8", cfg.m_bits)).unwrap();
+    engine.dispatch_with(&create, &mut scratch);
+    for i in 0..cfg.keys {
+        let cmd = parse_command(&format!("INSERT bench key-{i}")).unwrap();
+        engine.dispatch_with(&cmd, &mut scratch);
+    }
+    // Pre-parse the query mix (half present, half absent) so the timed
+    // loop is dispatch only.
+    let commands: Vec<Command> = (0..cfg.ops)
+        .map(|i| {
+            let line = if i % 2 == 0 {
+                format!("QUERY bench key-{}", i % cfg.keys)
+            } else {
+                format!("QUERY bench absent-{i}")
+            };
+            parse_command(&line).unwrap()
+        })
+        .collect();
+
+    // `None` = baseline: no tracing calls in the loop at all.
+    let mut pass = |sample: Option<u64>| -> f64 {
+        shbf_server::trace::set_sampling(sample.unwrap_or(0));
+        let started = Instant::now();
+        match sample {
+            None => {
+                for cmd in &commands {
+                    engine.dispatch_with(cmd, &mut scratch);
+                }
+            }
+            Some(_) => {
+                for cmd in &commands {
+                    // The transport's per-request shape: a head-sampled
+                    // root trace around each dispatch.
+                    let trace = shbf_server::trace::start(engine.trace(), "request");
+                    engine.dispatch_with(cmd, &mut scratch);
+                    drop(trace);
+                }
+            }
+        }
+        let took = started.elapsed();
+        shbf_server::trace::set_sampling(0);
+        engine.trace().clear();
+        cfg.ops as f64 / took.as_secs_f64()
+    };
+
+    // Interleave so frequency scaling and cache state drift hit all
+    // sides equally; drop the first pass of each kind as warmup.
+    let mut baseline_runs = Vec::new();
+    let mut off_runs = Vec::new();
+    let mut sampled_runs = Vec::new();
+    let mut always_runs = Vec::new();
+    for p in 0..cfg.passes.max(2) {
+        let baseline = pass(None);
+        let off = pass(Some(0));
+        let sampled = pass(Some(64));
+        let always = pass(Some(1));
+        if p > 0 {
+            baseline_runs.push(baseline);
+            off_runs.push(off);
+            sampled_runs.push(sampled);
+            always_runs.push(always);
+        }
+    }
+    let baseline_ops_per_sec = median(baseline_runs);
+    let off_ops_per_sec = median(off_runs);
+    let sampled_ops_per_sec = median(sampled_runs);
+    let always_ops_per_sec = median(always_runs);
+    let pct = |ops: f64| 100.0 * (baseline_ops_per_sec - ops) / baseline_ops_per_sec;
+    let off_overhead_pct = pct(off_ops_per_sec);
+    let sampled_overhead_pct = pct(sampled_ops_per_sec);
+    let always_overhead_pct = pct(always_ops_per_sec);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"trace_overhead\",\n");
+    json.push_str(&crate::harness::provenance_json_fields());
+    json.push_str("  \"unit\": \"dispatched queries per second\",\n");
+    json.push_str(&format!("  \"m_bits\": {},\n", cfg.m_bits));
+    json.push_str(&format!("  \"keys\": {},\n", cfg.keys));
+    json.push_str(&format!("  \"ops_per_pass\": {},\n", cfg.ops));
+    json.push_str(&format!(
+        "  \"measured_passes\": {},\n",
+        cfg.passes.max(2) - 1
+    ));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!(
+        "  \"baseline_ops_per_sec\": {baseline_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"trace_off_ops_per_sec\": {off_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"trace_1in64_ops_per_sec\": {sampled_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"trace_1in1_ops_per_sec\": {always_ops_per_sec:.0},\n"
+    ));
+    json.push_str(&format!("  \"overhead_pct\": {off_overhead_pct:.2},\n"));
+    json.push_str(&format!(
+        "  \"sampled_1in64_overhead_pct\": {sampled_overhead_pct:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"always_on_overhead_pct\": {always_overhead_pct:.2}\n"
+    ));
+    json.push_str("}\n");
+
+    (
+        TraceBenchResult {
+            baseline_ops_per_sec,
+            off_ops_per_sec,
+            sampled_ops_per_sec,
+            always_ops_per_sec,
+            off_overhead_pct,
+            sampled_overhead_pct,
+            always_overhead_pct,
+        },
+        json,
+    )
+}

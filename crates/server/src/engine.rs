@@ -12,7 +12,7 @@ use shbf_wal::FsyncPolicy;
 
 use crate::metrics::{summarize, CommandKind, EngineMetrics};
 use crate::persistence::{self, Durability};
-use crate::protocol::{Command, FailPointSub, Response, SlowLogSub, WireSet};
+use crate::protocol::{Command, FailPointSub, Response, SlowLogSub, TraceSub, WireSet};
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
 use crate::replication::{self, ReplicationState};
 use crate::snapshot;
@@ -69,6 +69,10 @@ pub struct Engine {
     /// Per-command latency histograms, the slow-query log, and event
     /// counters; scraped by `/metrics`, `STATS server`, and `SLOWLOG`.
     metrics: EngineMetrics,
+    /// Completed request span trees (plus the pinned slow side ring);
+    /// drained by `TRACE GET` and `GET /trace`. Lazily built so
+    /// `Engine::default()` stays cheap.
+    trace: OnceLock<Arc<shbf_trace::Ring>>,
     /// Latched when a WAL append or fsync fails: the engine stops
     /// acknowledging mutations (reads keep serving) rather than lie
     /// about durability. Cleared only by restart.
@@ -167,6 +171,15 @@ impl Engine {
     /// Whether the engine has latched read-only after a WAL I/O failure.
     pub fn is_read_only(&self) -> bool {
         self.read_only.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// This engine's trace ring: transports open root spans against it,
+    /// and `TRACE` / `GET /trace` read it back. Per-engine (not
+    /// process-global) so a primary and an in-process replica keep
+    /// separate trace stores.
+    pub fn trace(&self) -> &Arc<shbf_trace::Ring> {
+        self.trace
+            .get_or_init(shbf_trace::Ring::with_default_capacity)
     }
 
     /// Enables the test-only `FAILPOINT` admin verb for this engine
@@ -333,7 +346,10 @@ impl Engine {
             } else {
                 None
             };
+        let span = shbf_trace::span("engine");
+        span.attr("cmd", CommandKind::of(cmd).label());
         let response = self.eval(cmd, scratch);
+        drop(span);
         if let Some(at) = started {
             self.metrics
                 .observe(CommandKind::of(cmd), at.elapsed(), || summarize(cmd));
@@ -383,7 +399,9 @@ impl Engine {
         // Apply + append under one lock: mutations serialize here so a
         // snapshot (periodic or SYNC-shipped) is exact at a log position
         // and replay never double-applies a non-idempotent op.
+        let lock_span = shbf_trace::span("durability_lock");
         let mut durability = durability.lock();
+        drop(lock_span);
         let response = self.eval_inner(cmd, scratch);
         if !matches!(response, Response::Error(_)) {
             let logged = match persistence::encode_op(cmd) {
@@ -535,7 +553,14 @@ impl Engine {
         }
         self.replication.note_pull(id, from);
         let max = max.clamp(1, 4096) as usize;
-        let mut items = vec![Response::Simple(format!("UPTO {}", durability.last_seq()))];
+        // When this PULLOPS is itself traced, the reply head carries the
+        // trace id: the replica stamps its apply span with it, linking
+        // the apply back to the primary's span tree.
+        let upto = match shbf_trace::current_trace_id() {
+            Some(trace_id) => format!("UPTO {} trace={trace_id:x}", durability.last_seq()),
+            None => format!("UPTO {}", durability.last_seq()),
+        };
+        let mut items = vec![Response::Simple(upto)];
         // Fast path: recent ops are mirrored in an in-memory ring, so a
         // healthy replica's poll never re-reads segment files while
         // holding the lock that serializes all mutations. Only a replica
@@ -631,6 +656,11 @@ impl Engine {
         fields.push(("namespaces".into(), self.registry.list().len().to_string()));
         fields.push(("read_only".into(), (self.is_read_only() as u8).to_string()));
         fields.push(("wal_io_errors".into(), m.wal_io_errors.get().to_string()));
+        fields.push((
+            "trace_sample".into(),
+            shbf_trace::sample_string(shbf_trace::sampling()),
+        ));
+        fields.push(("trace_len".into(), self.trace().len().to_string()));
         Response::Array(
             fields
                 .into_iter()
@@ -697,12 +727,7 @@ impl Engine {
                     self.metrics
                         .slowlog_get(*n)
                         .into_iter()
-                        .map(|e| {
-                            Response::Simple(format!(
-                                "{} {} {} {}",
-                                e.id, e.unix_ts, e.duration_us, e.summary
-                            ))
-                        })
+                        .map(|e| Response::Simple(self.render_slowlog_entry(&e)))
                         .collect(),
                 ),
                 SlowLogSub::Reset => {
@@ -710,6 +735,30 @@ impl Engine {
                     Response::ok()
                 }
                 SlowLogSub::Len => Response::Int(self.metrics.slowlog_len() as i64),
+            },
+            Command::Trace { sub } => match sub {
+                TraceSub::Get { n } => Response::Array(
+                    self.trace()
+                        .snapshot()
+                        .into_iter()
+                        .take(*n)
+                        .map(|t| {
+                            Response::Simple(format!(
+                                "{:x} {} {} {} {}",
+                                t.id,
+                                t.start_unix_us / 1_000_000,
+                                t.duration_us(),
+                                t.spans.len(),
+                                t.root().name,
+                            ))
+                        })
+                        .collect(),
+                ),
+                TraceSub::Reset => {
+                    self.trace().clear();
+                    Response::ok()
+                }
+                TraceSub::Len => Response::Int(self.trace().len() as i64),
             },
             Command::Snapshot { path } => match self.resolve_path(path) {
                 Ok(path) => match snapshot::save(&self.registry, &path) {
@@ -734,7 +783,36 @@ impl Engine {
         }
     }
 
+    /// Renders one `SLOWLOG GET` line: fixed `id ts µs trace=… parse=…
+    /// engine=… wal=… write=…` columns, then the free-form summary. The
+    /// per-phase columns come from the retained span tree; `-` marks a
+    /// request that was not traced (or whose trace has been evicted).
+    fn render_slowlog_entry(&self, e: &crate::metrics::SlowLogEntry) -> String {
+        let trace = e.trace_id.and_then(|id| self.trace().find(id));
+        let phase = |names: &[&str]| match &trace {
+            Some(t) => t.phase_us(names).to_string(),
+            None => "-".into(),
+        };
+        format!(
+            "{} {} {} trace={} parse={} engine={} wal={} write={} {}",
+            e.id,
+            e.unix_ts,
+            e.duration_us,
+            e.trace_id.map_or("-".into(), |id| format!("{id:x}")),
+            phase(&["parse"]),
+            phase(&["engine"]),
+            // `wal_fsync` nests inside `wal_append`, so the append span
+            // alone is the whole WAL phase — summing both would double
+            // count the fsync.
+            phase(&["wal_append"]),
+            phase(&["write"]),
+            e.summary,
+        )
+    }
+
     fn with_ns(&self, ns: &str, f: impl FnOnce(&Namespace) -> Response) -> Response {
+        let span = shbf_trace::span("registry");
+        span.attr("ns", ns);
         match self.registry.get(ns) {
             Ok(namespace) => f(&namespace),
             Err(e) => Response::Error(e.to_string()),
@@ -752,6 +830,8 @@ impl Engine {
         keys: &[Vec<u8>],
         scratch: &mut QueryScratch,
     ) -> Response {
+        let span = shbf_trace::span("batch_probe");
+        span.attr("keys", keys.len());
         if !self.metrics.enabled() {
             return self.with_ns(ns, |n| mquery(n, keys, scratch));
         }

@@ -139,8 +139,19 @@ fn flush_pending(engine: &Engine, state: &mut ConnState, out: &mut Vec<u8>) {
     if state.pending_keys.is_empty() {
         return;
     }
+    // The coalesced group is one logical request; when a boundary command
+    // is already tracing this thread, `start` nests out and the batch's
+    // spans land under that trace instead.
+    let trace = shbf_trace::start(engine.trace(), "request");
+    if trace.is_armed() {
+        trace.attr("transport", "evented");
+        trace.attr("batch", state.pending_keys.len());
+    }
     let keys = std::mem::take(&mut state.pending_keys);
+    let dispatch_span = shbf_trace::span("dispatch");
     let response = engine.mquery_raw(&state.pending_ns, &keys, &mut state.scratch);
+    drop(dispatch_span);
+    let encode_span = shbf_trace::span("encode");
     match &response {
         Response::Verdicts(verdicts) => {
             for &hit in verdicts {
@@ -155,6 +166,7 @@ fn flush_pending(engine: &Engine, state: &mut ConnState, out: &mut Vec<u8>) {
             }
         }
     }
+    drop(encode_span);
     state.scratch.reclaim(response);
     // Hand the (now empty) key buffer back for the next group.
     state.pending_keys = keys;
@@ -202,13 +214,21 @@ impl Handler for EventedHandler {
             if trimmed.is_empty() {
                 continue;
             }
-            match parse_command(trimmed) {
+            let mut trace = shbf_trace::start(engine.trace(), "request");
+            let parse_span = shbf_trace::span("parse");
+            let parsed = parse_command(trimmed);
+            drop(parse_span);
+            match parsed {
                 Err(e) => {
                     flush_pending(engine, state, out);
+                    let encode_span = shbf_trace::span("encode");
                     Response::Error(e.to_string()).encode(out);
+                    drop(encode_span);
                 }
-                // Adjacent QUERYs on one namespace coalesce into a batch.
+                // Adjacent QUERYs on one namespace coalesce into a batch;
+                // the group is traced as one request at flush time.
                 Ok(Command::Query { ns, key }) => {
+                    trace.cancel();
                     if state.pending_keys.is_empty() {
                         state.pending_ns = ns;
                     } else if state.pending_ns != ns {
@@ -220,9 +240,21 @@ impl Handler for EventedHandler {
                 // Everything else is a batch boundary: answer the group
                 // first so replies stay in request order.
                 Ok(cmd) => {
+                    // Admin/batch verbs are always traced while sampling
+                    // is on (same rule as the threaded transport).
+                    if !trace.is_armed() && !crate::metrics::CommandKind::of(&cmd).sampled() {
+                        trace = shbf_trace::start_forced(engine.trace(), "request");
+                    }
+                    if trace.is_armed() {
+                        trace.attr("transport", "evented");
+                    }
                     flush_pending(engine, state, out);
+                    let dispatch_span = shbf_trace::span("dispatch");
                     let (response, control) = engine.dispatch_with(&cmd, &mut state.scratch);
+                    drop(dispatch_span);
+                    let encode_span = shbf_trace::span("encode");
                     response.encode(out);
+                    drop(encode_span);
                     state.scratch.reclaim(response);
                     match control {
                         Control::Continue => {}

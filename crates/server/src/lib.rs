@@ -38,7 +38,8 @@
 //! | `PULLOPS id from max` | `*k` of `+UPTO n`, `+seq line` | replication tailing (replica→primary) |
 //! | `STATS replication` | `*n` of `+k=v` | role, WAL position, replica count, lag |
 //! | `STATS server` | `*n` of `+k=v` | version, pid, uptime, per-command totals |
-//! | `SLOWLOG GET [n]` / `RESET` / `LEN` | `*n` / `+OK` / `:n` | slow-query ring (see [`ServerConfig::slowlog_us`]) |
+//! | `SLOWLOG GET [n]` / `RESET` / `LEN` | `*n` / `+OK` / `:n` | slow-query ring (see [`ServerConfig::slowlog_us`]); entries carry trace id + per-phase µs |
+//! | `TRACE GET [n]` / `RESET` / `LEN` | `*n` / `+OK` / `:n` | recorded request traces (see [`ServerConfig::trace_sample`]) |
 //! | `FAILPOINT SET site action` / `CLEAR [site]` / `LIST` | `+OK` / `*n` | fault injection; gated behind [`ServerConfig::failpoints_admin`] |
 //! | `SHUTDOWN` | `+BYE` | stops the server |
 //! | `QUIT` | `+BYE` | closes the connection |
@@ -119,6 +120,23 @@
 //! counters, replication role and lag, and the transport counters. See
 //! [`metrics`] and the `STATS server` command.
 //!
+//! On top of the aggregates, **request-scoped tracing** (`shbf-trace`)
+//! records full span trees — transport read/parse/dispatch/encode/write,
+//! engine shard work, WAL append + fsync, snapshot writes, replica
+//! applies — for one in [`ServerConfig::trace_sample`] requests
+//! (admin/batch verbs are always traced while sampling is on; `0`
+//! disables it for a single relaxed atomic load per potential span).
+//! Recorded traces are served by `TRACE GET/RESET/LEN` on the command
+//! port and as Chrome trace-event JSON at `GET /trace` on the metrics
+//! listener (load into `chrome://tracing` or Perfetto); `GET /healthz`
+//! answers readiness (role, read-only latch, WAL state). Any request
+//! crossing the slowlog threshold retains its full trace, and its
+//! `SLOWLOG GET` entry carries the trace id plus a per-phase breakdown.
+//! Structured leveled logging ([`shbf_trace::log`]) replaces bare
+//! stderr prints — text or JSON lines, trace-id stamped when emitted
+//! inside a span ([`ServerConfig::log_level`],
+//! [`ServerConfig::log_format`]).
+//!
 //! ## Layers
 //!
 //! [`protocol`] (codec) → [`engine`] (dispatch) → [`registry`]
@@ -140,6 +158,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// All operator-facing output goes through the structured logger
+// (`shbf_trace::log`) so level filtering, JSON mode, and trace-id
+// stamping apply everywhere; bare prints don't compile.
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 pub mod client;
 pub mod engine;
@@ -160,7 +182,7 @@ pub use engine::{
 pub use metrics::{CommandKind, EngineMetrics, SlowLogEntry};
 pub use protocol::{
     parse_command, scan_line, Command, FailPointSub, FamilySpec, KindSpec, Response, Scan,
-    SlowLogSub,
+    SlowLogSub, TraceSub,
 };
 pub use registry::{Namespace, Registry, RegistryError};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle, TransportKind};
@@ -169,6 +191,11 @@ pub use snapshot::SnapshotError;
 // The WAL flush policy rides in `ServerConfig`; re-exported so embedders
 // don't need a direct `shbf-wal` dependency.
 pub use shbf_wal::FsyncPolicy;
+
+// Trace sampling and structured-logging types ride in `ServerConfig`
+// (`trace_sample`, `log_level`, `log_format`); re-exported so embedders
+// don't need a direct `shbf-trace` dependency.
+pub use shbf_trace as trace;
 
 // Raw client-side socket (TCP or UNIX) — benches and conformance tests
 // drive servers at the byte level through this.

@@ -182,6 +182,7 @@ pub fn summarize(cmd: &Command) -> String {
         Command::Sync { have } => format!("SYNC {have}"),
         Command::PullOps { id, from, max } => format!("PULLOPS {id} {from} {max}"),
         Command::SlowLog { .. } => "SLOWLOG".into(),
+        Command::Trace { .. } => "TRACE".into(),
         Command::FailPoint { .. } => "FAILPOINT".into(),
         Command::Shutdown => "SHUTDOWN".into(),
         Command::Quit => "QUIT".into(),
@@ -189,7 +190,8 @@ pub fn summarize(cmd: &Command) -> String {
 }
 
 /// One slow-query log entry (`SLOWLOG GET` reply line:
-/// `+<id> <unix_ts> <duration_us> <summary>`).
+/// `+<id> <unix_ts> <duration_us> trace=<id|-> parse=<µs|-> engine=<µs|->
+/// wal=<µs|-> write=<µs|-> <summary>`).
 #[derive(Debug, Clone)]
 pub struct SlowLogEntry {
     /// Monotonically increasing entry id (survives `SLOWLOG RESET`).
@@ -198,6 +200,10 @@ pub struct SlowLogEntry {
     pub unix_ts: u64,
     /// Wall-clock duration in microseconds.
     pub duration_us: u64,
+    /// Id of the span tree recorded for this request, when the request
+    /// was traced (the trace is pinned in the slow side ring, so
+    /// `SLOWLOG GET` can render its per-phase breakdown).
+    pub trace_id: Option<u64>,
     /// Key-free command summary (see [`summarize`]).
     pub summary: String,
 }
@@ -339,6 +345,13 @@ impl EngineMetrics {
         let threshold = self.slowlog_threshold_us.load(Ordering::Relaxed);
         let us = ns / 1_000;
         if threshold > 0 && us >= threshold {
+            // Slow-trace capture: pin the request's span tree (if it was
+            // sampled) so the entry's trace id stays resolvable after the
+            // recent-traces ring churns past it.
+            let trace_id = shbf_trace::current_trace_id();
+            if trace_id.is_some() {
+                shbf_trace::retain_current();
+            }
             let mut ring = self.slowlog.lock();
             let id = ring.next_id;
             ring.next_id += 1;
@@ -349,6 +362,7 @@ impl EngineMetrics {
                 id,
                 unix_ts: now_unix(),
                 duration_us: us,
+                trace_id,
                 summary: summary(),
             });
         }

@@ -1,8 +1,11 @@
-//! The `/metrics` endpoint: a minimal hand-rolled HTTP/1.1 GET handler
-//! serving the Prometheus text exposition (version 0.0.4).
+//! The observability HTTP endpoint: a minimal hand-rolled HTTP/1.1 GET
+//! handler serving the Prometheus text exposition (version 0.0.4) at
+//! `/metrics`, recorded request traces as Chrome trace-event JSON at
+//! `/trace` (load into `chrome://tracing` or Perfetto), and a readiness
+//! probe at `/healthz`.
 //!
-//! Deliberately not a web framework: the endpoint answers exactly one
-//! route (`GET /metrics`), closes after every response, and is served by
+//! Deliberately not a web framework: the endpoint answers exactly three
+//! fixed routes, closes after every response, and is served by
 //! a single accept-loop thread — a scrape is a few milliseconds of
 //! string formatting, so one connection at a time is plenty. Reads and
 //! writes are bounded by timeouts and an 8 KiB request cap, so a stuck
@@ -127,13 +130,42 @@ fn serve_scrape(mut stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
     }
     // Ignore any query string — Prometheus may append one.
     let path = path.split('?').next().unwrap_or(path);
-    if path != "/metrics" {
-        return respond(&mut stream, "404 Not Found", "try /metrics\n");
-    }
-    let body = render_prometheus(engine);
+    let (body, content_type, status) = match path {
+        "/metrics" => (
+            render_prometheus(engine),
+            "text/plain; version=0.0.4; charset=utf-8",
+            "200 OK",
+        ),
+        // Chrome trace-event JSON over the recorded span trees: load the
+        // body straight into chrome://tracing or ui.perfetto.dev.
+        "/trace" => (
+            shbf_trace::chrome_trace_json(&engine.trace().snapshot()),
+            "application/json",
+            "200 OK",
+        ),
+        "/healthz" => {
+            let (body, healthy) = render_healthz(engine);
+            (
+                body,
+                "application/json",
+                if healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                },
+            )
+        }
+        _ => {
+            return respond(
+                &mut stream,
+                "404 Not Found",
+                "try /metrics, /trace, or /healthz\n",
+            )
+        }
+    };
     let header = format!(
-        "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
         body.len()
@@ -141,6 +173,27 @@ fn serve_scrape(mut stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
     stream.write_all(header.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Readiness summary: `(json body, healthy)`. Unhealthy (503) only when
+/// a WAL write failure has latched the server read-only — a replica's
+/// deliberate read-only state is healthy.
+fn render_healthz(engine: &Engine) -> (String, bool) {
+    let is_replica = engine.replication().is_replica();
+    let read_only = engine.is_read_only();
+    let wal_io_errors = engine.metrics().wal_io_errors.get();
+    let healthy = !read_only;
+    let body = format!(
+        "{{\"status\":\"{}\",\"role\":\"{}\",\"read_only\":{},\
+         \"wal\":{},\"wal_io_errors\":{},\"trace_sample\":\"{}\"}}\n",
+        if healthy { "ok" } else { "read_only" },
+        if is_replica { "replica" } else { "primary" },
+        read_only,
+        engine.wal_enabled(),
+        wal_io_errors,
+        shbf_trace::sample_string(shbf_trace::sampling()),
+    );
+    (body, healthy)
 }
 
 fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
@@ -709,6 +762,13 @@ mod tests {
         assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
         assert!(ok.contains("text/plain; version=0.0.4"));
         assert!(ok.contains("shbf_commands_total"));
+        let health = get("/healthz", "GET");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"role\":\"primary\""), "{health}");
+        assert!(health.contains("\"read_only\":false"), "{health}");
+        let trace = get("/trace", "GET");
+        assert!(trace.starts_with("HTTP/1.1 200 OK\r\n"), "{trace}");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
         assert!(get("/nope", "GET").starts_with("HTTP/1.1 404"));
         assert!(get("/metrics", "POST").starts_with("HTTP/1.1 405"));
         shutdown.store(true, Ordering::SeqCst);

@@ -285,7 +285,9 @@ impl Durability {
     /// behind it, and prunes all but the newest [`KEEP_STATE_FILES`]
     /// state files.
     pub(crate) fn snapshot_now(&mut self, registry: &Registry) -> std::io::Result<u64> {
+        let span = shbf_trace::span("snapshot_write");
         let seq = self.wal.last_seq();
+        span.attr("seq", seq);
         let mut w = Writer::new(STATE_KIND);
         w.u64(seq).bytes(&snapshot::to_bytes(registry));
         snapshot::write_atomic(&state_path(&self.dir, seq), &w.finish())?;

@@ -39,6 +39,23 @@ pub enum SlowLogSub {
     Len,
 }
 
+/// `TRACE` subcommands (the request-tracing analog of [`SlowLogSub`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSub {
+    /// `TRACE GET [n]` → array of `+<trace_id> <unix_ts> <duration_us>
+    /// <spans> <root>` lines, newest first (`n` defaults to 10). The
+    /// full span trees are exported as Chrome trace-event JSON by the
+    /// metrics endpoint's `GET /trace`.
+    Get {
+        /// Maximum traces to return.
+        n: usize,
+    },
+    /// `TRACE RESET` → `+OK` — clears both trace rings.
+    Reset,
+    /// `TRACE LEN` → `:n` — retained trace count.
+    Len,
+}
+
 /// `FAILPOINT` subcommands (test-only fault injection; the verb is
 /// rejected unless the server was started with failpoint administration
 /// enabled).
@@ -247,6 +264,12 @@ pub enum Command {
     SlowLog {
         /// The subcommand.
         sub: SlowLogSub,
+    },
+    /// `TRACE GET [n]` / `TRACE RESET` / `TRACE LEN` — inspect or clear
+    /// the ring of recorded request span trees.
+    Trace {
+        /// The subcommand.
+        sub: TraceSub,
     },
     /// `FAILPOINT SET site action` / `CLEAR [site]` / `LIST` — runtime
     /// fault injection for chaos tests. Gated behind
@@ -575,6 +598,23 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 "LEN" if rest.len() == 1 => Ok(Command::SlowLog {
                     sub: SlowLogSub::Len,
                 }),
+                _ => Err(err(format!("usage: {usage}"))),
+            }
+        }
+        "TRACE" => {
+            let usage = "TRACE GET [n] | TRACE RESET | TRACE LEN";
+            let sub = rest.first().ok_or_else(|| err(format!("usage: {usage}")))?;
+            match sub.to_ascii_uppercase().as_str() {
+                "GET" if rest.len() <= 2 => {
+                    let n = rest.get(1).map(|t| parse_num(t, "n")).transpose()?;
+                    Ok(Command::Trace {
+                        sub: TraceSub::Get { n: n.unwrap_or(10) },
+                    })
+                }
+                "RESET" if rest.len() == 1 => Ok(Command::Trace {
+                    sub: TraceSub::Reset,
+                }),
+                "LEN" if rest.len() == 1 => Ok(Command::Trace { sub: TraceSub::Len }),
                 _ => Err(err(format!("usage: {usage}"))),
             }
         }

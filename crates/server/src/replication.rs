@@ -209,7 +209,24 @@ fn simple_payload(line: &str) -> Option<&str> {
 }
 
 fn parse_tagged_seq(line: &str, tag: &str) -> Option<u64> {
-    simple_payload(line)?.strip_prefix(tag)?.trim().parse().ok()
+    // Only the first token is the sequence number; an `+UPTO` head may
+    // also carry the primary's `trace=<hex>` (see `parse_trace_token`).
+    simple_payload(line)?
+        .strip_prefix(tag)?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Extracts the primary's `trace=<hex>` token from an `+UPTO` head —
+/// present when the primary's `PULLOPS` dispatch was itself traced, so
+/// the replica's apply spans can link back to that trace.
+fn parse_trace_token(line: &str) -> Option<u64> {
+    simple_payload(line)?
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("trace="))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
 }
 
 /// The applier loop: connect, handshake, tail; reconnect on any error
@@ -226,7 +243,11 @@ fn run_applier(engine: Weak<Engine>, primary: String, stop: Arc<AtomicBool>) {
             if stop.load(Ordering::SeqCst) {
                 return;
             }
-            eprintln!("shbf-replica: link to {primary} failed: {e}; retrying");
+            shbf_trace::log::warn(
+                "replication",
+                "link to primary failed; retrying",
+                &[("primary", &primary), ("error", &e)],
+            );
         }
         // A link that served a healthy stint failed fresh — restart the
         // ramp instead of treating it as one more strike.
@@ -307,7 +328,22 @@ fn serve_link(
             .and_then(|l| parse_tagged_seq(l, "UPTO "))
             .ok_or_else(|| other(format!("bad PULLOPS reply head: {lines:?}")))?;
         state.primary_last_seq.store(upto, Ordering::SeqCst);
+        let primary_trace = lines.get(1).and_then(|l| parse_trace_token(l));
         let ops = &lines[2..];
+        // One trace per non-empty apply batch, linked to the primary's
+        // PULLOPS trace by the id it shipped in the `+UPTO` head.
+        let trace = if ops.is_empty() {
+            shbf_trace::TraceGuard::disarmed()
+        } else {
+            shbf_trace::start_forced(engine.trace(), "replica_apply_batch")
+        };
+        if trace.is_armed() {
+            trace.attr("ops", ops.len());
+            trace.attr("from", from);
+            if let Some(pt) = primary_trace {
+                trace.attr("primary_trace", format_args!("{pt:x}"));
+            }
+        }
         for entry in ops {
             let payload = simple_payload(entry)
                 .ok_or_else(|| other(format!("bad PULLOPS entry: {entry:?}")))?;
@@ -329,6 +365,8 @@ fn serve_link(
                     "op {seq}: primary loaded a snapshot; resyncing"
                 )));
             }
+            let span = shbf_trace::span("apply");
+            span.attr("seq", seq);
             // Failpoint `replica::apply`: applying the op fails — treated
             // as divergence, so the applier resyncs from a snapshot.
             if let Some(msg) = shbf_failpoint::fail("replica::apply") {
@@ -341,6 +379,7 @@ fn serve_link(
                 state.applied_seq.store(0, Ordering::SeqCst);
                 return Err(other(format!("op {seq} (`{op_line}`) rejected: {e}")));
             }
+            drop(span);
             state.applied_seq.store(seq, Ordering::SeqCst);
             engine.metrics().note_replica_apply();
         }

@@ -154,6 +154,16 @@ pub struct ServerConfig {
     /// Accept the test-only `FAILPOINT` admin verb (runtime fault
     /// injection — see `shbf-failpoint`). Never enable in production.
     pub failpoints_admin: bool,
+    /// Head-based trace sampling: record a full span tree for one in
+    /// this many client requests (`0` disables sampling; admin/batch
+    /// verbs are always traced while sampling is on). Recorded traces
+    /// are served by `TRACE GET` and `GET /trace` on the metrics port.
+    pub trace_sample: u64,
+    /// Minimum severity the structured logger emits to stderr.
+    pub log_level: shbf_trace::log::Level,
+    /// Structured log line shape: human-readable text or one JSON
+    /// object per line.
+    pub log_format: shbf_trace::log::Format,
 }
 
 impl Default for ServerConfig {
@@ -173,6 +183,9 @@ impl Default for ServerConfig {
             conn_idle_secs: 0,
             shed_busy: false,
             failpoints_admin: false,
+            trace_sample: 0,
+            log_level: shbf_trace::log::Level::Info,
+            log_format: shbf_trace::log::Format::Text,
         }
     }
 }
@@ -313,6 +326,8 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         engine.attach_self();
+        shbf_trace::log::init(config.log_level, config.log_format);
+        shbf_trace::set_sampling(config.trace_sample);
         // A bad SHBF_FAILPOINTS string refuses to start rather than run a
         // chaos scenario silently different from the one scripted.
         shbf_failpoint::init_from_env().map_err(std::io::Error::other)?;
@@ -345,6 +360,20 @@ impl Server {
             )?),
             None => None,
         };
+        shbf_trace::log::info(
+            "server",
+            "listening",
+            &[
+                ("endpoint", &format_args!("{endpoint:?}")),
+                ("transport", &format_args!("{:?}", config.transport)),
+                ("wal", &config.wal_dir.is_some()),
+                ("replica", &config.replica_of.is_some()),
+                (
+                    "trace_sample",
+                    &shbf_trace::sample_string(config.trace_sample),
+                ),
+            ],
+        );
         Ok(Server {
             listener,
             endpoint,
@@ -640,21 +669,47 @@ fn handle_connection(
             line.clear();
             continue;
         }
-        let (response, control) = match parse_command(trimmed) {
-            Ok(cmd) => engine.dispatch_with(&cmd, &mut scratch),
+        let mut trace = shbf_trace::start(engine.trace(), "request");
+        let parse_span = shbf_trace::span("parse");
+        let parsed = parse_command(trimmed);
+        drop(parse_span);
+        // Admin/batch verbs are always traced while sampling is on: they
+        // are rare and expensive, exactly the requests worth keeping.
+        if !trace.is_armed() {
+            if let Ok(cmd) = &parsed {
+                if !crate::metrics::CommandKind::of(cmd).sampled() {
+                    trace = shbf_trace::start_forced(engine.trace(), "request");
+                }
+            }
+        }
+        if trace.is_armed() {
+            trace.attr("transport", "threaded");
+        }
+        let (response, control) = match parsed {
+            Ok(cmd) => {
+                let span = shbf_trace::span("dispatch");
+                let r = engine.dispatch_with(&cmd, &mut scratch);
+                drop(span);
+                r
+            }
             Err(e) => (Response::Error(e.to_string()), Control::Continue),
         };
         line.clear();
         out.clear();
+        let encode_span = shbf_trace::span("encode");
         response.encode(&mut out);
+        drop(encode_span);
         scratch.reclaim(response);
         // Failpoint `transport::writev`: the reply write fails (shared
         // site name with the evented flush path).
         if let Some(msg) = shbf_failpoint::fail("transport::writev") {
             return Err(std::io::Error::other(msg));
         }
+        let write_span = shbf_trace::span("write");
         writer.write_all(&out)?;
         writer.flush()?;
+        drop(write_span);
+        drop(trace);
         metrics.add_bytes_out(out.len() as u64);
         match control {
             Control::Continue => {}

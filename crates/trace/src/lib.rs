@@ -1,0 +1,831 @@
+//! Request-scoped tracing: thread-local span trees with monotonic
+//! timing, head-based sampling, and Chrome trace-event export.
+//!
+//! A **trace** is the span tree of one request (or one replication
+//! batch): a root span opened at the transport, child spans pushed and
+//! popped around each phase (parse, engine dispatch, WAL append/fsync,
+//! encode, write, …), each carrying `key=value` attributes. Spans live
+//! on a thread-local stack — the serving thread owns the request from
+//! read to flush, so no cross-thread propagation is needed — and the
+//! finished tree is published into a bounded ring ([`Ring`]) that the
+//! `TRACE` verb and the `GET /trace` HTTP route drain.
+//!
+//! ## Sampling
+//!
+//! Sampling is **head-based**: the keep/drop decision is made once,
+//! when the root span opens, by [`start`] — `1inN` keeps every N-th
+//! request ([`set_sampling`]). Admin and batch verbs bypass the counter
+//! via [`start_forced`] (they are rare and the interesting ones).
+//! With sampling disabled (`n == 0`, the default) every entry point —
+//! [`start`], [`start_forced`], [`span`] — is a single relaxed atomic
+//! load and an early return: the same zero-cost-when-off discipline as
+//! `shbf-failpoint`.
+//!
+//! ```
+//! let ring = shbf_trace::Ring::with_default_capacity();
+//! shbf_trace::set_sampling(1); // keep everything
+//! {
+//!     let root = shbf_trace::start(&ring, "request");
+//!     let sp = shbf_trace::span("parse");
+//!     sp.attr("verb", "QUERY");
+//!     drop(sp);
+//!     drop(root);
+//! }
+//! assert_eq!(ring.len(), 1);
+//! shbf_trace::set_sampling(0);
+//! ```
+//!
+//! ## Publication
+//!
+//! The [`Ring`] is a bounded MPMC ring: a writer claims its slot with a
+//! single `fetch_add` and parks the finished `Arc<Trace>` there; slots
+//! are individually locked, so concurrent writers never contend except
+//! when the ring wraps onto a slot a reader is copying. Slow traces
+//! ([`retain_current`], called when a request crosses the slow-log
+//! threshold) are additionally pinned in a smaller side ring so a flood
+//! of fast traces cannot evict them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default capacity of the recent-traces ring.
+pub const RING_CAP: usize = 256;
+/// Default capacity of the pinned slow-traces side ring.
+pub const SLOW_RING_CAP: usize = 64;
+
+/// `0` = tracing disabled; `n ≥ 1` = keep one request in `n`. The only
+/// state the disabled hot path reads.
+static SAMPLE_N: AtomicU64 = AtomicU64::new(0);
+
+/// Sampling tick. Racy relaxed load+store on purpose (no RMW on the
+/// request path; an occasional lost tick only shifts which request is
+/// kept, never whether sampling happens at the configured rate ±ε).
+static SAMPLE_TICK: AtomicU64 = AtomicU64::new(0);
+
+fn next_trace_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| {
+        // Seed from pid + wall clock so traces from distinct processes
+        // (a primary and its replica) never share ids.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let seed =
+            (u64::from(std::process::id()) << 32) ^ nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        AtomicU64::new(seed | 1)
+    });
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Sets the sampling rate: `0` disables tracing entirely, `n ≥ 1`
+/// keeps one request in `n` (plus every forced admin/batch request).
+pub fn set_sampling(n: u64) {
+    SAMPLE_N.store(n, Ordering::Relaxed);
+}
+
+/// The configured sampling rate (`0` = disabled).
+pub fn sampling() -> u64 {
+    SAMPLE_N.load(Ordering::Relaxed)
+}
+
+/// `true` iff tracing is enabled at any rate. Single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    SAMPLE_N.load(Ordering::Relaxed) != 0
+}
+
+/// Parses a `--trace-sample` value: `off` (or `0`) disables, `1inN`
+/// keeps one request in N (`1in1` keeps everything).
+pub fn parse_sample(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if s == "off" || s == "0" {
+        return Ok(0);
+    }
+    if let Some(n) = s.strip_prefix("1in") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("trace sample: `1in` wants a count, got `{s}`"))?;
+        if n == 0 {
+            return Err("trace sample: 1in0 would keep never and always".into());
+        }
+        return Ok(n);
+    }
+    Err(format!("trace sample: want `off` or `1inN`, got `{s}`"))
+}
+
+/// Renders a sampling rate back into the `--trace-sample` format.
+pub fn sample_string(n: u64) -> String {
+    if n == 0 {
+        "off".into()
+    } else {
+        format!("1in{n}")
+    }
+}
+
+/// One timed phase inside a trace. `start_ns`/`dur_ns` are offsets on
+/// the trace's own monotonic clock (span 0, the root, starts at 0).
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Phase name (`"parse"`, `"wal_fsync"`, …).
+    pub name: &'static str,
+    /// Index of the enclosing span in [`Trace::spans`]; `None` for the
+    /// root.
+    pub parent: Option<u32>,
+    /// Nanoseconds from trace start to span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// `key=value` attributes attached via [`SpanGuard::attr`].
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// A completed span tree. `spans[0]` is the root; children reference
+/// parents by index, and indices are in open order (parents before
+/// children).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Process-unique trace id (render with `{:x}`).
+    pub id: u64,
+    /// Wall-clock microseconds since the UNIX epoch at trace start
+    /// (Chrome trace-event `ts` base; spans add their monotonic offset).
+    pub start_unix_us: u64,
+    /// All spans, root first.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The root span.
+    pub fn root(&self) -> &Span {
+        &self.spans[0]
+    }
+
+    /// Total trace duration in microseconds (the root span's).
+    pub fn duration_us(&self) -> u64 {
+        self.root().dur_ns / 1_000
+    }
+
+    /// Summed duration, in microseconds, of every span whose name is in
+    /// `names` — the per-phase breakdown `SLOWLOG` reports.
+    pub fn phase_us(&self, names: &[&str]) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| names.contains(&s.name))
+            .map(|s| s.dur_ns)
+            .sum::<u64>()
+            / 1_000
+    }
+}
+
+/// The thread's active trace, if any.
+struct ActiveTrace {
+    id: u64,
+    ring: Arc<Ring>,
+    start: Instant,
+    start_unix_us: u64,
+    spans: Vec<Span>,
+    /// Indices of currently-open spans, root at the bottom.
+    stack: Vec<u32>,
+    retain: bool,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Root guard: completes the trace and publishes it into the ring on
+/// drop. Disarmed (a no-op) when the request was sampled out.
+#[must_use = "dropping the guard immediately would record an empty trace"]
+pub struct TraceGuard {
+    armed: bool,
+}
+
+impl TraceGuard {
+    /// A guard that records nothing (the not-sampled case).
+    pub fn disarmed() -> TraceGuard {
+        TraceGuard { armed: false }
+    }
+
+    /// Whether this guard owns a live trace.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The live trace's id, if armed.
+    pub fn id(&self) -> Option<u64> {
+        if self.armed {
+            current_trace_id()
+        } else {
+            None
+        }
+    }
+
+    /// Attaches `key=value` to the root span.
+    pub fn attr(&self, key: &'static str, value: impl fmt::Display) {
+        if self.armed {
+            attr_on(0, key, value);
+        }
+    }
+
+    /// Discards the trace instead of publishing it — for a request that
+    /// turned out not to be one (e.g. a pipelined `QUERY` coalescing
+    /// into a batch that gets its own trace).
+    pub fn cancel(mut self) {
+        if self.armed {
+            self.armed = false;
+            ACTIVE.with(|a| a.borrow_mut().take());
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let finished = ACTIVE.with(|a| a.borrow_mut().take());
+        let Some(mut t) = finished else { return };
+        let end_ns = t.start.elapsed().as_nanos() as u64;
+        // Close any spans left open (a panic unwound past their guards,
+        // or a caller leaked one): charge them through to trace end so
+        // the tree stays well-formed.
+        for &idx in t.stack.iter().rev() {
+            let span = &mut t.spans[idx as usize];
+            if span.dur_ns == 0 {
+                span.dur_ns = end_ns.saturating_sub(span.start_ns);
+            }
+        }
+        let trace = Arc::new(Trace {
+            id: t.id,
+            start_unix_us: t.start_unix_us,
+            spans: t.spans,
+        });
+        t.ring.push(trace, t.retain);
+    }
+}
+
+/// Opens a root span, subject to head-based sampling: with sampling
+/// `1inN` every N-th call arms a trace; otherwise (and always when
+/// disabled, or when this thread already has an active trace) the
+/// returned guard is a no-op.
+#[inline]
+pub fn start(ring: &Arc<Ring>, root: &'static str) -> TraceGuard {
+    let n = SAMPLE_N.load(Ordering::Relaxed);
+    if n == 0 {
+        return TraceGuard::disarmed();
+    }
+    let tick = SAMPLE_TICK.load(Ordering::Relaxed).wrapping_add(1);
+    SAMPLE_TICK.store(tick, Ordering::Relaxed);
+    if !tick.is_multiple_of(n) {
+        return TraceGuard::disarmed();
+    }
+    arm(ring, root)
+}
+
+/// Opens a root span unconditionally — used for admin/batch verbs and
+/// replication batches, which bypass the sampling counter. Still a
+/// single relaxed load (and a disarmed guard) when tracing is disabled.
+#[inline]
+pub fn start_forced(ring: &Arc<Ring>, root: &'static str) -> TraceGuard {
+    if SAMPLE_N.load(Ordering::Relaxed) == 0 {
+        return TraceGuard::disarmed();
+    }
+    arm(ring, root)
+}
+
+#[cold]
+fn arm(ring: &Arc<Ring>, root: &'static str) -> TraceGuard {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.is_some() {
+            // Nested roots don't stack; the outer trace keeps recording.
+            return TraceGuard::disarmed();
+        }
+        let start_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        *a = Some(ActiveTrace {
+            id: next_trace_id(),
+            ring: Arc::clone(ring),
+            start: Instant::now(),
+            start_unix_us,
+            spans: vec![Span {
+                name: root,
+                parent: None,
+                start_ns: 0,
+                dur_ns: 0,
+                attrs: Vec::new(),
+            }],
+            stack: vec![0],
+            retain: false,
+        });
+        TraceGuard { armed: true }
+    })
+}
+
+/// Child-span guard: closes the span on drop. A no-op when the thread
+/// has no active trace.
+pub struct SpanGuard {
+    idx: Option<u32>,
+}
+
+impl SpanGuard {
+    /// Attaches `key=value` to this span.
+    pub fn attr(&self, key: &'static str, value: impl fmt::Display) {
+        if let Some(idx) = self.idx {
+            attr_on(idx, key, value);
+        }
+    }
+}
+
+fn attr_on(idx: u32, key: &'static str, value: impl fmt::Display) {
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            if let Some(span) = t.spans.get_mut(idx as usize) {
+                span.attrs.push((key, value.to_string()));
+            }
+        }
+    });
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        ACTIVE.with(|a| {
+            if let Some(t) = a.borrow_mut().as_mut() {
+                let end_ns = t.start.elapsed().as_nanos() as u64;
+                if let Some(span) = t.spans.get_mut(idx as usize) {
+                    span.dur_ns = end_ns.saturating_sub(span.start_ns);
+                }
+                if t.stack.last() == Some(&idx) {
+                    t.stack.pop();
+                } else {
+                    // Out-of-order drop (shouldn't happen with scoped
+                    // guards): remove it wherever it sits.
+                    t.stack.retain(|&i| i != idx);
+                }
+            }
+        });
+    }
+}
+
+/// Opens a child span under the thread's current span. With tracing
+/// disabled this is a single relaxed load; with no active trace on this
+/// thread it returns a no-op guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if SAMPLE_N.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { idx: None };
+    }
+    span_armed(name)
+}
+
+#[cold]
+fn span_armed(name: &'static str) -> SpanGuard {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(t) = a.as_mut() else {
+            return SpanGuard { idx: None };
+        };
+        let idx = t.spans.len() as u32;
+        let parent = t.stack.last().copied();
+        t.spans.push(Span {
+            name,
+            parent,
+            start_ns: t.start.elapsed().as_nanos() as u64,
+            dur_ns: 0,
+            attrs: Vec::new(),
+        });
+        t.stack.push(idx);
+        SpanGuard { idx: Some(idx) }
+    })
+}
+
+/// The id of this thread's active trace, if any.
+pub fn current_trace_id() -> Option<u64> {
+    if SAMPLE_N.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow().as_ref().map(|t| t.id))
+}
+
+/// Pins this thread's active trace into the slow side ring when it
+/// completes (called when a request crosses the slow-log threshold, so
+/// the span tree behind a `SLOWLOG` entry survives ring churn).
+pub fn retain_current() {
+    if SAMPLE_N.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.retain = true;
+        }
+    });
+}
+
+/// Bounded MPMC ring of completed traces, plus a smaller side ring
+/// pinning slow traces. Writers claim a slot with one `fetch_add`;
+/// per-slot locks only contend when the ring wraps onto an in-flight
+/// reader.
+pub struct Ring {
+    head: AtomicU64,
+    slots: Box<[Mutex<Option<Arc<Trace>>>]>,
+    slow_head: AtomicU64,
+    slow: Box<[Mutex<Option<Arc<Trace>>>]>,
+}
+
+impl Ring {
+    /// A ring with the given recent / slow capacities (each ≥ 1).
+    pub fn new(cap: usize, slow_cap: usize) -> Arc<Ring> {
+        let make = |n: usize| {
+            (0..n.max(1))
+                .map(|_| Mutex::new(None))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        Arc::new(Ring {
+            head: AtomicU64::new(0),
+            slots: make(cap),
+            slow_head: AtomicU64::new(0),
+            slow: make(slow_cap),
+        })
+    }
+
+    /// A ring with [`RING_CAP`] / [`SLOW_RING_CAP`].
+    pub fn with_default_capacity() -> Arc<Ring> {
+        Ring::new(RING_CAP, SLOW_RING_CAP)
+    }
+
+    fn push(&self, trace: Arc<Trace>, retain: bool) {
+        if retain {
+            let i = self.slow_head.fetch_add(1, Ordering::Relaxed) as usize % self.slow.len();
+            *self.slow[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&trace));
+        }
+        let i = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *self.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(trace);
+    }
+
+    /// Number of traces currently held (recent ring only; pinned slow
+    /// traces are also in the recent ring until it wraps past them).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_some())
+            .count()
+    }
+
+    /// `true` when no trace is held in either ring.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+            && self
+                .slow
+                .iter()
+                .all(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_none())
+    }
+
+    /// Drops every held trace (both rings).
+    pub fn clear(&self) {
+        for slot in self.slots.iter().chain(self.slow.iter()) {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+
+    /// Every held trace — recent plus pinned-slow, deduplicated by id,
+    /// newest first.
+    pub fn snapshot(&self) -> Vec<Arc<Trace>> {
+        let mut out: Vec<Arc<Trace>> = Vec::new();
+        let mut take = |slots: &[Mutex<Option<Arc<Trace>>>], head: u64| {
+            let cap = slots.len() as u64;
+            for back in 0..cap.min(head) {
+                let i = ((head - 1 - back) % cap) as usize;
+                if let Some(t) = slots[i].lock().unwrap_or_else(|e| e.into_inner()).clone() {
+                    if !out.iter().any(|have| have.id == t.id) {
+                        out.push(t);
+                    }
+                }
+            }
+        };
+        take(&self.slots, self.head.load(Ordering::Relaxed));
+        take(&self.slow, self.slow_head.load(Ordering::Relaxed));
+        out.sort_by(|a, b| b.start_unix_us.cmp(&a.start_unix_us).then(b.id.cmp(&a.id)));
+        out
+    }
+
+    /// Looks a trace up by id in either ring.
+    pub fn find(&self, id: u64) -> Option<Arc<Trace>> {
+        for slot in self.slow.iter().chain(self.slots.iter()) {
+            let held = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = held.as_ref() {
+                if t.id == id {
+                    return Some(Arc::clone(t));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Escapes `s` for a JSON string body (quotes, backslashes, control
+/// characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders traces as Chrome trace-event JSON (the object form, loadable
+/// by `chrome://tracing` and Perfetto). Every span becomes one complete
+/// (`"ph":"X"`) event; `ts`/`dur` are microseconds with nanosecond
+/// fractions so parent intervals contain child intervals exactly; each
+/// trace gets its own `tid` track so trees render separately.
+pub fn chrome_trace_json(traces: &[Arc<Trace>]) -> String {
+    let pid = std::process::id();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for trace in traces {
+        let tid = trace.id % 0x1_0000_0000;
+        for (idx, span) in trace.spans.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts_ns = trace.start_unix_us * 1_000 + span.start_ns;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"shbf\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:x}\",\"span\":{}",
+                json_escape(span.name),
+                ts_ns / 1_000,
+                ts_ns % 1_000,
+                span.dur_ns / 1_000,
+                span.dur_ns % 1_000,
+                pid,
+                tid,
+                trace.id,
+                idx,
+            ));
+            if let Some(parent) = span.parent {
+                out.push_str(&format!(",\"parent\":{parent}"));
+            }
+            for (k, v) in &span.attrs {
+                out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sampling state is process-global; tests that arm it serialize
+    /// here and restore `off` on exit.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn sampled(n: u64) -> std::sync::MutexGuard<'static, ()> {
+        let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_sampling(n);
+        guard
+    }
+
+    #[test]
+    fn parse_sample_round_trips() {
+        assert_eq!(parse_sample("off"), Ok(0));
+        assert_eq!(parse_sample("0"), Ok(0));
+        assert_eq!(parse_sample("1in1"), Ok(1));
+        assert_eq!(parse_sample(" 1in64 "), Ok(64));
+        assert!(parse_sample("1in0").is_err());
+        assert!(parse_sample("always").is_err());
+        assert!(parse_sample("1inx").is_err());
+        assert_eq!(sample_string(0), "off");
+        assert_eq!(parse_sample(&sample_string(8)), Ok(8));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = sampled(0);
+        let ring = Ring::with_default_capacity();
+        let root = start(&ring, "request");
+        assert!(!root.is_armed());
+        let sp = span("parse");
+        sp.attr("k", "v");
+        drop(sp);
+        drop(root);
+        assert!(ring.is_empty());
+        assert_eq!(current_trace_id(), None);
+        let forced = start_forced(&ring, "admin");
+        assert!(!forced.is_armed());
+        set_sampling(0);
+    }
+
+    #[test]
+    fn spans_nest_parent_child() {
+        let _g = sampled(1);
+        let ring = Ring::with_default_capacity();
+        {
+            let root = start(&ring, "request");
+            assert!(root.is_armed());
+            root.attr("verb", "INSERT");
+            let parse = span("parse");
+            drop(parse);
+            let dispatch = span("dispatch");
+            {
+                let wal = span("wal_append");
+                wal.attr("seq", 7);
+            }
+            drop(dispatch);
+        }
+        set_sampling(0);
+        let traces = ring.snapshot();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.root().name, "request");
+        assert_eq!(t.root().attrs, vec![("verb", "INSERT".to_string())]);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["request", "parse", "dispatch", "wal_append"]);
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.spans[2].parent, Some(0));
+        assert_eq!(t.spans[3].parent, Some(2), "wal nests under dispatch");
+        // Parent intervals contain child intervals.
+        for s in &t.spans[1..] {
+            let p = &t.spans[s.parent.unwrap() as usize];
+            assert!(p.start_ns <= s.start_ns);
+            assert!(s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns);
+        }
+        assert!(t.root().dur_ns > 0);
+    }
+
+    #[test]
+    fn one_in_n_keeps_every_nth() {
+        let _g = sampled(4);
+        SAMPLE_TICK.store(0, Ordering::Relaxed);
+        let ring = Ring::with_default_capacity();
+        let mut armed = 0;
+        for _ in 0..16 {
+            let g = start(&ring, "request");
+            if g.is_armed() {
+                armed += 1;
+            }
+        }
+        set_sampling(0);
+        assert_eq!(armed, 4);
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn forced_bypasses_counter_and_retain_pins() {
+        let _g = sampled(1_000_000);
+        let ring = Ring::new(2, 2);
+        for i in 0..4u32 {
+            let g = start_forced(&ring, "admin");
+            assert!(g.is_armed());
+            g.attr("i", i);
+            if i == 0 {
+                retain_current();
+            }
+        }
+        set_sampling(0);
+        // The 2-slot recent ring wrapped past trace 0, but retain pinned
+        // it in the slow ring: snapshot still has it, find() sees it.
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        let pinned = snap
+            .iter()
+            .find(|t| t.root().attrs.iter().any(|(_, v)| v == "0"))
+            .expect("retained trace survives wrap");
+        assert!(ring.find(pinned.id).is_some());
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn nested_root_is_disarmed_not_stacked() {
+        let _g = sampled(1);
+        let ring = Ring::with_default_capacity();
+        let outer = start(&ring, "request");
+        let inner = start_forced(&ring, "admin");
+        assert!(!inner.is_armed());
+        drop(inner);
+        assert!(
+            current_trace_id().is_some(),
+            "outer trace still active after nested guard dropped"
+        );
+        drop(outer);
+        set_sampling(0);
+        assert_eq!(ring.len(), 1, "only the outer trace was recorded");
+    }
+
+    #[test]
+    fn phase_us_sums_matching_spans() {
+        let t = Trace {
+            id: 1,
+            start_unix_us: 0,
+            spans: vec![
+                Span {
+                    name: "request",
+                    parent: None,
+                    start_ns: 0,
+                    dur_ns: 10_000,
+                    attrs: vec![],
+                },
+                Span {
+                    name: "wal_append",
+                    parent: Some(0),
+                    start_ns: 100,
+                    dur_ns: 3_000,
+                    attrs: vec![],
+                },
+                Span {
+                    name: "wal_fsync",
+                    parent: Some(0),
+                    start_ns: 3_200,
+                    dur_ns: 4_000,
+                    attrs: vec![],
+                },
+            ],
+        };
+        assert_eq!(t.phase_us(&["wal_append", "wal_fsync"]), 7);
+        assert_eq!(t.phase_us(&["parse"]), 0);
+        assert_eq!(t.duration_us(), 10);
+    }
+
+    #[test]
+    fn chrome_json_shape_and_escaping() {
+        let t = Arc::new(Trace {
+            id: 0xabc,
+            start_unix_us: 1_000_000,
+            spans: vec![
+                Span {
+                    name: "request",
+                    parent: None,
+                    start_ns: 0,
+                    dur_ns: 5_500,
+                    attrs: vec![("note", "say \"hi\"\n".to_string())],
+                },
+                Span {
+                    name: "parse",
+                    parent: Some(0),
+                    start_ns: 1_000,
+                    dur_ns: 2_000,
+                    attrs: vec![],
+                },
+            ],
+        });
+        let json = chrome_trace_json(&[t]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"trace_id\":\"abc\""));
+        assert!(json.contains("\"ts\":1000000.000"));
+        assert!(json.contains("\"dur\":5.500"));
+        assert!(json.contains("\"parent\":0"));
+        assert!(json.contains("say \\\"hi\\\"\\n"), "{json}");
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn ring_concurrent_pushes_keep_cap() {
+        let _g = sampled(1);
+        let ring = Ring::new(8, 2);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _t = start_forced(&ring, "request");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        set_sampling(0);
+        assert_eq!(ring.len(), 8, "bounded at capacity");
+        assert!(ring.snapshot().len() <= 10);
+    }
+}

@@ -375,8 +375,11 @@ impl Wal {
         if let Some(msg) = shbf_failpoint::fail("wal::append") {
             return Err(WalError::Io(std::io::Error::other(msg)));
         }
+        let span = shbf_trace::span("wal_append");
         let started = Instant::now();
         let seq = self.next_seq;
+        span.attr("seq", seq);
+        span.attr("bytes", payload.len());
         let mut buf = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         let mut crc = shbf_bits::crc::Crc32::new();
@@ -413,6 +416,7 @@ impl Wal {
             if let Some(msg) = shbf_failpoint::fail("wal::fsync") {
                 return Err(WalError::Io(std::io::Error::other(msg)));
             }
+            let _span = shbf_trace::span("wal_fsync");
             let started = Instant::now();
             self.active.sync_data()?;
             self.metrics

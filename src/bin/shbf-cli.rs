@@ -72,6 +72,8 @@ COMMANDS
         [--data-dir DIR] [--replicaof HOST:PORT]
         [--metrics-addr HOST:PORT] [--slowlog-us N]
         [--conn-idle-secs N] [--shed-busy] [--failpoints-admin]
+        [--trace-sample off|1inN] [--log-level error|warn|info|debug]
+        [--log-format text|json]
       Run the set-query daemon (default 127.0.0.1:7878, 64 workers).
       Speaks the RESP-like line protocol documented in shbf-server;
       --unix listens on a UNIX-domain socket path instead of TCP;
@@ -95,6 +97,14 @@ COMMANDS
       them; --failpoints-admin enables the FAILPOINT admin verb (fault
       injection for chaos testing — never enable in production). The
       SHBF_FAILPOINTS env var seeds failpoints at startup either way.
+      --trace-sample 1inN records a full span tree for one in N
+      requests (admin/batch verbs are always traced while sampling is
+      on; default off = zero cost): inspect with TRACE GET, or load
+      GET /trace on the metrics port into chrome://tracing / Perfetto.
+      Requests over --slowlog-us retain their trace, and SLOWLOG GET
+      shows the trace id plus per-phase timings. --log-level filters
+      the structured stderr log (default info); --log-format json
+      emits one JSON object per line instead of text.
 
   client [--port P] [--host ADDR] [--unix PATH] [--send CMD]
          [--pipeline N] [--timeout-ms N]
@@ -364,6 +374,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let conn_idle_secs: u64 = flags.get_parsed("conn-idle-secs", 0)?;
     let shed_busy = flags.get("shed-busy").is_some();
     let failpoints_admin = flags.get("failpoints-admin").is_some();
+    let trace_sample =
+        shbf::server::trace::parse_sample(flags.get("trace-sample").unwrap_or("off"))
+            .map_err(|e| format!("--trace-sample: {e}"))?;
+    let log_level =
+        shbf::server::trace::log::Level::parse(flags.get("log-level").unwrap_or("info"))
+            .map_err(|e| format!("--log-level: {e}"))?;
+    let log_format =
+        shbf::server::trace::log::Format::parse(flags.get("log-format").unwrap_or("text"))
+            .map_err(|e| format!("--log-format: {e}"))?;
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
@@ -390,6 +409,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         conn_idle_secs,
         shed_busy,
         failpoints_admin,
+        trace_sample,
+        log_level,
+        log_format,
         ..ServerConfig::default()
     };
     let server = match flags.get("unix") {
@@ -408,7 +430,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     println!("shbf-server listening on {endpoint} ({mode}, {workers} max connections); send SHUTDOWN to stop");
     if let Some(addr) = server.metrics_addr() {
-        println!("prometheus metrics at http://{addr}/metrics");
+        println!(
+            "prometheus metrics at http://{addr}/metrics (traces at /trace, readiness at /healthz)"
+        );
     }
     server.run().map_err(|e| format!("serving: {e}"))
 }

@@ -419,16 +419,26 @@ fn slowlog_round_trip_over_the_wire() {
         lines.len() >= 2,
         "MINSERT should have been logged: {lines:?}"
     );
-    // Entries are `id unix_ts duration_us summary`, newest first; the
+    // Entries are `id unix_ts duration_us trace=<hex|-> parse=<µs|->
+    // engine=<µs|-> wal=<µs|-> write=<µs|-> summary`, newest first; the
     // MINSERT is the newest (the GET logs itself only after rendering).
     let newest = &lines[1];
-    let fields: Vec<&str> = newest.trim_start_matches('+').splitn(4, ' ').collect();
-    assert_eq!(fields.len(), 4, "entry shape: {newest}");
+    let fields: Vec<&str> = newest.trim_start_matches('+').splitn(9, ' ').collect();
+    assert_eq!(fields.len(), 9, "entry shape: {newest}");
     fields[0].parse::<u64>().expect("id");
     fields[1].parse::<u64>().expect("unix ts");
     let took_us: u64 = fields[2].parse().expect("duration µs");
     assert!(took_us >= 1);
-    assert_eq!(fields[3], "MINSERT s (4000 keys)", "summary: {newest}");
+    // Tracing is off on this server, so the trace id and every phase
+    // column render as `-`.
+    assert_eq!(fields[3], "trace=-", "trace column: {newest}");
+    for (i, phase) in ["parse=-", "engine=-", "wal=-", "write=-"]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(&fields[4 + i], phase, "phase column: {newest}");
+    }
+    assert_eq!(fields[8], "MINSERT s (4000 keys)", "summary: {newest}");
     // Summaries carry counts, never key bytes.
     assert!(
         !lines.iter().any(|l| l.contains("super-secret-key")),
