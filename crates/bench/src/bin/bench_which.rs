@@ -1,0 +1,111 @@
+//! Emits `BENCH_which.json`: cross-namespace `WHICH` throughput via the
+//! Bloofi summary tree vs. a brute-force scan of every namespace, at
+//! increasing namespace counts, with every benched key's tree answer
+//! byte-verified against the scan.
+//!
+//! ```console
+//! $ cargo run --release -p shbf-bench --bin bench_which -- \
+//!       --namespaces 16,256,1024 --out BENCH_which.json
+//! ```
+
+use shbf_bench::which_bench::{run, WhichBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_which [--namespaces N,N,..] [--m-bits BITS] \
+         [--keys-per-ns N] [--probes N] [--passes N] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = WhichBenchConfig::default();
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--namespaces" => {
+                cfg.namespace_counts = value()
+                    .split(',')
+                    .map(|n| n.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if cfg.namespace_counts.is_empty() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--m-bits" => {
+                cfg.m_bits = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--keys-per-ns" => {
+                cfg.keys_per_ns = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--probes" => {
+                cfg.probes = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--passes" => {
+                cfg.passes = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value().parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                out = Some(value());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "bench_which: namespaces = {:?}, m_bits = {}, keys_per_ns = {}, probes = {}, passes = {}",
+        cfg.namespace_counts, cfg.m_bits, cfg.keys_per_ns, cfg.probes, cfg.passes
+    );
+    let (results, json) = run(&cfg);
+    println!(
+        "{:>11} {:>16} {:>16} {:>9} {:>14} {:>10} {:>10}",
+        "namespaces",
+        "tree (ops/s)",
+        "scan (ops/s)",
+        "speedup",
+        "probes/query",
+        "verified",
+        "mismatch"
+    );
+    let mut failed = false;
+    for r in &results {
+        println!(
+            "{:>11} {:>16.0} {:>16.0} {:>8.2}x {:>14.1} {:>10} {:>10}",
+            r.namespaces,
+            r.tree_ops_per_sec,
+            r.scan_ops_per_sec,
+            r.speedup,
+            r.tree_probes_per_query,
+            r.verified_keys,
+            r.mismatches
+        );
+        if r.mismatches > 0 {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench_which: tree and brute-force answers diverged");
+        std::process::exit(1);
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_which: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("bench_which: wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

@@ -24,5 +24,6 @@ pub mod replication_bench;
 pub mod server_bench;
 pub mod speed;
 pub mod trace_overhead;
+pub mod which_bench;
 
 pub use harness::{RunConfig, Table};

@@ -41,6 +41,7 @@ pub mod membership;
 pub mod membership_counting;
 pub mod multiplicity;
 pub mod multiplicity_counting;
+pub mod multiset;
 pub mod scm;
 pub mod traits;
 
@@ -52,6 +53,7 @@ pub use membership::ShbfM;
 pub use membership_counting::CShbfM;
 pub use multiplicity::{MultiplicityAnswer, ShbfX};
 pub use multiplicity_counting::{CShbfX, UpdatePolicy};
+pub use multiset::CShbfMs;
 pub use scm::ScmSketch;
 pub use traits::{CountEstimator, MembershipFilter};
 

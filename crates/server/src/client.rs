@@ -28,7 +28,9 @@ pub(crate) fn jittered(base: Duration) -> Duration {
 /// Mutating verbs [`Client::call_with_retry`] refuses to retry: a
 /// timed-out mutation may have been applied before the reply was lost,
 /// and replaying it would double-apply.
-const MUTATION_VERBS: &[&str] = &["CREATE", "DROP", "INSERT", "DELETE", "MINSERT", "LOAD"];
+const MUTATION_VERBS: &[&str] = &[
+    "CREATE", "DROP", "INSERT", "DELETE", "MINSERT", "MSINSERT", "MSDELETE", "LOAD",
+];
 
 /// A blocking connection to a running `shbf-server` — TCP or UNIX-domain.
 pub struct Client {

@@ -16,6 +16,8 @@ use crate::protocol::{Command, FailPointSub, Response, SlowLogSub, TraceSub, Wir
 use crate::registry::{Backend, CreateParams, Namespace, Registry};
 use crate::replication::{self, ReplicationState};
 use crate::snapshot;
+use crate::snapshot::SnapshotError;
+use crate::which::WhichTree;
 
 /// Reserved `STATS` subject reporting connection-level transport
 /// counters instead of a namespace ([`Registry`] refuses to create a
@@ -80,6 +82,10 @@ pub struct Engine {
     /// Whether the test-only `FAILPOINT` admin verb is accepted
     /// (`ServerConfig::failpoints_admin`); off by default.
     failpoints_admin: std::sync::atomic::AtomicBool,
+    /// Bloofi-style binary tree of per-namespace summary filters — the
+    /// index behind `WHICH`/`MWHICH`. Leaves track namespaces; inner
+    /// nodes hold OR-unions of their children.
+    which: WhichTree,
 }
 
 /// Per-connection scratch for the batch query path: the `MQUERY` verdict
@@ -120,6 +126,8 @@ fn is_mutation(cmd: &Command) -> bool {
             | Command::Insert { .. }
             | Command::Delete { .. }
             | Command::MInsert { .. }
+            | Command::MsInsert { .. }
+            | Command::MsDelete { .. }
             | Command::Load { .. }
     )
 }
@@ -154,6 +162,30 @@ impl Engine {
     /// The namespace registry (snapshot code and tests reach through this).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The cross-namespace `WHICH` tree (benches read its probe
+    /// counters; replication rebuilds it after a full resync).
+    pub fn which(&self) -> &WhichTree {
+        &self.which
+    }
+
+    /// Rebuilds the `WHICH` tree from the registry's current namespaces
+    /// and their summaries — called after any bulk state replacement
+    /// (`LOAD`, WAL boot recovery, replica full resync) that bypasses
+    /// the incremental per-op maintenance.
+    pub(crate) fn rebuild_which(&self) {
+        self.which.rebuild(&self.registry.list());
+    }
+
+    /// Restores all namespaces from a snapshot file, rebuilding the
+    /// `WHICH` tree to match. The boot-time `--load` path: loading
+    /// through the raw registry would leave the tree empty, so callers
+    /// outside the `LOAD`-verb dispatch must come through here.
+    pub fn restore_from_snapshot(&self, path: &std::path::Path) -> Result<usize, SnapshotError> {
+        let n = snapshot::load(&self.registry, path)?;
+        self.rebuild_which();
+        Ok(n)
     }
 
     /// The shared transport counters (transports record, `STATS
@@ -229,6 +261,10 @@ impl Engine {
             &self.registry,
             |_seq, line| self.apply_replay_line(line),
         )?;
+        // Recovery may have loaded a snapshot (with persisted summaries)
+        // before replaying the log tail; re-derive the tree from the
+        // final post-recovery world.
+        self.rebuild_which();
         let durability = Arc::new(parking_lot::Mutex::new(durability));
         if fsync == FsyncPolicy::EverySec {
             // `everysec` promises at most ~1s of acknowledged loss, but
@@ -654,6 +690,10 @@ impl Engine {
         ));
         fields.push(("snapshots".into(), m.snapshots.get().to_string()));
         fields.push(("namespaces".into(), self.registry.list().len().to_string()));
+        let (which_queries, which_probes) = self.which.probe_stats();
+        fields.push(("which_queries".into(), which_queries.to_string()));
+        fields.push(("which_probes".into(), which_probes.to_string()));
+        fields.push(("which_leaves".into(), self.which.leaves().to_string()));
         fields.push(("read_only".into(), (self.is_read_only() as u8).to_string()));
         fields.push(("wal_io_errors".into(), m.wal_io_errors.get().to_string()));
         fields.push((
@@ -693,12 +733,18 @@ impl Engine {
                     family: *family,
                 };
                 match self.registry.create(ns, params) {
-                    Ok(()) => Response::ok(),
+                    Ok(()) => {
+                        self.which.add_namespace(ns);
+                        Response::ok()
+                    }
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
             Command::Drop { ns } => match self.registry.drop_ns(ns) {
-                Ok(()) => Response::ok(),
+                Ok(()) => {
+                    self.which.remove_namespace(ns);
+                    Response::ok()
+                }
                 Err(e) => Response::Error(e.to_string()),
             },
             Command::Namespaces => {
@@ -710,13 +756,28 @@ impl Engine {
                     .collect();
                 Response::Array(items)
             }
-            Command::Insert { ns, key, set } => self.with_ns(ns, |n| insert(n, key, *set)),
-            Command::Delete { ns, key, set } => self.with_ns(ns, |n| delete(n, key, *set)),
+            Command::Insert { ns, key, set } => {
+                self.with_ns(ns, |n| insert(n, key, *set, &self.which))
+            }
+            Command::Delete { ns, key, set } => {
+                self.with_ns(ns, |n| delete(n, key, *set, &self.which))
+            }
             Command::Query { ns, key } => self.with_ns(ns, |n| query(n, key)),
             Command::MQuery { ns, keys } => self.with_ns(ns, |n| mquery(n, keys, scratch)),
-            Command::MInsert { ns, keys } => self.with_ns(ns, |n| minsert(n, keys, scratch)),
+            Command::MInsert { ns, keys } => {
+                self.with_ns(ns, |n| minsert(n, keys, scratch, &self.which))
+            }
             Command::Count { ns, key } => self.with_ns(ns, |n| count(n, key)),
             Command::Assoc { ns, key } => self.with_ns(ns, |n| assoc(n, key)),
+            Command::MsInsert { ns, key, set } => {
+                self.with_ns(ns, |n| msinsert(n, key, *set, &self.which))
+            }
+            Command::MsDelete { ns, key, set } => {
+                self.with_ns(ns, |n| msdelete(n, key, *set, &self.which))
+            }
+            Command::MsQuery { ns, key } => self.with_ns(ns, |n| msquery(n, key)),
+            Command::Which { key } => self.which_eval(key),
+            Command::MWhich { keys } => self.mwhich_eval(keys, scratch),
             Command::Stats { ns } if ns.as_str() == TRANSPORT_STATS => {
                 transport_stats(&self.transport)
             }
@@ -769,7 +830,13 @@ impl Engine {
             },
             Command::Load { path } => match self.resolve_path(path) {
                 Ok(path) => match snapshot::load(&self.registry, &path) {
-                    Ok(count) => Response::Simple(format!("OK {count} namespaces")),
+                    Ok(count) => {
+                        // The world was replaced wholesale; summaries
+                        // arrived inside the snapshot, the tree must be
+                        // re-derived from them.
+                        self.rebuild_which();
+                        Response::Simple(format!("OK {count} namespaces"))
+                    }
                     Err(e) => Response::Error(e.to_string()),
                 },
                 Err(rejection) => rejection,
@@ -819,6 +886,80 @@ impl Engine {
         }
     }
 
+    /// `WHICH key`: a tree-pruned candidate walk, then a confirmation
+    /// probe against each candidate's real backend (the summary tree
+    /// alone carries union-level false positives). Names come back
+    /// sorted; namespaces dropped mid-walk simply fall out.
+    fn which_eval(&self, key: &[u8]) -> Response {
+        let mut names: Vec<String> = self
+            .which
+            .candidates(key)
+            .into_iter()
+            .filter(|name| {
+                self.registry
+                    .get(name)
+                    .map(|n| backend_contains(&n, key))
+                    .unwrap_or(false)
+            })
+            .collect();
+        names.sort_unstable();
+        Response::Array(names.into_iter().map(Response::Simple).collect())
+    }
+
+    /// `MWHICH key...`: per-key candidate walks, then confirmation
+    /// probes grouped per namespace so membership backends run their
+    /// prefetched batch pipeline over the connection's recycled scratch
+    /// instead of locking shard-by-shard per key.
+    fn mwhich_eval(&self, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Response {
+        let span = shbf_trace::span("which_batch");
+        span.attr("keys", keys.len());
+        let mut per_key: Vec<Vec<String>> = vec![Vec::new(); keys.len()];
+        let mut groups: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            for name in self.which.candidates(key) {
+                groups.entry(name).or_default().push(i);
+            }
+        }
+        for (name, indices) in groups {
+            // Candidates come from the tree; the namespace may have been
+            // dropped since the walk — skip it, don't error the batch.
+            let Ok(n) = self.registry.get(&name) else {
+                continue;
+            };
+            match &n.backend {
+                Backend::Membership(f) => {
+                    let grouped: Vec<&Vec<u8>> = indices.iter().map(|&i| &keys[i]).collect();
+                    let mut verdicts = std::mem::take(&mut scratch.verdicts);
+                    f.contains_batch_with(&grouped, &mut verdicts, &mut scratch.shard);
+                    for (&i, &hit) in indices.iter().zip(&verdicts) {
+                        if hit {
+                            per_key[i].push(name.clone());
+                        }
+                    }
+                    verdicts.clear();
+                    scratch.verdicts = verdicts;
+                }
+                _ => {
+                    for &i in &indices {
+                        if backend_contains(&n, &keys[i]) {
+                            per_key[i].push(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Response::Array(
+            per_key
+                .into_iter()
+                .map(|mut names| {
+                    names.sort_unstable();
+                    Response::Array(names.into_iter().map(Response::Simple).collect())
+                })
+                .collect(),
+        )
+    }
+
     /// Batched membership query without a [`Command`] envelope — the
     /// evented transport's ride for groups of adjacent pipelined `QUERY`
     /// lines. Returns exactly what `MQUERY ns keys...` would (including
@@ -862,20 +1003,42 @@ impl Engine {
 /// Engines are shared across connection threads as `Arc<Engine>`.
 pub type SharedEngine = Arc<Engine>;
 
-fn insert(n: &Namespace, key: &[u8], set: WireSet) -> Response {
+/// Records one insert into the namespace's cross-namespace summary and
+/// propagates any newly set positions up the `WHICH` tree. Steady-state
+/// (no fresh positions) takes no tree lock.
+fn note_present(n: &Namespace, key: &[u8], which: &WhichTree) {
+    let fresh = n.summary.note_insert(key);
+    which.note_set(&n.name, &fresh);
+}
+
+/// The removal mirror of [`note_present`]: decrements the summary
+/// counters and re-derives tree ancestors for positions that dropped to
+/// zero.
+fn note_absent(n: &Namespace, key: &[u8], which: &WhichTree) {
+    let cleared = n.summary.note_remove(key);
+    which.note_clear(&n.name, &cleared);
+}
+
+fn insert(n: &Namespace, key: &[u8], set: WireSet, which: &WhichTree) -> Response {
     match &n.backend {
         Backend::Membership(f) => {
             f.insert(key);
             n.stats
                 .inserts
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            note_present(n, key, which);
             Response::ok()
         }
+        Backend::MultiSet(_) => Response::Error(format!(
+            "`{}` is a multiset namespace; use MSINSERT ns key set-id",
+            n.name
+        )),
         Backend::Multiplicity(f) => match f.write().insert(key) {
             Ok(new_count) => {
                 n.stats
                     .inserts
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                note_present(n, key, which);
                 Response::Int(new_count as i64)
             }
             Err(e) => Response::Error(e.to_string()),
@@ -885,22 +1048,30 @@ fn insert(n: &Namespace, key: &[u8], set: WireSet) -> Response {
             n.stats
                 .inserts
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            note_present(n, key, which);
             Response::ok()
         }
     }
 }
 
-fn delete(n: &Namespace, key: &[u8], set: WireSet) -> Response {
+fn delete(n: &Namespace, key: &[u8], set: WireSet, which: &WhichTree) -> Response {
     let outcome = match &n.backend {
         Backend::Membership(f) => f.delete(key).map(|_| Response::ok()),
         Backend::Multiplicity(f) => f.write().delete(key).map(|c| Response::Int(c as i64)),
         Backend::Association(f) => f.write().remove(key, wire_set(set)).map(|_| Response::ok()),
+        Backend::MultiSet(_) => {
+            return Response::Error(format!(
+                "`{}` is a multiset namespace; use MSDELETE ns key set-id",
+                n.name
+            ))
+        }
     };
     match outcome {
         Ok(r) => {
             n.stats
                 .deletes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            note_absent(n, key, which);
             r
         }
         Err(e) => Response::Error(e.to_string()),
@@ -925,6 +1096,8 @@ fn query(n: &Namespace, key: &[u8]) -> Response {
             f.read().query(key),
             shbf_core::AssociationAnswer::NotInUnion
         ),
+        // Membership across the union of the namespace's sets.
+        Backend::MultiSet(f) => f.read().query(key) != 0,
     };
     n.stats.record_query(hit);
     Response::bool(hit)
@@ -947,6 +1120,7 @@ fn mquery(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respon
             }
         }
         Backend::Association(f) => f.read().contains_batch_into(keys, &mut answers),
+        Backend::MultiSet(f) => f.read().contains_batch_into(keys, &mut answers),
     }
     for &hit in &answers {
         n.stats.record_query(hit);
@@ -954,7 +1128,12 @@ fn mquery(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respon
     Response::Verdicts(answers)
 }
 
-fn minsert(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Response {
+fn minsert(
+    n: &Namespace,
+    keys: &[Vec<u8>],
+    scratch: &mut QueryScratch,
+    which: &WhichTree,
+) -> Response {
     match &n.backend {
         Backend::Membership(f) => {
             // Shard-grouped bulk load: one write lock per touched shard,
@@ -963,6 +1142,9 @@ fn minsert(n: &Namespace, keys: &[Vec<u8>], scratch: &mut QueryScratch) -> Respo
             n.stats
                 .inserts
                 .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            for key in keys {
+                note_present(n, key, which);
+            }
             Response::Int(keys.len() as i64)
         }
         other => Response::Error(format!(
@@ -1005,6 +1187,88 @@ fn assoc(n: &Namespace, key: &[u8]) -> Response {
             n.name,
             other.kind()
         )),
+    }
+}
+
+fn msinsert(n: &Namespace, key: &[u8], set: usize, which: &WhichTree) -> Response {
+    match &n.backend {
+        Backend::MultiSet(f) => match f.write().insert(key, set) {
+            Ok(new_pair) => {
+                n.stats
+                    .inserts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Summary balance is per (key, set) pair: a duplicate
+                // insert changed nothing, so it must not tilt the
+                // counters against the eventual removals.
+                if new_pair {
+                    note_present(n, key, which);
+                }
+                Response::ok()
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        other => Response::Error(format!(
+            "MSINSERT requires a multiset namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
+}
+
+fn msdelete(n: &Namespace, key: &[u8], set: usize, which: &WhichTree) -> Response {
+    match &n.backend {
+        Backend::MultiSet(f) => match f.write().remove(key, set) {
+            // Every successful remove retires exactly one (key, set)
+            // pair — the mirror of the `new_pair` insert above.
+            Ok(_remaining) => {
+                n.stats
+                    .deletes
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                note_absent(n, key, which);
+                Response::ok()
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        other => Response::Error(format!(
+            "MSDELETE requires a multiset namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
+}
+
+fn msquery(n: &Namespace, key: &[u8]) -> Response {
+    match &n.backend {
+        Backend::MultiSet(f) => {
+            let mask = f.read().query(key);
+            n.stats.record_query(mask != 0);
+            Response::Array(
+                (0..64u32)
+                    .filter(|s| mask & (1u64 << s) != 0)
+                    .map(|s| Response::Int(s as i64))
+                    .collect(),
+            )
+        }
+        other => Response::Error(format!(
+            "MSQUERY requires a multiset namespace (`{}` is {})",
+            n.name,
+            other.kind()
+        )),
+    }
+}
+
+/// Membership verdict for any backend kind *without* touching the
+/// namespace's query stats — `WHICH` confirmation probes are not client
+/// queries against that namespace.
+fn backend_contains(n: &Namespace, key: &[u8]) -> bool {
+    match &n.backend {
+        Backend::Membership(f) => f.contains(key),
+        Backend::Multiplicity(f) => f.read().query(key).reported > 0,
+        Backend::Association(f) => !matches!(
+            f.read().query(key),
+            shbf_core::AssociationAnswer::NotInUnion
+        ),
+        Backend::MultiSet(f) => f.read().query(key) != 0,
     }
 }
 
@@ -1069,6 +1333,12 @@ fn stats(n: &Namespace) -> Response {
             fields.push(("s1".into(), guard.len_s1().to_string()));
             fields.push(("s2".into(), guard.len_s2().to_string()));
         }
+        Backend::MultiSet(f) => {
+            let guard = f.read();
+            fields.push(("sets".into(), guard.sets().to_string()));
+            fields.push(("items".into(), guard.keys().to_string()));
+            fields.push(("pairs".into(), guard.pairs().to_string()));
+        }
     }
     fields.push(("bits_set".into(), ones.to_string()));
     fields.push(("physical_bits".into(), physical.to_string()));
@@ -1108,6 +1378,10 @@ pub(crate) fn backend_bits(backend: &Backend) -> (u64, u64) {
             (guard.count_ones() as u64, guard.physical_bits() as u64)
         }
         Backend::Association(f) => {
+            let guard = f.read();
+            (guard.count_ones() as u64, guard.physical_bits() as u64)
+        }
+        Backend::MultiSet(f) => {
             let guard = f.read();
             (guard.count_ones() as u64, guard.physical_bits() as u64)
         }
@@ -1526,5 +1800,281 @@ mod tests {
         assert!(matches!(e.eval_line("STATS ghost"), Response::Error(_)));
         assert!(matches!(e.eval_line("DROP ghost"), Response::Error(_)));
         assert!(matches!(e.eval_line("gibberish"), Response::Error(_)));
+    }
+
+    fn names(r: &Response) -> Vec<String> {
+        match r {
+            Response::Array(items) => items.iter().map(|i| simple(i).to_string()).collect(),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn int_array(r: &Response) -> Vec<i64> {
+        match r {
+            Response::Array(items) => items
+                .iter()
+                .map(|i| match i {
+                    Response::Int(v) => *v,
+                    other => panic!("expected int, got {other:?}"),
+                })
+                .collect(),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiset_lifecycle_through_dispatch() {
+        let e = engine();
+        assert_eq!(
+            e.eval_line("CREATE tags multiset 8192 4 8 7"),
+            Response::ok()
+        );
+        assert_eq!(e.eval_line("MSINSERT tags article-1 2"), Response::ok());
+        // Re-inserting the same (key, set) pair is idempotent, not an error.
+        assert_eq!(e.eval_line("MSINSERT tags article-1 2"), Response::ok());
+        assert_eq!(e.eval_line("MSINSERT tags article-1 5"), Response::ok());
+        assert_eq!(
+            int_array(&e.eval_line("MSQUERY tags article-1")),
+            vec![2, 5]
+        );
+        // Membership across the union of sets answers plain QUERY.
+        assert_eq!(e.eval_line("QUERY tags article-1"), Response::Int(1));
+        assert_eq!(e.eval_line("QUERY tags never-seen-key"), Response::Int(0));
+        // Out-of-range set id is an error, not a panic.
+        assert!(matches!(
+            e.eval_line("MSINSERT tags article-1 8"),
+            Response::Error(_)
+        ));
+        assert_eq!(e.eval_line("MSDELETE tags article-1 2"), Response::ok());
+        assert!(matches!(
+            e.eval_line("MSDELETE tags article-1 2"),
+            Response::Error(_)
+        ));
+        assert_eq!(int_array(&e.eval_line("MSQUERY tags article-1")), vec![5]);
+        // Single-set verbs are type errors against a multiset namespace…
+        assert!(matches!(e.eval_line("INSERT tags k"), Response::Error(_)));
+        assert!(matches!(e.eval_line("DELETE tags k"), Response::Error(_)));
+        // …and multiset verbs are type errors against other kinds.
+        e.eval_line("CREATE flows shbf-m 80000 8");
+        assert!(matches!(
+            e.eval_line("MSINSERT flows k 1"),
+            Response::Error(_)
+        ));
+        assert!(matches!(e.eval_line("MSQUERY flows k"), Response::Error(_)));
+        let stats = e.eval_line("STATS tags").encode_to_string();
+        assert!(stats.contains("kind=multiset"), "{stats}");
+        assert!(stats.contains("sets=8"), "{stats}");
+        assert!(stats.contains("pairs=1"), "{stats}");
+    }
+
+    #[test]
+    fn which_finds_namespaces_across_all_kinds() {
+        let e = engine();
+        e.eval_line("CREATE flows shbf-m 140000 8 4 7");
+        e.eval_line("CREATE sizes shbf-x 8192 6 30 3");
+        e.eval_line("CREATE gw shbf-a 8192 6");
+        e.eval_line("CREATE tags multiset 8192 4 8 7");
+        e.eval_line("INSERT flows shared-key");
+        e.eval_line("INSERT sizes shared-key");
+        e.eval_line("MSINSERT tags shared-key 3");
+        e.eval_line("INSERT gw solo-key 1");
+        assert_eq!(
+            names(&e.eval_line("WHICH shared-key")),
+            vec!["flows", "sizes", "tags"]
+        );
+        assert_eq!(names(&e.eval_line("WHICH solo-key")), vec!["gw"]);
+        assert!(names(&e.eval_line("WHICH never-anywhere-xyzzy")).is_empty());
+        // DROP prunes the namespace's leaf out of the tree.
+        e.eval_line("DROP sizes");
+        assert_eq!(
+            names(&e.eval_line("WHICH shared-key")),
+            vec!["flows", "tags"]
+        );
+        // Deleting the key clears its summary positions for that leaf.
+        e.eval_line("DELETE flows shared-key");
+        assert_eq!(names(&e.eval_line("WHICH shared-key")), vec!["tags"]);
+        e.eval_line("MSDELETE tags shared-key 3");
+        assert!(names(&e.eval_line("WHICH shared-key")).is_empty());
+    }
+
+    #[test]
+    fn mwhich_matches_per_key_which_answers() {
+        let e = engine();
+        e.eval_line("CREATE left shbf-m 120000 8");
+        e.eval_line("CREATE right shbf-m 120000 8");
+        e.eval_line("CREATE tags multiset 16384 4 8 7");
+        for i in 0..50 {
+            e.eval_line(&format!("INSERT left k-{i}"));
+        }
+        // Bulk loads maintain the summaries too.
+        let bulk: String = (25..75).map(|i| format!(" k-{i}")).collect();
+        e.eval_line(&format!("MINSERT right{bulk}"));
+        e.eval_line("MSINSERT tags k-10 3");
+        let keys: Vec<String> = (0..80).map(|i| format!("k-{i}")).collect();
+        let batch = e.eval_line(&format!("MWHICH {}", keys.join(" ")));
+        let per_key = match &batch {
+            Response::Array(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(per_key.len(), keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let single = names(&e.eval_line(&format!("WHICH {key}")));
+            assert_eq!(names(&per_key[i]), single, "key {key}");
+        }
+    }
+
+    #[test]
+    fn which_survives_snapshot_load_roundtrip() {
+        let dir = temp_dir("which-load");
+        let snap = dir.join("world.snap");
+        let e = engine();
+        e.eval_line("CREATE flows shbf-m 80000 8");
+        e.eval_line("CREATE tags multiset 8192 4 8 7");
+        e.eval_line("INSERT flows shared");
+        e.eval_line("MSINSERT tags shared 1");
+        e.eval_line(&format!("SNAPSHOT {}", snap.display()));
+        let fresh = engine();
+        assert!(names(&fresh.eval_line("WHICH shared")).is_empty());
+        assert_eq!(
+            simple(&fresh.eval_line(&format!("LOAD {}", snap.display()))),
+            "OK 2 namespaces"
+        );
+        // Summaries travelled inside the snapshot (the membership backend
+        // cannot enumerate keys, so they could not be rebuilt otherwise).
+        assert_eq!(
+            names(&fresh.eval_line("WHICH shared")),
+            vec!["flows", "tags"]
+        );
+        assert_eq!(int_array(&fresh.eval_line("MSQUERY tags shared")), vec![1]);
+        // The boot-time `--load` path (no LOAD verb dispatch) must also
+        // rebuild the tree, not just repopulate the registry.
+        let booted = engine();
+        assert_eq!(booted.restore_from_snapshot(&snap).unwrap(), 2);
+        assert_eq!(
+            names(&booted.eval_line("WHICH shared")),
+            vec!["flows", "tags"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiset_and_which_state_survive_wal_recovery() {
+        let dir = temp_dir("ms-wal");
+        {
+            let e = wal_engine(&dir);
+            e.eval_line("CREATE tags multiset 8192 4 8 7");
+            e.eval_line("CREATE flows shbf-m 80000 8");
+            e.eval_line("MSINSERT tags doc 2");
+            e.eval_line("MSINSERT tags doc 6");
+            e.eval_line("MSDELETE tags doc 6");
+            e.eval_line("INSERT flows doc");
+            e.sync_wal();
+            // Dropped without a snapshot: the log tail is the only
+            // durable record, exactly the kill-and-recover shape.
+        }
+        let e = wal_engine(&dir);
+        assert_eq!(int_array(&e.eval_line("MSQUERY tags doc")), vec![2]);
+        assert_eq!(names(&e.eval_line("WHICH doc")), vec!["flows", "tags"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiset_ops_replicate_byte_identically() {
+        let dir = temp_dir("ms-repl");
+        let primary = wal_engine(&dir);
+        primary.eval_line("CREATE tags multiset 8192 4 8 7");
+        primary.eval_line("MSINSERT tags doc-1 2");
+        // Full resync: ship the snapshot blob, exactly as SYNC does.
+        let replica = engine();
+        let blob = match &primary.eval_line("SYNC 0") {
+            Response::Array(items) => match &items[1] {
+                Response::Bulk(b) => b.clone(),
+                other => panic!("expected bulk, got {other:?}"),
+            },
+            other => panic!("expected array, got {other:?}"),
+        };
+        crate::snapshot::load_bytes(replica.registry(), &blob).unwrap();
+        replica.rebuild_which();
+        // Tail ops: apply each encoded line exactly as the applier does.
+        for line in [
+            "MSINSERT tags doc-1 5",
+            "MSDELETE tags doc-1 2",
+            "MSINSERT tags doc-2 0",
+        ] {
+            let cmd = crate::protocol::parse_command(line).unwrap();
+            assert!(!matches!(primary.dispatch(&cmd).0, Response::Error(_)));
+            let encoded = persistence::encode_op(&cmd).unwrap();
+            replica.apply_replay_line(&encoded).unwrap();
+        }
+        assert_eq!(
+            crate::snapshot::to_bytes(primary.registry()),
+            crate::snapshot::to_bytes(replica.registry()),
+            "replica state diverged from primary"
+        );
+        assert_eq!(names(&replica.eval_line("WHICH doc-1")), vec!["tags"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_apply_refuses_reserved_names_case_insensitively() {
+        let e = engine();
+        let err = e
+            .apply_replay_line("CREATE Server shbf-m 8192 8")
+            .unwrap_err();
+        assert!(err.contains("reserved for a STATS subject"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_which_under_racing_create_drop() {
+        let e = Arc::new(Engine::new());
+        e.eval_line("CREATE stable shbf-m 80000 8");
+        e.eval_line("INSERT stable pivot-key");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churner = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    for i in 0..8 {
+                        e.eval_line(&format!("CREATE churn-{i} shbf-m 65536 8"));
+                        e.eval_line(&format!("INSERT churn-{i} pivot-key"));
+                    }
+                    for i in 0..8 {
+                        e.eval_line(&format!("DROP churn-{i}"));
+                    }
+                }
+            })
+        };
+        let queriers: Vec<_> = (0..3)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rounds = 0u32;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let got = names(&e.eval_line("WHICH pivot-key"));
+                        // Tree surgery (add/remove/grow) must never hide
+                        // an untouched namespace from the walk…
+                        assert!(
+                            got.contains(&"stable".to_string()),
+                            "stable namespace vanished mid-churn: {got:?}"
+                        );
+                        // …or invent one that never held the key.
+                        for name in &got {
+                            assert!(
+                                name == "stable" || name.starts_with("churn-"),
+                                "phantom namespace {name}"
+                            );
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+        churner.join().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for q in queriers {
+            assert!(q.join().unwrap() > 0, "querier never completed a WHICH");
+        }
     }
 }

@@ -7,7 +7,10 @@
 //! A **namespace registry** maps client-chosen names to filter instances:
 //! membership namespaces run on the sharded concurrent
 //! [`shbf_concurrent::ShardedCShbfM`], multiplicity on
-//! [`shbf_core::CShbfX`], association on [`shbf_core::CShbfA`].
+//! [`shbf_core::CShbfX`], association on [`shbf_core::CShbfA`], and
+//! multi-set membership on [`shbf_core::CShbfMs`]. A Bloofi-style
+//! binary tree of per-namespace summary filters ([`which`]) answers
+//! cross-namespace `WHICH key` queries in one sub-linear walk.
 //!
 //! ## Wire grammar
 //!
@@ -20,7 +23,7 @@
 //! | Request | Reply | Notes |
 //! |---|---|---|
 //! | `PING` | `+PONG` | liveness |
-//! | `CREATE ns kind m k [extra] [seed] [family=seeded\|one-shot]` | `+OK` | kind ∈ `shbf-m`,`shbf-x`,`shbf-a`; `extra` = shards (m) / max count (x); `family=one-shot` → digest-once hashing |
+//! | `CREATE ns kind m k [extra] [seed] [family=seeded\|one-shot]` | `+OK` | kind ∈ `shbf-m`,`shbf-x`,`shbf-a`,`multiset`; `extra` = shards (m) / max count (x) / sets (multiset, default 16); `family=one-shot` → digest-once hashing |
 //! | `INSERT ns key [1\|2]` | `+OK` / `:count` | set id for `shbf-a`; `shbf-x` replies new count |
 //! | `DELETE ns key [1\|2]` | `+OK` / `:count` | provably-absent deletes are `-ERR` |
 //! | `QUERY ns key` | `:1` / `:0` | membership for any kind |
@@ -28,6 +31,11 @@
 //! | `MINSERT ns key...` | `:n` | bulk load (`shbf-m` only); one write lock per touched shard |
 //! | `COUNT ns key` | `:count` | `shbf-x` only |
 //! | `ASSOC ns key` | `+ONLY_S1` … | `shbf-a` only; paper's 8 outcomes |
+//! | `MSINSERT ns key set-id` | `+OK` | `multiset` only; adds the key to one of the namespace's sets (idempotent) |
+//! | `MSDELETE ns key set-id` | `+OK` | `multiset` only; never-inserted pairs are `-ERR` |
+//! | `MSQUERY ns key` | `*n` of `:set-id` | `multiset` only; candidate sets, ascending, no false negatives |
+//! | `WHICH key` | `*n` of `+name` | every namespace (any kind) possibly containing the key; Bloofi-pruned, backend-confirmed, name-sorted |
+//! | `MWHICH key...` | `*n` of `*k` arrays | batched `WHICH`, one nested array per key in order |
 //! | `STATS ns` | `*n` of `+k=v` | kind, geometry, items, hit/miss/insert/delete, est. FPR |
 //! | `NAMESPACES` | `*n` of `+name kind` | name-sorted |
 //! | `DROP ns` | `+OK` | |
@@ -174,6 +182,7 @@ pub mod registry;
 mod replication;
 pub mod server;
 pub mod snapshot;
+pub mod which;
 
 pub use client::Client;
 pub use engine::{

@@ -58,12 +58,17 @@ pub enum CommandKind {
     Stats,
     Snapshot,
     Load,
+    MsInsert,
+    MsDelete,
+    MsQuery,
+    Which,
+    MWhich,
     /// PING, NAMESPACES, SLOWLOG, replication plumbing, QUIT, SHUTDOWN.
     Other,
 }
 
 /// Number of distinct [`CommandKind`]s.
-pub const COMMAND_KINDS: usize = 13;
+pub const COMMAND_KINDS: usize = 18;
 
 impl CommandKind {
     /// Every kind, in label order.
@@ -80,6 +85,11 @@ impl CommandKind {
         CommandKind::Stats,
         CommandKind::Snapshot,
         CommandKind::Load,
+        CommandKind::MsInsert,
+        CommandKind::MsDelete,
+        CommandKind::MsQuery,
+        CommandKind::Which,
+        CommandKind::MWhich,
         CommandKind::Other,
     ];
 
@@ -98,6 +108,11 @@ impl CommandKind {
             CommandKind::Stats => "stats",
             CommandKind::Snapshot => "snapshot",
             CommandKind::Load => "load",
+            CommandKind::MsInsert => "msinsert",
+            CommandKind::MsDelete => "msdelete",
+            CommandKind::MsQuery => "msquery",
+            CommandKind::Which => "which",
+            CommandKind::MWhich => "mwhich",
             CommandKind::Other => "other",
         }
     }
@@ -117,7 +132,12 @@ impl CommandKind {
             CommandKind::Stats => 9,
             CommandKind::Snapshot => 10,
             CommandKind::Load => 11,
-            CommandKind::Other => 12,
+            CommandKind::MsInsert => 12,
+            CommandKind::MsDelete => 13,
+            CommandKind::MsQuery => 14,
+            CommandKind::Which => 15,
+            CommandKind::MWhich => 16,
+            CommandKind::Other => 17,
         }
     }
 
@@ -131,6 +151,10 @@ impl CommandKind {
                 | CommandKind::Delete
                 | CommandKind::Count
                 | CommandKind::Assoc
+                | CommandKind::MsInsert
+                | CommandKind::MsDelete
+                | CommandKind::MsQuery
+                | CommandKind::Which
         )
     }
 
@@ -149,6 +173,11 @@ impl CommandKind {
             Command::Stats { .. } => CommandKind::Stats,
             Command::Snapshot { .. } => CommandKind::Snapshot,
             Command::Load { .. } => CommandKind::Load,
+            Command::MsInsert { .. } => CommandKind::MsInsert,
+            Command::MsDelete { .. } => CommandKind::MsDelete,
+            Command::MsQuery { .. } => CommandKind::MsQuery,
+            Command::Which { .. } => CommandKind::Which,
+            Command::MWhich { .. } => CommandKind::MWhich,
             _ => CommandKind::Other,
         }
     }
@@ -170,6 +199,11 @@ pub fn summarize(cmd: &Command) -> String {
         Command::MInsert { ns, keys } => format!("MINSERT {ns} ({} keys)", keys.len()),
         Command::Count { ns, .. } => format!("COUNT {ns} (1 key)"),
         Command::Assoc { ns, .. } => format!("ASSOC {ns} (1 key)"),
+        Command::MsInsert { ns, set, .. } => format!("MSINSERT {ns} (1 key) set={set}"),
+        Command::MsDelete { ns, set, .. } => format!("MSDELETE {ns} (1 key) set={set}"),
+        Command::MsQuery { ns, .. } => format!("MSQUERY {ns} (1 key)"),
+        Command::Which { .. } => "WHICH (1 key)".into(),
+        Command::MWhich { keys } => format!("MWHICH ({} keys)", keys.len()),
         Command::Stats { ns } => format!("STATS {ns}"),
         Command::Namespaces => "NAMESPACES".into(),
         Command::Drop { ns } => format!("DROP {ns}"),

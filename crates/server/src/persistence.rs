@@ -2,7 +2,8 @@
 //! recovery.
 //!
 //! When a server runs with `wal_dir` set, every **successful mutation**
-//! (`CREATE`/`DROP`/`INSERT`/`DELETE`/`MINSERT`) is re-encoded as its
+//! (`CREATE`/`DROP`/`INSERT`/`DELETE`/`MINSERT`/`MSINSERT`/`MSDELETE`)
+//! is re-encoded as its
 //! canonical request line (see [`encode_op`]) and appended to a
 //! [`shbf_wal::Wal`] before the reply leaves. Every
 //! `snapshot_every_ops` mutations, the whole registry is serialized to a
@@ -34,7 +35,7 @@ use shbf_bits::{Reader, Writer};
 use shbf_wal::{FsyncPolicy, Wal, WalConfig, WalError};
 
 use crate::protocol::{encode_key, Command, KindSpec, WireSet};
-use crate::registry::{Registry, DEFAULT_MAX_COUNT, DEFAULT_SEED, DEFAULT_SHARDS};
+use crate::registry::{Registry, DEFAULT_MAX_COUNT, DEFAULT_SEED, DEFAULT_SETS, DEFAULT_SHARDS};
 use crate::snapshot;
 
 /// Codec kind tag for `state-<seq>.snap` files: a registry snapshot blob
@@ -116,6 +117,13 @@ pub(crate) fn encode_op(cmd: &Command) -> Option<String> {
                         seed.unwrap_or(DEFAULT_SEED)
                     ));
                 }
+                KindSpec::MultiSet => {
+                    line.push_str(&format!(
+                        " {} {}",
+                        extra.unwrap_or(DEFAULT_SETS),
+                        seed.unwrap_or(DEFAULT_SEED)
+                    ));
+                }
                 // shbf-a has no extra: its bare 5th token IS the seed
                 // (both positions set never reaches the log — the CREATE
                 // fails and only successful mutations are appended).
@@ -147,6 +155,12 @@ pub(crate) fn encode_op(cmd: &Command) -> Option<String> {
                 line.push_str(&encode_key(key));
             }
             Some(line)
+        }
+        Command::MsInsert { ns, key, set } => {
+            Some(format!("MSINSERT {ns} {} {set}", encode_key(key)))
+        }
+        Command::MsDelete { ns, key, set } => {
+            Some(format!("MSDELETE {ns} {} {set}", encode_key(key)))
         }
         _ => None,
     }
@@ -396,6 +410,10 @@ mod tests {
             op("CREATE gw shbf-a 8192 6"),
             format!("CREATE gw shbf-a 8192 6 {DEFAULT_SEED}")
         );
+        assert_eq!(
+            op("CREATE tags multiset 8192 4"),
+            format!("CREATE tags multiset 8192 4 {DEFAULT_SETS} {DEFAULT_SEED}")
+        );
         // Explicit values and the family selector pass through.
         assert_eq!(
             op("CREATE flows shbf-m 140000 8 4 99 family=one-shot"),
@@ -413,6 +431,9 @@ mod tests {
             "INSERT gw file7 2",
             "DELETE flows key-1",
             "MINSERT flows a b 0x0aff",
+            "CREATE tags multiset 8192 4 12 7",
+            "MSINSERT tags key-1 3",
+            "MSDELETE tags key-1 3",
             "DROP flows",
         ] {
             let encoded = op(line);

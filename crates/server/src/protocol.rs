@@ -89,6 +89,9 @@ pub enum KindSpec {
     Multiplicity,
     /// `shbf-a` — counting association filter over two sets.
     Association,
+    /// `multiset` — counting multi-set filter mapping keys to one of `N`
+    /// set ids in a single filter (`MSINSERT`/`MSDELETE`/`MSQUERY`).
+    MultiSet,
 }
 
 impl KindSpec {
@@ -98,6 +101,7 @@ impl KindSpec {
             KindSpec::Membership => "shbf-m",
             KindSpec::Multiplicity => "shbf-x",
             KindSpec::Association => "shbf-a",
+            KindSpec::MultiSet => "multiset",
         }
     }
 }
@@ -211,6 +215,47 @@ pub enum Command {
         ns: String,
         /// Element key.
         key: Vec<u8>,
+    },
+    /// `MSINSERT ns key set-id` → `+OK` — adds the key to one of a
+    /// multiset namespace's sets (idempotent).
+    MsInsert {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+        /// Target set id, `0..sets`.
+        set: usize,
+    },
+    /// `MSDELETE ns key set-id` → `+OK` — removes the key from one set
+    /// (`-ERR` when the pair was never inserted).
+    MsDelete {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+        /// Target set id, `0..sets`.
+        set: usize,
+    },
+    /// `MSQUERY ns key` → array of `:set-id` integers, ascending — the
+    /// candidate sets the key may belong to (no false negatives).
+    MsQuery {
+        /// Namespace name.
+        ns: String,
+        /// Element key.
+        key: Vec<u8>,
+    },
+    /// `WHICH key` → array of `+name` lines, name-sorted — every
+    /// namespace whose set (possibly) contains the key, answered via the
+    /// cross-namespace summary tree.
+    Which {
+        /// Element key.
+        key: Vec<u8>,
+    },
+    /// `MWHICH key...` → array of `n` nested arrays, one per key in
+    /// order, each the `WHICH` answer for that key.
+    MWhich {
+        /// Element keys, answered in order.
+        keys: Vec<Vec<u8>>,
     },
     /// `STATS ns` → array of `+field=value` lines.
     Stats {
@@ -449,7 +494,7 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
             };
             if !(4..=6).contains(&rest.len()) {
                 return Err(err(
-                    "usage: CREATE ns shbf-m|shbf-x|shbf-a m k [extra] [seed] [family=seeded|one-shot]",
+                    "usage: CREATE ns shbf-m|shbf-x|shbf-a|multiset m k [extra] [seed] [family=seeded|one-shot]",
                 ));
             }
             let ns = check_ns(rest[0])?;
@@ -457,9 +502,10 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 "shbf-m" => KindSpec::Membership,
                 "shbf-x" => KindSpec::Multiplicity,
                 "shbf-a" => KindSpec::Association,
+                "multiset" => KindSpec::MultiSet,
                 other => {
                     return Err(err(format!(
-                        "unknown kind `{other}` (shbf-m | shbf-x | shbf-a)"
+                        "unknown kind `{other}` (shbf-m | shbf-x | shbf-a | multiset)"
                     )))
                 }
             };
@@ -525,6 +571,42 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                 ns: check_ns(rest[0])?,
                 key: decode_key(rest[1])?,
             })
+        }
+        "MSINSERT" | "MSDELETE" => {
+            if rest.len() != 3 {
+                return Err(err(format!("usage: {verb} ns key set-id")));
+            }
+            let ns = check_ns(rest[0])?;
+            let key = decode_key(rest[1])?;
+            let set = parse_num(rest[2], "set-id")?;
+            if verb.eq_ignore_ascii_case("MSINSERT") {
+                Ok(Command::MsInsert { ns, key, set })
+            } else {
+                Ok(Command::MsDelete { ns, key, set })
+            }
+        }
+        "MSQUERY" => {
+            arity(2, "MSQUERY ns key")?;
+            Ok(Command::MsQuery {
+                ns: check_ns(rest[0])?,
+                key: decode_key(rest[1])?,
+            })
+        }
+        "WHICH" => {
+            arity(1, "WHICH key")?;
+            Ok(Command::Which {
+                key: decode_key(rest[0])?,
+            })
+        }
+        "MWHICH" => {
+            if rest.is_empty() {
+                return Err(err("usage: MWHICH key [key...]"));
+            }
+            let keys = rest
+                .iter()
+                .map(|t| decode_key(t))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::MWhich { keys })
         }
         "STATS" => {
             arity(1, "STATS ns")?;
@@ -803,6 +885,53 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_command("CREATE ids multiset 65536 8 16 7").unwrap(),
+            Command::Create {
+                ns: "ids".into(),
+                kind: KindSpec::MultiSet,
+                m: 65_536,
+                k: 8,
+                extra: Some(16),
+                seed: Some(7),
+                family: None,
+            }
+        );
+        assert_eq!(
+            parse_command("msinsert ids key-1 3").unwrap(),
+            Command::MsInsert {
+                ns: "ids".into(),
+                key: b"key-1".to_vec(),
+                set: 3,
+            }
+        );
+        assert_eq!(
+            parse_command("MSDELETE ids 0x0aff 0").unwrap(),
+            Command::MsDelete {
+                ns: "ids".into(),
+                key: vec![0x0a, 0xff],
+                set: 0,
+            }
+        );
+        assert_eq!(
+            parse_command("MSQUERY ids key-1").unwrap(),
+            Command::MsQuery {
+                ns: "ids".into(),
+                key: b"key-1".to_vec(),
+            }
+        );
+        assert_eq!(
+            parse_command("WHICH key-1").unwrap(),
+            Command::Which {
+                key: b"key-1".to_vec(),
+            }
+        );
+        assert_eq!(
+            parse_command("mwhich a 0x0aff").unwrap(),
+            Command::MWhich {
+                keys: vec![b"a".to_vec(), vec![0x0a, 0xff]],
+            }
+        );
+        assert_eq!(
             parse_command("SNAPSHOT /tmp/s.snap").unwrap(),
             Command::Snapshot {
                 path: "/tmp/s.snap".into()
@@ -858,6 +987,13 @@ mod tests {
             "SYNC",
             "SYNC notanumber",
             "PULLOPS id 1",
+            "MSINSERT ns key",
+            "MSINSERT ns key notanumber",
+            "MSQUERY ns",
+            "MSQUERY ns k extra",
+            "WHICH",
+            "WHICH a b",
+            "MWHICH",
         ] {
             assert!(parse_command(bad).is_err(), "`{bad}` should not parse");
         }

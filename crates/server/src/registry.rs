@@ -15,15 +15,18 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use shbf_concurrent::ShardedCShbfM;
-use shbf_core::{CShbfA, CShbfX, ShbfError, UpdatePolicy};
+use shbf_core::{CShbfA, CShbfMs, CShbfX, ShbfError, UpdatePolicy};
 use shbf_hash::{FamilyKind, HashAlg};
 
 use crate::protocol::{FamilySpec, KindSpec};
+use crate::which::Summary;
 
 /// Default shard count for `shbf-m` namespaces.
 pub const DEFAULT_SHARDS: usize = 8;
 /// Default maximum multiplicity for `shbf-x` namespaces.
 pub const DEFAULT_MAX_COUNT: usize = 57;
+/// Default set count for `multiset` namespaces.
+pub const DEFAULT_SETS: usize = 16;
 /// Default hash seed (the paper's year, like the CLI default).
 pub const DEFAULT_SEED: u64 = 0x5683_2016;
 
@@ -35,6 +38,8 @@ pub enum Backend {
     Multiplicity(RwLock<CShbfX>),
     /// `shbf-a`: counting association filter.
     Association(RwLock<CShbfA>),
+    /// `multiset`: counting multi-set filter (key → set-id mask).
+    MultiSet(RwLock<CShbfMs>),
 }
 
 impl Backend {
@@ -44,6 +49,7 @@ impl Backend {
             Backend::Membership(_) => KindSpec::Membership,
             Backend::Multiplicity(_) => KindSpec::Multiplicity,
             Backend::Association(_) => KindSpec::Association,
+            Backend::MultiSet(_) => KindSpec::MultiSet,
         }
     }
 }
@@ -108,12 +114,18 @@ impl NamespaceStats {
         )
     }
 
-    /// Restores counters (snapshot load).
+    /// Restores counters (snapshot load). The ground-truth FPR counters
+    /// are runtime-only observations of the *current* backend contents:
+    /// restore replaces the backend, so they reset to zero — otherwise
+    /// `observed_fpr` after a `LOAD` would blend pre-LOAD traffic with
+    /// the loaded filter.
     pub fn restore(&self, hits: u64, misses: u64, inserts: u64, deletes: u64) {
         self.hits.store(hits, Ordering::Relaxed);
         self.misses.store(misses, Ordering::Relaxed);
         self.inserts.store(inserts, Ordering::Relaxed);
         self.deletes.store(deletes, Ordering::Relaxed);
+        self.gt_negatives.store(0, Ordering::Relaxed);
+        self.gt_false_positives.store(0, Ordering::Relaxed);
     }
 }
 
@@ -125,6 +137,11 @@ pub struct Namespace {
     pub backend: Backend,
     /// Live operation counters.
     pub stats: NamespaceStats,
+    /// Compact uniform-hash key summary — this namespace's leaf in the
+    /// cross-namespace `WHICH` tree (see [`crate::which`]). Persisted
+    /// with snapshots because the membership backend cannot enumerate
+    /// its keys to rebuild it.
+    pub summary: Summary,
 }
 
 /// Parameters for creating a namespace (wire `CREATE` arguments).
@@ -162,6 +179,10 @@ pub enum RegistryError {
     NotFound(String),
     /// `CREATE` arguments that don't fit the requested kind.
     BadParams(&'static str),
+    /// A namespace name that cannot round-trip the wire/WAL/snapshot
+    /// framing, or shadows a reserved `STATS` subject. The message is
+    /// the full error text, shared verbatim by every ingress path.
+    BadName(String),
     /// Filter construction / update rejected by the core library.
     Filter(ShbfError),
 }
@@ -172,6 +193,7 @@ impl std::fmt::Display for RegistryError {
             RegistryError::Exists(ns) => write!(f, "namespace `{ns}` already exists"),
             RegistryError::NotFound(ns) => write!(f, "no such namespace `{ns}`"),
             RegistryError::BadParams(msg) => f.write_str(msg),
+            RegistryError::BadName(msg) => f.write_str(msg),
             RegistryError::Filter(e) => write!(f, "{e}"),
         }
     }
@@ -193,6 +215,44 @@ impl Registry {
     /// Empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Validates a namespace name for every ingress path — `CREATE`
+    /// (wire or direct dispatch), snapshot `LOAD`, replication full-sync,
+    /// and replica apply all call this, so they refuse the same names
+    /// with the same error bytes.
+    ///
+    /// Two rules: the charset/length restriction that guarantees a name
+    /// round-trips the line protocol, WAL `encode_op` records, and
+    /// `SNAPSHOT`/`SYNC` framing (same rule as the wire parser); and the
+    /// reserved `STATS` subjects, matched case-insensitively so `CREATE
+    /// Transport` cannot create a namespace that `STATS transport` can
+    /// never reach.
+    pub fn validate_name(name: &str) -> Result<(), RegistryError> {
+        if name.is_empty() || name.len() > 128 {
+            return Err(RegistryError::BadName(
+                "namespace must be 1..=128 chars".into(),
+            ));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        {
+            return Err(RegistryError::BadName(format!(
+                "namespace `{name}` may only contain [A-Za-z0-9._:-]"
+            )));
+        }
+        if crate::engine::RESERVED_STATS
+            .iter()
+            .any(|r| r.eq_ignore_ascii_case(name))
+        {
+            return Err(RegistryError::BadName(
+                "namespace name is reserved for a STATS subject \
+                 (`transport`, `replication`, `server`)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Builds the backend for `params` (shared by `CREATE` and tests).
@@ -242,23 +302,27 @@ impl Registry {
                     seed,
                 )?))
             }
+            KindSpec::MultiSet => {
+                let sets = params.extra.unwrap_or(DEFAULT_SETS);
+                // Counter width matches `CShbfMs::new`'s default.
+                Backend::MultiSet(RwLock::new(CShbfMs::with_family(
+                    params.m, params.k, sets, 4, family, seed,
+                )?))
+            }
         })
     }
 
-    /// Creates a namespace; errors if the name is taken or reserved.
+    /// Creates a namespace; errors if the name is taken, reserved, or
+    /// cannot round-trip the wire/WAL/snapshot framing.
     pub fn create(&self, name: &str, params: CreateParams) -> Result<(), RegistryError> {
-        if crate::engine::RESERVED_STATS.contains(&name) {
-            return Err(RegistryError::BadParams(
-                "namespace name is reserved for a STATS subject \
-                 (`transport`, `replication`, `server`)",
-            ));
-        }
+        Self::validate_name(name)?;
         // Build outside the lock — construction allocates the whole filter.
         let backend = Self::build_backend(&params)?;
         let ns = Arc::new(Namespace {
             name: name.to_string(),
             backend,
             stats: NamespaceStats::default(),
+            summary: Summary::new(),
         });
         let mut map = self.map.write();
         if map.contains_key(name) {
@@ -409,5 +473,64 @@ mod tests {
         assert_eq!(s.snapshot(), (2, 1, 5, 0));
         s.restore(9, 8, 7, 6);
         assert_eq!(s.snapshot(), (9, 8, 7, 6));
+    }
+
+    #[test]
+    fn restore_resets_ground_truth_counters() {
+        // `restore` accompanies a backend replacement (snapshot load):
+        // observed-FPR inputs describe the *old* contents and must not
+        // survive into the new ones.
+        let s = NamespaceStats::default();
+        s.record_ground_truth(true, false); // one confirmed false positive
+        s.record_ground_truth(false, false);
+        assert_eq!(s.ground_truth_snapshot(), (1, 2));
+        s.restore(1, 2, 3, 4);
+        assert_eq!(
+            s.ground_truth_snapshot(),
+            (0, 0),
+            "stale FPR survived restore"
+        );
+    }
+
+    #[test]
+    fn names_that_cannot_round_trip_are_refused() {
+        let r = Registry::new();
+        for bad in ["a b", "a\rb", "a\nb", "a$b", "", &"x".repeat(129)] {
+            assert!(
+                matches!(
+                    r.create(bad, mk_params(KindSpec::Membership)),
+                    Err(RegistryError::BadName(_))
+                ),
+                "accepted unframeable name {bad:?}"
+            );
+        }
+        r.create("ok-name_1.2:3", mk_params(KindSpec::Membership))
+            .unwrap();
+    }
+
+    #[test]
+    fn reserved_names_are_refused_case_insensitively() {
+        let r = Registry::new();
+        for bad in ["transport", "Transport", "REPLICATION", "Server"] {
+            let err = r
+                .create(bad, mk_params(KindSpec::Membership))
+                .expect_err("reserved name accepted");
+            assert_eq!(
+                err.to_string(),
+                "namespace name is reserved for a STATS subject \
+                 (`transport`, `replication`, `server`)",
+                "error bytes diverged for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiset_backend_builds_with_default_sets() {
+        let r = Registry::new();
+        r.create("ms", mk_params(KindSpec::MultiSet)).unwrap();
+        match &r.get("ms").unwrap().backend {
+            Backend::MultiSet(f) => assert_eq!(f.read().sets(), DEFAULT_SETS),
+            other => panic!("expected multiset backend, got {:?}", other.kind()),
+        }
     }
 }

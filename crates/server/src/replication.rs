@@ -302,6 +302,9 @@ fn serve_link(
             .ok_or_else(|| other("SYNC FULL reply carried no snapshot blob".into()))?;
         crate::snapshot::load_bytes(engine.registry(), blob)
             .map_err(|e| other(format!("full-sync snapshot rejected: {e}")))?;
+        // The registry was replaced wholesale; re-derive the WHICH tree
+        // from the shipped summaries (tail ops maintain it incrementally).
+        engine.rebuild_which();
         engine.metrics().resyncs.inc();
         state.applied_seq.store(seq, Ordering::SeqCst);
         state.primary_last_seq.store(seq, Ordering::SeqCst);

@@ -845,6 +845,91 @@ mod tests {
         }
     }
 
+    /// Runs one request script against a fresh server and returns the
+    /// per-request reply lines, for cross-transport byte-identity checks.
+    fn run_script(transport: TransportKind, unix: bool, script: &[&str]) -> Vec<Vec<String>> {
+        let engine = Arc::new(Engine::new());
+        let config = ServerConfig {
+            transport,
+            ..ServerConfig::default()
+        };
+        let (handle, mut client) = if unix {
+            #[cfg(not(unix))]
+            unreachable!("unix sockets are not exercised on this platform");
+            #[cfg(unix)]
+            {
+                let path = temp_socket_path(&format!("conformance-{transport:?}"));
+                let handle = Server::bind_unix(&path, engine, config)
+                    .unwrap()
+                    .spawn()
+                    .unwrap();
+                let client = crate::client::Client::connect_unix(&path).unwrap();
+                (handle, client)
+            }
+        } else {
+            let handle = Server::bind("127.0.0.1:0", engine, config)
+                .unwrap()
+                .spawn()
+                .unwrap();
+            let client = crate::client::Client::connect(handle.addr()).unwrap();
+            (handle, client)
+        };
+        let replies = client.send_pipelined(script).unwrap();
+        drop(client);
+        handle.shutdown().unwrap();
+        replies
+    }
+
+    #[test]
+    fn which_and_multiset_replies_agree_across_transports() {
+        // One script covering the cross-namespace verbs end to end:
+        // multiset lifecycle, WHICH across kinds, a batched MWHICH, and
+        // the error shapes. Every transport × socket combination must
+        // produce byte-identical reply streams.
+        let script = [
+            "CREATE flows shbf-m 120000 8 4 7",
+            "CREATE tags multiset 8192 4 8 7",
+            "CREATE gw shbf-a 8192 6",
+            "INSERT flows shared-key",
+            "MSINSERT tags shared-key 3",
+            "MSINSERT tags shared-key 3",
+            "MSINSERT tags other-key 5",
+            "INSERT gw solo-key 1",
+            "MSQUERY tags shared-key",
+            "QUERY tags shared-key",
+            "WHICH shared-key",
+            "WHICH solo-key",
+            "WHICH never-anywhere-xyzzy",
+            "MWHICH shared-key solo-key other-key never-anywhere-xyzzy",
+            "MSDELETE tags shared-key 3",
+            "MSDELETE tags shared-key 3",
+            "WHICH shared-key",
+            "MSINSERT flows bad-kind 1",
+            "MSQUERY gw bad-kind",
+            "INSERT tags bad-verb",
+        ];
+        let mut combos = vec![
+            (TransportKind::Threaded, false),
+            (TransportKind::Evented, false),
+        ];
+        if cfg!(unix) {
+            combos.push((TransportKind::Threaded, true));
+            combos.push((TransportKind::Evented, true));
+        }
+        let reference = run_script(combos[0].0, combos[0].1, &script);
+        assert_eq!(reference.len(), script.len());
+        assert_eq!(reference[10], vec!["*2", "+flows", "+tags"]);
+        assert_eq!(reference[11], vec!["*1", "+gw"]);
+        assert_eq!(reference[12], vec!["*0"]);
+        for &(transport, unix) in &combos[1..] {
+            let got = run_script(transport, unix, &script);
+            assert_eq!(
+                got, reference,
+                "reply stream diverged on {transport:?} unix={unix}"
+            );
+        }
+    }
+
     #[test]
     fn shutdown_via_handle_unblocks_accept() {
         let engine = Arc::new(Engine::new());

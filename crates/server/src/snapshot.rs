@@ -7,9 +7,10 @@
 //! u64 namespace-count
 //! per namespace:
 //!   bytes  name
-//!   u8     backend tag (1 = shbf-m, 2 = shbf-x, 3 = shbf-a)
+//!   u8     backend tag (1 = shbf-m, 2 = shbf-x, 3 = shbf-a, 4 = multiset)
 //!   bytes  backend blob (the structure's own self-describing encoding)
 //!   u64×4  hits, misses, inserts, deletes
+//!   bytes  WHICH-tree summary blob (see [`crate::which::Summary`])
 //! ```
 //!
 //! Backend blobs nest the per-structure codec envelopes, so corruption
@@ -21,9 +22,10 @@ use std::path::Path;
 
 use shbf_bits::{CodecError, Reader, Writer};
 use shbf_concurrent::ShardedCShbfM;
-use shbf_core::{CShbfA, CShbfX, ShbfError};
+use shbf_core::{CShbfA, CShbfMs, CShbfX, ShbfError};
 
 use crate::registry::{Backend, Namespace, NamespaceStats, Registry};
+use crate::which::Summary;
 
 /// Codec kind tag for the snapshot container (structures use 1–22).
 pub const SNAPSHOT_KIND: u16 = 64;
@@ -31,6 +33,7 @@ pub const SNAPSHOT_KIND: u16 = 64;
 const TAG_MEMBERSHIP: u8 = 1;
 const TAG_MULTIPLICITY: u8 = 2;
 const TAG_ASSOCIATION: u8 = 3;
+const TAG_MULTISET: u8 = 4;
 
 /// Errors from snapshot persistence.
 #[derive(Debug)]
@@ -41,6 +44,10 @@ pub enum SnapshotError {
     Codec(CodecError),
     /// Nested structure decode failure.
     Filter(ShbfError),
+    /// A namespace name the registry would refuse — reported with the
+    /// exact same error bytes as a refused `CREATE`, so every ingress
+    /// path (wire, WAL replay, LOAD, replica full-sync) agrees.
+    BadName(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -49,6 +56,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
             SnapshotError::Codec(e) => write!(f, "snapshot format: {e}"),
             SnapshotError::Filter(e) => write!(f, "snapshot filter: {e}"),
+            SnapshotError::BadName(msg) => f.write_str(msg),
         }
     }
 }
@@ -84,10 +92,12 @@ pub fn to_bytes(registry: &Registry) -> Vec<u8> {
             Backend::Membership(f) => (TAG_MEMBERSHIP, f.to_bytes()),
             Backend::Multiplicity(f) => (TAG_MULTIPLICITY, f.read().to_bytes()),
             Backend::Association(f) => (TAG_ASSOCIATION, f.read().to_bytes()),
+            Backend::MultiSet(f) => (TAG_MULTISET, f.read().to_bytes()),
         };
         w.u8(tag).bytes(&blob);
         let (hits, misses, inserts, deletes) = ns.stats.snapshot();
         w.u64(hits).u64(misses).u64(inserts).u64(deletes);
+        w.bytes(&ns.summary.to_bytes());
     }
     w.finish().into()
 }
@@ -151,12 +161,10 @@ pub fn load_bytes(registry: &Registry, blob: &[u8]) -> Result<usize, SnapshotErr
         let name_bytes = r.bytes()?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CodecError::InvalidField("namespace name utf-8"))?;
-        // `install` bypasses `Registry::create`, so enforce the reserved
-        // names here too — a loaded `transport` or `replication`
-        // namespace would be silently shadowed by the STATS subjects.
-        if crate::engine::RESERVED_STATS.contains(&name.as_str()) {
-            return Err(CodecError::InvalidField("reserved namespace name").into());
-        }
+        // `install` bypasses `Registry::create`, so enforce the same
+        // name rules here — reserved subjects and unframeable charsets
+        // alike, with the same error bytes a refused `CREATE` produces.
+        Registry::validate_name(&name).map_err(|e| SnapshotError::BadName(e.to_string()))?;
         let tag = r.u8()?;
         let payload = r.bytes()?;
         let backend = match tag {
@@ -167,14 +175,19 @@ pub fn load_bytes(registry: &Registry, blob: &[u8]) -> Result<usize, SnapshotErr
             TAG_ASSOCIATION => {
                 Backend::Association(parking_lot::RwLock::new(CShbfA::from_bytes(&payload)?))
             }
+            TAG_MULTISET => {
+                Backend::MultiSet(parking_lot::RwLock::new(CShbfMs::from_bytes(&payload)?))
+            }
             _ => return Err(CodecError::InvalidField("backend tag").into()),
         };
         let stats = NamespaceStats::default();
         stats.restore(r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+        let summary = Summary::from_bytes(&r.bytes()?)?;
         loaded.push(Namespace {
             name,
             backend,
             stats,
+            summary,
         });
     }
     r.expect_end()?;
@@ -202,6 +215,7 @@ mod tests {
         e.eval_line("CREATE flows shbf-m 120000 8 4 7");
         e.eval_line("CREATE sizes shbf-x 8192 6 30 3");
         e.eval_line("CREATE gw shbf-a 8192 6 5");
+        e.eval_line("CREATE tags multiset 8192 4 8 7");
         for i in 0..300 {
             e.eval_line(&format!("INSERT flows key-{i}"));
         }
@@ -209,15 +223,17 @@ mod tests {
         e.eval_line("INSERT sizes f");
         e.eval_line("INSERT gw file 1");
         e.eval_line("INSERT gw file 2");
+        e.eval_line("MSINSERT tags doc 2");
+        e.eval_line("MSINSERT tags doc 6");
         e.eval_line("QUERY flows key-0"); // hits=1
 
         let saved = save(e.registry(), &path).unwrap();
-        assert_eq!(saved, 3);
+        assert_eq!(saved, 4);
 
         // Load into a brand-new engine (fresh process simulation).
         let e2 = Engine::new();
         let loaded = load(e2.registry(), &path).unwrap();
-        assert_eq!(loaded, 3);
+        assert_eq!(loaded, 4);
         // Persisted stats are restored before any new queries run.
         let stats = e2.eval_line("STATS flows").encode_to_string();
         assert!(stats.contains("hits=1"), "{stats}");
@@ -233,6 +249,11 @@ mod tests {
             e2.eval_line("ASSOC gw file"),
             e.eval_line("ASSOC gw file"),
             "association answer changed across snapshot"
+        );
+        assert_eq!(
+            e2.eval_line("MSQUERY tags doc"),
+            e.eval_line("MSQUERY tags doc"),
+            "multiset answer changed across snapshot"
         );
         // Corruption is rejected and leaves the registry intact.
         let mut bad = std::fs::read(&path).unwrap();
@@ -301,5 +322,47 @@ mod tests {
         assert_eq!(e2.eval_line("COUNT x f"), Response::Int(1));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_refuses_names_the_registry_would_refuse() {
+        use crate::registry::Registry;
+
+        // A valid backend + summary blob to wrap around each bad name.
+        let donor = Engine::new();
+        donor.eval_line("CREATE ok shbf-x 8192 6 30 3");
+        let ns = donor.registry().get("ok").unwrap();
+        let backend_blob = match &ns.backend {
+            Backend::Multiplicity(f) => f.read().to_bytes(),
+            _ => unreachable!(),
+        };
+        let summary_blob = ns.summary.to_bytes();
+
+        for bad in [
+            "transport",
+            "Replication", // reserved check is case-insensitive
+            "SERVER",
+            "has space",
+            "line\nbreak",
+            "carriage\rreturn",
+            "dollar$name",
+        ] {
+            let mut w = Writer::new(SNAPSHOT_KIND);
+            w.u64(1);
+            w.bytes(bad.as_bytes());
+            w.u8(TAG_MULTIPLICITY).bytes(&backend_blob);
+            w.u64(0).u64(0).u64(0).u64(0);
+            w.bytes(&summary_blob);
+            let blob: Vec<u8> = w.finish().into();
+
+            let e = Engine::new();
+            e.eval_line("CREATE keep shbf-m 65536 8");
+            let err = load_bytes(e.registry(), &blob).unwrap_err();
+            // Every ingress path reports the identical error bytes.
+            let create_err = Registry::validate_name(bad).unwrap_err().to_string();
+            assert_eq!(err.to_string(), create_err, "{bad:?}");
+            // Atomic on failure: the existing registry is untouched.
+            assert!(e.registry().get("keep").is_ok(), "{bad:?} clobbered state");
+        }
     }
 }

@@ -386,7 +386,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let engine = Arc::new(Engine::new());
     if let Some(snapshot) = flags.get("load") {
-        let n = shbf::server::snapshot::load(engine.registry(), Path::new(snapshot))
+        let n = engine
+            .restore_from_snapshot(Path::new(snapshot))
             .map_err(|e| format!("loading {snapshot}: {e}"))?;
         println!("restored {n} namespaces from {snapshot}");
     }
